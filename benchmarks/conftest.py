@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark/experiment harness.
+
+Each ``test_eN_*.py`` module regenerates one table/figure of the paper
+(see DESIGN.md section 3 for the experiment index).  Modules print the
+rows they regenerate, assert the paper's qualitative *shape* (who wins,
+rough factors, crossovers), and use pytest-benchmark for the
+wall-clock-measured entries (E2, E6).
+
+Run:  pytest benchmarks/ --benchmark-only
+(the shape assertions also run under plain ``pytest benchmarks/``)
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make `tests.conftest` (shared packet builders) importable when pytest
+# is invoked as a bare `pytest benchmarks/` (no cwd on sys.path).
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.gsql.schema import PacketView
+from repro.workloads.generators import background_pool, http_port80_pool
+
+
+@pytest.fixture(scope="session")
+def section4_pools():
+    """The Section 4 packet pools, built once per session."""
+    return (http_port80_pool(seed=1), background_pool(seed=2))
+
+
+@pytest.fixture(scope="session")
+def port80_qualifier():
+    """qualifier(packet) -> payload length if it passes the port-80 LFTA
+    filter, else None.  Memoized per pool frame for speed; the decision
+    itself is made by full header parsing, the same answer the real
+    LFTA/BPF machinery produces (asserted in tests/test_nic.py)."""
+    cache = {}
+
+    def qualifier(packet):
+        key = id(packet.data)
+        if key not in cache:
+            view = PacketView(packet)
+            if view.tcp is not None and view.tcp.dst_port == 80:
+                cache[key] = len(view.payload or b"")
+            else:
+                cache[key] = None
+        return cache[key]
+
+    return qualifier

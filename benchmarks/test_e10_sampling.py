@@ -1,0 +1,96 @@
+"""E10 (ablation) -- sampling as "a technique of last resort".
+
+Section 4: "A sufficiently complex query workload will require sampling
+and approximation, but it is a technique of last resort."  Section 5
+adds the requirement that when sampling is applied "it must be
+integrated into the query language under the control of the analyst" --
+which is what ``DEFINE sample p`` does.
+
+This ablation quantifies the trade: sweeping the sample rate on a
+per-bucket count query, measure (a) the data reduction at the LFTA and
+(b) the relative error of the 1/p-scaled estimates against exact
+counts.  Shape: reduction is proportional to p; error grows as p
+shrinks but stays small for moderate p (the counts are large).
+"""
+
+import math
+
+import pytest
+
+from repro import Gigascope
+from repro.workloads.generators import http_port80_pool, packet_stream
+
+RATES = [1.0, 0.5, 0.1, 0.02]
+DURATION_S = 20.0
+BUCKET = 5
+
+
+@pytest.fixture(scope="module")
+def packets():
+    pool = http_port80_pool(seed=31)
+    return list(packet_stream(pool, rate_mbps=15.0, duration_s=DURATION_S,
+                              seed=32))
+
+
+def run(rate, packets):
+    sample = "" if rate >= 1.0 else f"sample {rate};"
+    gs = Gigascope()
+    gs.add_query(f"""
+        DEFINE {{ query_name q; {sample} }}
+        Select tb, count(*) From tcp
+        Group by time/{BUCKET} as tb
+    """)
+    sub = gs.subscribe("q")
+    gs.start()
+    gs.feed(packets)
+    gs.flush()
+    counts = dict(sub.poll())
+    stats = gs.stats()
+    lfta = next(s for n, s in stats.items() if "packets_seen" in s)
+    kept = lfta["tuples_in"] - lfta.get("sampled_out", 0)
+    return counts, kept
+
+
+def test_e10_sampling_tradeoff(packets):
+    exact, _ = run(1.0, packets)
+    total_exact = sum(exact.values())
+
+    print(f"\nE10 DEFINE sample p over {len(packets)} packets "
+          f"({BUCKET}s buckets)")
+    print(f"{'p':>6}{'updates kept':>14}{'scaled estimate':>17}"
+          f"{'rel. error':>12}")
+    errors = {}
+    reductions = {}
+    for rate in RATES:
+        counts, kept = run(rate, packets)
+        scaled_total = sum(counts.values()) / rate
+        error = abs(scaled_total - total_exact) / total_exact
+        errors[rate] = error
+        reductions[rate] = kept
+        print(f"{rate:>6}{kept:>14}{scaled_total:>17.0f}{error:>11.2%}")
+
+    # Reduction is proportional to p (within sampling noise).
+    assert reductions[0.1] < reductions[0.5] < reductions[1.0]
+    assert reductions[0.1] == pytest.approx(reductions[1.0] * 0.1, rel=0.25)
+    # Exact at p=1; small error at moderate p; still bounded at p=0.02.
+    assert errors[1.0] == 0.0
+    assert errors[0.5] < 0.05
+    assert errors[0.02] < 0.25
+    # Statistical sanity: error at p should be within ~5 sigma of the
+    # binomial expectation sqrt((1-p)/(p*N)).
+    n = total_exact
+    for rate in (0.5, 0.1, 0.02):
+        sigma = math.sqrt((1 - rate) / (rate * n))
+        assert errors[rate] < 5 * sigma + 1e-9
+
+
+def test_e10_sampling_preserves_bucket_structure(packets):
+    """Sampling thins every bucket, it does not bias which buckets
+    exist: the sampled query reports (almost) the same bucket set."""
+    exact, _ = run(1.0, packets)
+    sampled, _ = run(0.1, packets)
+    missing = set(exact) - set(sampled)
+    assert len(missing) <= 1  # at most a boundary bucket lost
+    for bucket, count in sampled.items():
+        assert bucket in exact
+        assert count <= exact[bucket]

@@ -1,0 +1,97 @@
+"""E2 -- the Section 5 deployment claim: sustained packets/second.
+
+"At peak periods, Gigascope processes 1.2 million packets per second
+using an inexpensive dual 2.4 GHz CPU server" -- the headline of the
+largest deployment: application-protocol monitoring over two Gigabit
+Ethernet links (two interfaces, merged, then aggregated).
+
+We measure what *this* reproduction sustains on the same query shape
+(real wall-clock, pytest-benchmark).  Pure Python will not reach 1.2 M
+packets/s; the deliverable is the measured number and the efficiency
+structure: the LFTA touches every packet, everything downstream sees
+only reduced data.
+"""
+
+import pytest
+
+from repro import Gigascope
+from repro.workloads.generators import http_port80_pool, merge_streams, packet_stream
+
+PAPER_PPS = 1_200_000
+
+
+def build_engine():
+    gs = Gigascope(heartbeat_interval=1.0)
+    gs.add_queries("""
+        DEFINE query_name link0;
+        Select time, destIP, len From eth0.tcp Where destPort = 80;
+
+        DEFINE query_name link1;
+        Select time, destIP, len From eth1.tcp Where destPort = 80;
+
+        DEFINE query_name both;
+        Merge link0.time : link1.time From link0, link1;
+
+        DEFINE query_name appmon;
+        Select tb, count(*), sum(len) From both Group by time/10 as tb
+    """)
+    gs.subscribe("appmon")
+    gs.start()
+    return gs
+
+
+def make_packets(count=40_000):
+    pool0 = http_port80_pool(seed=1)
+    pool1 = http_port80_pool(seed=2)
+    # rate chosen so `count` packets span a few heartbeat intervals
+    a = packet_stream(pool0, rate_mbps=25.0, duration_s=10.0,
+                      interface="eth0", seed=3)
+    b = packet_stream(pool1, rate_mbps=25.0, duration_s=10.0,
+                      interface="eth1", seed=4)
+    packets = []
+    for packet in merge_streams(a, b):
+        packets.append(packet)
+        if len(packets) >= count:
+            break
+    return packets
+
+
+def test_e2_throughput(benchmark):
+    import time
+
+    packets = make_packets()
+    elapsed = []
+
+    def run():
+        gs = build_engine()
+        start = time.perf_counter()
+        gs.feed(packets, pump_every=1024)
+        elapsed.append(time.perf_counter() - start)
+        return gs
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    pps = len(packets) / min(elapsed)
+    print(f"\nE2 headline: {pps:,.0f} packets/s sustained "
+          f"(paper: {PAPER_PPS:,} on a 2003 dual 2.4 GHz server)")
+    print(f"   slowdown vs paper: {PAPER_PPS / pps:,.0f}x "
+          "(pure Python vs generated C linked into the RTS)")
+    # Floor so regressions are caught; any working build exceeds this.
+    assert pps > 10_000
+
+
+def test_e2_reduction_structure():
+    """The efficiency claim behind the number: per-packet work happens
+    once, in the LFTA; the merge and aggregation see only reduced data."""
+    gs = build_engine()
+    packets = make_packets(20_000)
+    gs.feed(packets)
+    gs.flush()
+    stats = gs.stats()
+    lfta_in = sum(s["tuples_in"] for name, s in stats.items()
+                  if name.startswith("link"))
+    merge_in = stats["both"]["tuples_in"]
+    agg_out = stats["appmon"]["tuples_out"]
+    print(f"\nE2 reduction: {len(packets)} packets -> {lfta_in} LFTA tuples "
+          f"-> {merge_in} merged -> {agg_out} result rows")
+    assert agg_out < merge_in <= lfta_in <= len(packets)
+    assert agg_out <= 20  # ~10 s of stream in 10 s buckets

@@ -1,0 +1,82 @@
+"""E3 -- the LFTA/HFTA aggregate split (Section 3).
+
+"The LFTAs are lightweight queries which perform preliminary filtering,
+projection, and aggregation.  By linking them into the RTS, these
+preliminary queries can be evaluated without additional data transfers,
+and greatly reduce the data traffic to the HFTAs."
+
+We run the Section 2.2 per-minute/per-peer aggregation two ways over
+identical traffic -- the planner's two-level split (LFTA partial
+aggregation) versus a projection-only LFTA feeding a full HFTA
+aggregation -- and measure the tuple traffic between the levels and the
+wall-clock cost.  The answer must be identical; the traffic must not be.
+"""
+
+import pytest
+
+from repro import Gigascope
+from repro.workloads.flows import ZipfFlowWorkload
+
+PEERS = "\n".join(f"10.{i}.0.0/16 {7000 + i}" for i in range(256))
+
+SPLIT_QUERY = """
+    DEFINE query_name peermin;
+    Select peerid, tb, count(*)
+    From tcp
+    Group by time/60 as tb, getlpmid(srcIP, $peers) as peerid
+"""
+
+# Forcing the aggregation up: group by an (artificially) non-LFTA-safe
+# expression wrapper is not expressible in GSQL, so instead we compare
+# against a projection LFTA + HFTA aggregation produced by marking the
+# grouping function HFTA-only in a private function registry.
+
+
+def run(two_level: bool, packets):
+    from repro.gsql.functions import builtin_functions
+    functions = builtin_functions()
+    if not two_level:
+        functions.get("getlpmid").lfta_safe = False  # push aggregation up
+    gs = Gigascope(functions=functions)
+    gs.add_query(SPLIT_QUERY, params={"peers": PEERS})
+    sub = gs.subscribe("peermin")
+    gs.start()
+    gs.feed(packets)
+    gs.flush()
+    rows = sorted(sub.poll())
+    stats = gs.stats()
+    lfta_name = next(name for name in stats if name.startswith("_fta_"))
+    return rows, stats[lfta_name]["tuples_out"], stats
+
+
+@pytest.fixture(scope="module")
+def workload_packets():
+    workload = ZipfFlowWorkload(num_flows=4000, alpha=1.1, seed=7)
+    return list(workload.packets(60_000, pps=500.0))  # 120 s of stream
+
+
+def test_e3_reduction_table(workload_packets):
+    split_rows, split_traffic, split_stats = run(True, workload_packets)
+    full_rows, full_traffic, _ = run(False, workload_packets)
+
+    print("\nE3 LFTA->HFTA tuple traffic for the per-minute/per-peer query")
+    print(f"{'plan':<28}{'LFTA out':>10}{'reduction':>11}")
+    n = len(workload_packets)
+    print(f"{'two-level (partial agg)':<28}{split_traffic:>10}"
+          f"{n / split_traffic:>10.1f}x")
+    print(f"{'projection + HFTA agg':<28}{full_traffic:>10}"
+          f"{n / full_traffic:>10.1f}x")
+
+    # Same answer either way -- the split is semantically transparent.
+    assert split_rows == full_rows
+    # "greatly reduce the data traffic to the HFTAs"
+    assert split_traffic * 20 < full_traffic
+    assert full_traffic == n  # projection forwards every packet
+
+
+def test_e3_wallclock(benchmark, workload_packets):
+    def run_split():
+        return run(True, workload_packets)
+
+    rows, traffic, _ = benchmark.pedantic(run_split, rounds=3, iterations=1)
+    assert rows  # produced output

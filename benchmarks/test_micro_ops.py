@@ -1,0 +1,149 @@
+"""Micro-benchmarks of the hot paths (pytest-benchmark).
+
+Not tied to a paper table; these guard the per-packet costs that every
+experiment's wall-clock depends on: packet interpretation, the LFTA
+fast path, LPM lookups, checksums, capture-file IO, and the HFTA
+operators.  Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import io
+import random
+
+import pytest
+
+from repro.gsql.codegen import ExprCompiler
+from repro.gsql.functions import builtin_functions
+from repro.gsql.parser import parse_query
+from repro.gsql.planner import plan_query
+from repro.gsql.schema import PacketView, builtin_registry
+from repro.gsql.semantic import analyze
+from repro.net.checksum import internet_checksum
+from repro.net.lpm import PrefixTable
+from repro.net.packet import CapturedPacket
+from repro.net.pcap import PcapReader, PcapWriter
+from repro.operators.lfta import LftaNode
+from repro.workloads.generators import http_port80_pool
+
+
+@pytest.fixture(scope="module")
+def packets():
+    pool = http_port80_pool(seed=1, pool_size=256)
+    return [CapturedPacket(timestamp=i * 0.001, data=pool.frames[i % 256])
+            for i in range(2000)]
+
+
+def test_bench_packet_interpretation(benchmark, packets):
+    """Full tcp-protocol interpretation of every field."""
+    tcp = builtin_registry().get("tcp")
+
+    def interpret_all():
+        total = 0
+        for packet in packets:
+            total += len(tcp.interpret(packet))
+        return total
+
+    assert benchmark(interpret_all) == len(packets)
+
+
+def test_bench_lfta_filter_path(benchmark, packets):
+    """The per-packet LFTA fast path: sparse interpret + predicate +
+    projection (the engine's innermost loop)."""
+    functions = builtin_functions()
+    analyzed = analyze(
+        parse_query("DEFINE query_name q; Select time, destIP From tcp "
+                    "Where destPort = 80"),
+        builtin_registry(), functions)
+    plan = plan_query(analyzed, functions)
+
+    def run():
+        lfta = LftaNode(plan.lftas[0], analyzed,
+                        ExprCompiler(analyzed, functions))
+        for packet in packets:
+            lfta.accept_packet(packet)
+        return lfta.stats.tuples_out
+
+    assert benchmark(run) == len(packets)  # pool is all port 80
+
+
+def test_bench_lfta_partial_aggregation(benchmark, packets):
+    functions = builtin_functions()
+    analyzed = analyze(
+        parse_query("DEFINE query_name q; Select tb, srcIP, count(*), "
+                    "sum(len) From tcp Group by time/1 as tb, srcIP"),
+        builtin_registry(), functions)
+    plan = plan_query(analyzed, functions)
+
+    def run():
+        lfta = LftaNode(plan.lftas[0], analyzed,
+                        ExprCompiler(analyzed, functions))
+        for packet in packets:
+            lfta.accept_packet(packet)
+        lfta.flush()
+        return lfta.stats.tuples_in
+
+    assert benchmark(run) == len(packets)
+
+
+def test_bench_lpm_lookup(benchmark):
+    rng = random.Random(7)
+    table = PrefixTable()
+    for _ in range(5000):
+        length = rng.randrange(8, 25)
+        network = rng.randrange(1 << 32) & (~((1 << (32 - length)) - 1))
+        table.add((network & 0xFFFFFFFF, length), length)
+    addresses = [rng.randrange(1 << 32) for _ in range(10_000)]
+
+    def lookups():
+        hits = 0
+        for address in addresses:
+            if table.lookup(address) is not None:
+                hits += 1
+        return hits
+
+    benchmark(lookups)
+
+
+def test_bench_internet_checksum(benchmark):
+    data = bytes(range(256)) * 6  # a 1536-byte frame
+
+    def checksums():
+        total = 0
+        for _ in range(200):
+            total ^= internet_checksum(data)
+        return total
+
+    benchmark(checksums)
+
+
+def test_bench_pcap_round_trip(benchmark, packets):
+    def round_trip():
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        for packet in packets:
+            writer.write(packet)
+        buffer.seek(0)
+        return sum(1 for _ in PcapReader(buffer))
+
+    assert benchmark(round_trip) == len(packets)
+
+
+def test_bench_engine_end_to_end(benchmark, packets):
+    """Whole-engine throughput on the flagship split query."""
+    from repro import Gigascope
+
+    def run():
+        gs = Gigascope(heartbeat_interval=None)
+        gs.add_query(r"""
+            DEFINE query_name q;
+            Select tb, count(*) From tcp
+            Where destPort = 80 and str_match_regex(data, '^[^\n]*HTTP/1.')
+            Group by time/1 as tb
+        """)
+        sub = gs.subscribe("q")
+        gs.start()
+        gs.feed(packets, pump_every=512)
+        gs.flush()
+        return sum(c for _tb, c in sub.poll())
+
+    result = benchmark(run)
+    assert result > 0

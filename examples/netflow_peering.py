@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Traffic analysis over Netflow: per-peer volume from router exports.
+
+Netflow is the paper's running example of non-trivially ordered data
+(Section 2.1): a router exports flow records sorted by *end* time,
+dumping its cache every 30 seconds, so the *start* time -- the one most
+queries key on -- is only banded-increasing(30 s).  The built-in
+``netflow`` Protocol declares exactly that, and the aggregation below
+groups on a bucket of ``time_start``: the engine keeps the band of
+slack before closing groups, so late-starting flows still land in the
+right bucket.
+
+Run:  python examples/netflow_peering.py
+"""
+
+from repro import Gigascope
+from repro.workloads.netflow_source import netflow_export_stream
+
+
+def main() -> None:
+    gs = Gigascope(default_interface="nf0")
+
+    # floor() is an order-preserving function: the analyzer knows the
+    # bucketed key is still (banded-)increasing, so groups flush
+    # incrementally instead of only at end of stream.
+    gs.add_query("""
+        DEFINE query_name flow_minutes;
+        Select tb, count(*) as flows, sum(octets) as octets,
+               sum(packets) as pkts
+        From netflow
+        Group by floor(time_start)/60 as tb
+    """)
+
+    # Show the imputed ordering: the banded property survives bucketing.
+    analyzed_schema = gs.schema_of("flow_minutes")
+    print("output schema:")
+    for attribute in analyzed_schema.attributes:
+        print(f"  {attribute}")
+    print()
+
+    subscription = gs.subscribe("flow_minutes")
+    gs.start()
+
+    # Ten minutes of synthetic flow exports from one router.
+    gs.feed(netflow_export_stream(duration_s=600.0, flows_per_second=120.0))
+    gs.flush()
+
+    print("minute  flows   octets    packets")
+    for tb, flows, octets, pkts in subscription.poll():
+        print(f"{tb:>6}  {flows:>5}  {octets:>8}  {pkts:>8}")
+
+    stats = gs.stats()
+    lfta_name = next(name for name in stats if name.startswith("_fta_"))
+    print(f"\nLFTA {lfta_name}: {stats[lfta_name]['tuples_in']} flow records "
+          f"in, {stats[lfta_name]['tuples_out']} partials out "
+          "(early reduction before the HFTA)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Network attack monitoring: a SYN-flood / scan detector in GSQL.
+
+The paper lists "network attack and intrusion detection and monitoring
+(e.g. distributed denial of service attacks)" among Gigascope's target
+applications.  This example watches for destination hosts receiving an
+abnormal number of TCP SYNs per 5-second bucket -- the classic SYN
+flood signature -- using only filtering + aggregation + HAVING, with a
+query parameter so the alarm threshold can be changed on the fly.
+
+Run:  python examples/syn_flood_detector.py
+"""
+
+import random
+
+from repro import Gigascope
+from repro.net.build import build_tcp_frame, capture
+from repro.net.packet import int_to_ip
+from repro.net.tcp import FLAG_ACK, FLAG_SYN
+from repro.workloads.generators import background_pool, merge_streams, packet_stream
+
+
+def attack_stream(victim="192.168.9.9", start=20.0, duration=15.0,
+                  pps=2000.0, seed=5):
+    """Spoofed-source SYNs aimed at one victim."""
+    rng = random.Random(seed)
+    now = start
+    end = start + duration
+    while now < end:
+        src = f"{rng.randrange(1, 224)}.{rng.randrange(256)}." \
+              f"{rng.randrange(256)}.{rng.randrange(1, 255)}"
+        frame = build_tcp_frame(src, victim, rng.randrange(1024, 65535), 80,
+                                flags=FLAG_SYN, seq=rng.randrange(1 << 31))
+        yield capture(frame, now)
+        now += (0.5 + rng.random()) / pps
+
+
+def main() -> None:
+    gs = Gigascope()
+
+    # tcpflags & 0x12 = 0x02 selects SYN-without-ACK segments.
+    gs.add_query(
+        """
+        DEFINE query_name syn_watch;
+        Select tb, destIP, count(*) as syns
+        From tcp
+        Where tcpflags & 18 = 2
+        Group by time/5 as tb, destIP
+        Having count(*) > $threshold
+        """,
+        params={"threshold": 100},
+    )
+    print(gs.explain("syn_watch"))
+    print()
+
+    alerts = gs.subscribe("syn_watch")
+    gs.start()
+
+    background = packet_stream(background_pool(seed=1), rate_mbps=20.0,
+                               duration_s=60.0, seed=3)
+    gs.feed(merge_streams(background, attack_stream()))
+    gs.flush()
+
+    print("ALERTS (threshold: >100 SYNs / 5s to one host)")
+    print("bucket  victim            SYN count")
+    for tb, victim, syns in alerts.poll():
+        print(f"{tb:>6}  {int_to_ip(victim):<16}  {syns:>9}")
+    print("\nThe attack window (t=20..35s -> buckets 4..6) stands out; "
+          "normal traffic never crosses the threshold.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Gigascope reproduction: a stream database for network applications.
+
+A from-scratch Python reproduction of Cranor, Johnson, Spatscheck &
+Shkapenyuk, *Gigascope: A Stream Database for Network Applications*
+(SIGMOD 2003): the GSQL language, the two-level LFTA/HFTA query
+compiler, the stream-manager run-time, and the simulated capture
+substrate (NIC, host, disk) used to reproduce the paper's evaluation.
+
+Quick start::
+
+    from repro import Gigascope
+    gs = Gigascope()
+    gs.add_query("DEFINE query_name q; Select destIP, time From eth0.tcp "
+                 "Where destPort = 80")
+    sub = gs.subscribe("q")
+    gs.start()
+    gs.feed(packets)
+    gs.flush()
+    rows = sub.poll()
+"""
+
+from repro.core.engine import Gigascope
+from repro.core.stream_manager import RuntimeSystem, Subscription
+from repro.core.query_node import QueryNode, UserNode
+from repro.gsql.functions import FunctionSpec
+from repro.gsql.schema import Attribute, ProtocolSchema, StreamSchema
+from repro.net.packet import CapturedPacket
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Gigascope",
+    "RuntimeSystem",
+    "Subscription",
+    "QueryNode",
+    "UserNode",
+    "FunctionSpec",
+    "Attribute",
+    "ProtocolSchema",
+    "StreamSchema",
+    "CapturedPacket",
+    "__version__",
+]

@@ -1,0 +1,211 @@
+"""``gsq``: run GSQL queries over pcap traces from the command line.
+
+The workflow the paper's network analysts follow, minus the cluster:
+
+    # one query inline, results as CSV on stdout
+    python -m repro.cli --pcap trace.pcap \\
+        --query "Select destIP, destPort, time From tcp Where destPort = 80"
+
+    # a batch file of ';'-separated queries, subscribing to two of them
+    python -m repro.cli --pcap trace.pcap --query-file queries.gsql \\
+        --subscribe counts --subscribe alerts --output out/
+
+    # show the compiled plans without running anything
+    python -m repro.cli --query-file queries.gsql --explain
+
+Exit status is 0 on success, 2 on bad usage, 1 on query errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+from repro.core.engine import Gigascope
+from repro.gsql.lexer import GSQLSyntaxError
+from repro.gsql.semantic import SemanticError
+from repro.net.packet import CapturedPacket, int_to_ip
+from repro.net.pcap import PcapReader
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gsq",
+        description="Run GSQL stream queries over a pcap trace.",
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--pcap", action="append", default=[],
+                        metavar="FILE[:IFACE]",
+                        help="pcap file to replay; ':IFACE' binds it to an "
+                             "interface name (default eth0, eth1, ... in "
+                             "order given)")
+    source.add_argument("--synthetic", metavar="MBPSxSECONDS",
+                        help="generate synthetic port-80+background traffic "
+                             "instead of reading a trace, e.g. 100x5")
+    parser.add_argument("--query", action="append", default=[],
+                        help="GSQL query text (repeatable)")
+    parser.add_argument("--query-file", action="append", default=[],
+                        help="file of ';'-separated GSQL queries (repeatable)")
+    parser.add_argument("--subscribe", action="append", default=[],
+                        metavar="NAME",
+                        help="query name to print/write results for "
+                             "(default: every named query)")
+    parser.add_argument("--output", metavar="DIR",
+                        help="write one CSV per subscription into DIR "
+                             "instead of stdout")
+    parser.add_argument("--param", action="append", default=[],
+                        metavar="QUERY.NAME=VALUE",
+                        help="set a query parameter, e.g. watch.port=80")
+    parser.add_argument("--mode", choices=("compiled", "interpreted"),
+                        default="compiled", help="codegen mode")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the LFTA/HFTA plans and exit")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-node statistics after the run")
+    parser.add_argument("--pretty-ip", action="store_true",
+                        help="render IP-typed columns as dotted quads")
+    return parser
+
+
+def _parse_params(entries: List[str]):
+    params = {}
+    for entry in entries:
+        try:
+            key, value = entry.split("=", 1)
+            query_name, param_name = key.split(".", 1)
+        except ValueError:
+            raise SystemExit(f"bad --param {entry!r}; use QUERY.NAME=VALUE")
+        for cast in (int, float):
+            try:
+                value = cast(value)
+                break
+            except ValueError:
+                continue
+        params.setdefault(query_name, {})[param_name] = value
+    return params
+
+
+def _open_capture(path: str, interface: str):
+    """Open a capture file, sniffing pcap vs pcapng by magic number."""
+    from repro.net.pcapng import PcapngReader, SHB_TYPE
+    handle = open(path, "rb")
+    magic = handle.read(4)
+    handle.seek(0)
+    import struct
+    if len(magic) == 4 and struct.unpack("<I", magic)[0] == SHB_TYPE:
+        return PcapngReader(handle)
+    return PcapReader(handle, interface=interface)
+
+
+def _packets_from_pcaps(specs: List[str]) -> Iterable[CapturedPacket]:
+    import heapq
+    readers = []
+    for index, spec in enumerate(specs):
+        path, _, interface = spec.partition(":")
+        interface = interface or f"eth{index}"
+        readers.append(_open_capture(path, interface))
+    try:
+        yield from heapq.merge(*readers, key=lambda p: p.timestamp)
+    finally:
+        for reader in readers:
+            reader.close()
+
+
+def _synthetic_packets(spec: str) -> Iterable[CapturedPacket]:
+    from repro.workloads.generators import section4_stream
+    try:
+        mbps_text, _, seconds_text = spec.partition("x")
+        mbps = float(mbps_text)
+        seconds = float(seconds_text)
+    except ValueError:
+        raise SystemExit(f"bad --synthetic {spec!r}; use MBPSxSECONDS")
+    return section4_stream(background_mbps=max(0.0, mbps - 60.0),
+                           duration_s=seconds)
+
+
+def _formatters(engine: Gigascope, name: str, pretty_ip: bool):
+    from repro.gsql.types import IP
+    schema = engine.schema_of(name)
+    fns = []
+    for attribute in schema.attributes:
+        if pretty_ip and attribute.gsql_type is IP:
+            fns.append(int_to_ip)
+        elif attribute.gsql_type.python_type is bytes:
+            fns.append(lambda v: v.decode("latin-1", "replace")
+                       if isinstance(v, bytes) else v)
+        else:
+            fns.append(lambda v: v)
+    return schema.names, fns
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    query_texts = list(args.query)
+    for path in args.query_file:
+        query_texts.append(Path(path).read_text())
+    if not query_texts:
+        parser.error("no queries given (use --query or --query-file)")
+
+    params = _parse_params(args.param)
+    engine = Gigascope(mode=args.mode)
+    names: List[str] = []
+    try:
+        for text in query_texts:
+            names.extend(engine.add_queries(text, params=params))
+    except (GSQLSyntaxError, SemanticError) as error:
+        print(f"query error: {error}", file=sys.stderr)
+        return 1
+
+    if args.explain:
+        for name in names:
+            print(engine.explain(name))
+        return 0
+
+    watched = args.subscribe or [n for n in names if not n.startswith("_")]
+    subscriptions = {name: engine.subscribe(name) for name in watched}
+
+    if args.pcap:
+        packets = _packets_from_pcaps(args.pcap)
+    elif args.synthetic:
+        packets = _synthetic_packets(args.synthetic)
+    else:
+        parser.error("no packet source (use --pcap or --synthetic)")
+
+    engine.start()
+    engine.feed(packets)
+    engine.flush()
+
+    out_dir = Path(args.output) if args.output else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for name, subscription in subscriptions.items():
+        header, fns = _formatters(engine, name, args.pretty_ip)
+        rows = subscription.poll()
+        if out_dir is not None:
+            with open(out_dir / f"{name}.csv", "w", newline="") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(header)
+                for row in rows:
+                    writer.writerow([fn(v) for fn, v in zip(fns, row)])
+            print(f"{name}: {len(rows)} rows -> {out_dir / (name + '.csv')}")
+        else:
+            writer = csv.writer(sys.stdout)
+            print(f"# {name}")
+            writer.writerow(header)
+            for row in rows:
+                writer.writerow([fn(v) for fn, v in zip(fns, row)])
+
+    if args.stats:
+        print("# node statistics", file=sys.stderr)
+        for name, stats in sorted(engine.stats().items()):
+            print(f"#  {name}: {stats}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

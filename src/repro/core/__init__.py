@@ -1,0 +1,32 @@
+"""Gigascope run-time system: stream manager, query nodes, channels.
+
+* :mod:`repro.core.heartbeat` -- ordering-update tokens (punctuation)
+  and the end-of-stream flush token
+* :mod:`repro.core.channels` -- bounded ring-buffer channels (the
+  stand-in for the paper's shared-memory transport)
+* :mod:`repro.core.query_node` -- the query-node API; user-written
+  operators implement it too
+* :mod:`repro.core.stream_manager` -- the registry + scheduler
+* :mod:`repro.core.params` -- on-the-fly query parameters
+* :mod:`repro.core.engine` -- the :class:`Gigascope` facade
+"""
+
+from repro.core.heartbeat import Punctuation, FlushToken, FLUSH
+from repro.core.channels import Channel, ChannelStats
+from repro.core.query_node import QueryNode, UserNode
+from repro.core.stream_manager import RuntimeSystem, Subscription, RegistryError
+from repro.core.engine import Gigascope
+
+__all__ = [
+    "Punctuation",
+    "FlushToken",
+    "FLUSH",
+    "Channel",
+    "ChannelStats",
+    "QueryNode",
+    "UserNode",
+    "RuntimeSystem",
+    "Subscription",
+    "RegistryError",
+    "Gigascope",
+]

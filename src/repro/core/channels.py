@@ -1,0 +1,78 @@
+"""Bounded ring-buffer channels between query nodes.
+
+The paper's query nodes are processes communicating through shared
+memory; here they are objects communicating through :class:`Channel`
+ring buffers.  The properties that matter to the reproduction are
+preserved: bounded capacity, overflow accounting (bursty streams
+overflow merge buffers, Section 3), and subscription fan-out.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Iterator, List, Optional
+
+
+@dataclass
+class ChannelStats:
+    pushed: int = 0
+    popped: int = 0
+    dropped: int = 0
+    max_depth: int = 0
+
+
+class Channel:
+    """A FIFO with optional capacity; overflow drops the newest item."""
+
+    def __init__(self, capacity: Optional[int] = None, name: str = "") -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self.capacity = capacity
+        self.name = name
+        self._queue: Deque[Any] = deque()
+        self.stats = ChannelStats()
+
+    def push(self, item: Any) -> bool:
+        """Append ``item``; returns False (and counts a drop) on overflow.
+
+        Control tokens (punctuation, flush) are never dropped: losing
+        one would stall downstream operators forever.
+        """
+        if (
+            self.capacity is not None
+            and len(self._queue) >= self.capacity
+            and type(item) is tuple
+        ):
+            self.stats.dropped += 1
+            return False
+        self._queue.append(item)
+        self.stats.pushed += 1
+        if len(self._queue) > self.stats.max_depth:
+            self.stats.max_depth = len(self._queue)
+        return True
+
+    def pop(self) -> Any:
+        """Remove and return the oldest item; raises IndexError when empty."""
+        item = self._queue.popleft()
+        self.stats.popped += 1
+        return item
+
+    def peek(self) -> Any:
+        return self._queue[0]
+
+    def drain(self) -> List[Any]:
+        """Pop everything currently buffered."""
+        items = list(self._queue)
+        self.stats.popped += len(items)
+        self._queue.clear()
+        return items
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._queue)

@@ -1,0 +1,278 @@
+"""The :class:`Gigascope` facade: the public API of the reproduction.
+
+Typical use::
+
+    from repro import Gigascope
+
+    gs = Gigascope()
+    gs.add_query('''
+        DEFINE query_name tcpdest0;
+        Select destIP, destPort, time
+        From eth0.tcp
+        Where ipversion = 4 and protocol = 6
+    ''')
+    sub = gs.subscribe("tcpdest0")
+    gs.start()
+    gs.feed(packets)           # CapturedPacket iterable (pcap, generator, NIC sim)
+    gs.flush()
+    rows = sub.poll()
+
+Queries whose plan contains an LFTA must be added before :meth:`start`
+(the LFTA batch restriction of Section 3); HFTA-only queries -- those
+reading other queries' streams -- can be added at any time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.core.params import QueryInstance
+from repro.core.query_node import QueryNode
+from repro.core.stream_manager import RegistryError, RuntimeSystem, Subscription
+from repro.gsql.codegen import ExprCompiler
+from repro.gsql.functions import FunctionRegistry, FunctionSpec, builtin_functions
+from repro.gsql.parser import parse_queries, parse_query
+from repro.gsql.planner import QueryPlan, plan_query
+from repro.gsql.schema import (
+    ProtocolSchema,
+    SchemaRegistry,
+    StreamSchema,
+    builtin_registry,
+    parse_ddl,
+)
+from repro.gsql.semantic import analyze
+from repro.net.packet import CapturedPacket
+from repro.operators.aggregation import AggregationNode
+from repro.operators.join import JoinNode
+from repro.operators.lfta import LftaNode
+from repro.operators.merge import MergeNode
+from repro.operators.selection import SelectionNode
+
+
+class Gigascope:
+    """A complete Gigascope instance: schemas, functions, queries, RTS."""
+
+    def __init__(
+        self,
+        mode: str = "compiled",
+        heartbeat_interval: Optional[float] = 1.0,
+        on_demand_heartbeats: bool = True,
+        default_interface: str = "eth0",
+        lfta_table_size: int = 4096,
+        merge_buffer_capacity: Optional[int] = None,
+        schema_registry: Optional[SchemaRegistry] = None,
+        functions: Optional[FunctionRegistry] = None,
+    ) -> None:
+        self.mode = mode
+        self.default_interface = default_interface
+        self.lfta_table_size = lfta_table_size
+        self.merge_buffer_capacity = merge_buffer_capacity
+        self.schema_registry = schema_registry or builtin_registry()
+        self.functions = functions or builtin_functions()
+        self.rts = RuntimeSystem(heartbeat_interval=heartbeat_interval,
+                                 on_demand_heartbeats=on_demand_heartbeats)
+        self._streams: Dict[str, StreamSchema] = {}
+        self._instances: Dict[str, QueryInstance] = {}
+        self._anonymous = itertools.count()
+
+    # -- schema & function extension points ---------------------------------
+    def add_protocol(self, schema: ProtocolSchema) -> None:
+        """Register a new Protocol (packet interpretation schema)."""
+        self.schema_registry.add(schema)
+
+    def define_protocols(self, ddl_text: str) -> List[str]:
+        """Run DDL text; returns the names of the protocols defined."""
+        schemas = parse_ddl(ddl_text)
+        for schema in schemas:
+            self.schema_registry.add(schema)
+        return [schema.name for schema in schemas]
+
+    def register_function(self, spec: FunctionSpec) -> None:
+        """Add a user function to the function registry."""
+        self.functions.register(spec)
+
+    # -- queries --------------------------------------------------------------
+    def add_query(self, text: str, params: Optional[Dict[str, Any]] = None,
+                  name: Optional[str] = None) -> str:
+        """Compile, plan, and instantiate one GSQL query; returns its name."""
+        ast = parse_query(text)
+        return self._instantiate(ast, params, name)
+
+    def add_queries(self, text: str,
+                    params: Optional[Dict[str, Dict[str, Any]]] = None
+                    ) -> List[str]:
+        """Add a ``;``-separated batch of queries, in order.
+
+        ``params`` maps query names to their parameter dicts.
+        """
+        names = []
+        for ast in parse_queries(text):
+            query_params = (params or {}).get(ast.defines.get("query_name"))
+            names.append(self._instantiate(ast, query_params, None))
+        return names
+
+    def _instantiate(self, ast, params, name) -> str:
+        self._lift_subqueries(ast, params, name)
+        analyzed = analyze(
+            ast,
+            self.schema_registry,
+            self.functions,
+            stream_resolver=self._streams.get,
+            default_interface=self.default_interface,
+        )
+        query_name = name or analyzed.name or f"q{next(self._anonymous)}"
+        if query_name in self._instances:
+            raise RegistryError(f"query {query_name!r} already exists")
+        plan = plan_query(analyzed, self.functions, query_name)
+        compiler = ExprCompiler(analyzed, self.functions, params, self.mode)
+
+        nodes: List[QueryNode] = []
+        for lfta_plan in plan.lftas:
+            lfta = LftaNode(lfta_plan, analyzed, compiler,
+                            table_size=self.lfta_table_size)
+            self.rts.register_node(lfta, packet_interface=lfta_plan.interface)
+            self._streams[lfta.name] = lfta_plan.output_schema
+            nodes.append(lfta)
+
+        if plan.hfta is not None:
+            hfta_plan = plan.hfta
+            if hfta_plan.kind == "selection":
+                node: QueryNode = SelectionNode(hfta_plan, analyzed, compiler)
+            elif hfta_plan.kind == "aggregation":
+                node = AggregationNode(hfta_plan, analyzed, compiler)
+            elif hfta_plan.kind == "join":
+                node = JoinNode(hfta_plan, analyzed, compiler)
+            elif hfta_plan.kind == "merge":
+                node = MergeNode(hfta_plan, analyzed,
+                                 buffer_capacity=self.merge_buffer_capacity)
+            else:
+                raise RegistryError(f"unknown HFTA kind {hfta_plan.kind!r}")
+            self.rts.register_node(node)
+            self.rts.connect(node, hfta_plan.inputs)
+            self._streams[query_name] = plan.output_schema
+            nodes.append(node)
+
+        self._instances[query_name] = QueryInstance(
+            name=query_name, plan=plan, analyzed=analyzed,
+            compiler=compiler, nodes=nodes,
+        )
+        return query_name
+
+    def _lift_subqueries(self, ast, params, name) -> None:
+        """Rewrite FROM-clause subqueries into named queries.
+
+        "GSQL currently supports nested subqueries through this
+        [composition] mechanism only, but supporting subqueries in the
+        FROM clause requires only an update of the parser" -- here is
+        that update: each ``(SELECT ...) alias`` is instantiated as its
+        own query, and the outer query reads its stream.
+        """
+        from repro.gsql.ast_nodes import TableRef
+        outer = name or ast.defines.get("query_name") or f"q{next(self._anonymous)}"
+        if name is None and "query_name" not in ast.defines:
+            ast.defines["query_name"] = outer
+        for position, ref in enumerate(ast.sources):
+            if ref.subquery is None:
+                continue
+            sub_ast = ref.subquery
+            sub_name = sub_ast.defines.get("query_name") or f"_sub_{outer}_{position}"
+            sub_ast.defines["query_name"] = sub_name
+            actual = self._instantiate(sub_ast, params, sub_name)
+            ast.sources[position] = TableRef(name=actual,
+                                             alias=ref.alias or ref.name)
+
+    def add_node(self, node: QueryNode,
+                 interface: Optional[str] = None) -> str:
+        """Register a user-written query node (packet consumer if bound)."""
+        self.rts.register_node(node, packet_interface=interface)
+        self._streams[node.name] = node.output_schema
+        return node.name
+
+    def remove_query(self, name: str) -> None:
+        """Tear down a query and its nodes.
+
+        Other queries reading this one's streams block removal; LFTA-
+        bearing queries require a stopped RTS (the batch restriction).
+        Application subscriptions to the removed streams simply stop
+        receiving.
+        """
+        instance = self._instances.get(name)
+        if instance is None:
+            raise RegistryError(f"no query named {name!r}")
+        produced = {node.name for node in instance.nodes}
+        for other_name, other in self._instances.items():
+            if other_name == name or other.plan.hfta is None:
+                continue
+            used = produced.intersection(other.plan.hfta.inputs)
+            if used:
+                raise RegistryError(
+                    f"query {other_name!r} reads {sorted(used)}; "
+                    "remove it first"
+                )
+        # HFTA before its LFTAs, so no node ever has a dangling reader.
+        for node in reversed(instance.nodes):
+            self.rts.remove_node(node.name, force=True)
+            self._streams.pop(node.name, None)
+        self._streams.pop(name, None)
+        del self._instances[name]
+
+    # -- introspection ------------------------------------------------------------
+    def plan_of(self, name: str) -> QueryPlan:
+        return self._instances[name].plan
+
+    def explain(self, name: str) -> str:
+        """The plan plus its static cost estimate (EXPLAIN-style)."""
+        from repro.gsql.costing import estimate_plan_cost
+        plan = self._instances[name].plan
+        estimate = estimate_plan_cost(plan, self.functions)
+        return plan.describe() + "\n" + estimate.describe()
+
+    def schema_of(self, name: str) -> StreamSchema:
+        return self._streams[name]
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        return self.rts.stats()
+
+    def generated_code(self, name: str) -> str:
+        """The Python the code generator produced for this query."""
+        return "\n".join(self._instances[name].compiler.generated_sources)
+
+    # -- parameters ------------------------------------------------------------------
+    def set_param(self, query_name: str, param: str, value: Any) -> None:
+        """Change a query parameter on the fly (Section 3)."""
+        instance = self._instances[query_name]
+        if param not in instance.compiler.params:
+            raise RegistryError(
+                f"query {query_name!r} has no parameter {param!r}"
+            )
+        instance.compiler.params[param] = value
+
+    def get_param(self, query_name: str, param: str) -> Any:
+        return self._instances[query_name].compiler.params[param]
+
+    # -- run-time delegation -----------------------------------------------------------
+    def subscribe(self, name: str, capacity: Optional[int] = None) -> Subscription:
+        return self.rts.subscribe(name, capacity=capacity)
+
+    def start(self) -> None:
+        self.rts.start()
+
+    def stop(self) -> None:
+        self.rts.stop()
+
+    def feed_packet(self, packet: CapturedPacket) -> None:
+        self.rts.feed_packet(packet)
+
+    def feed(self, packets: Iterable[CapturedPacket], pump_every: int = 256) -> None:
+        self.rts.feed(packets, pump_every=pump_every)
+
+    def pump(self) -> int:
+        return self.rts.pump()
+
+    def advance_time(self, stream_time: float) -> None:
+        self.rts.advance_time(stream_time)
+
+    def flush(self) -> None:
+        """End all streams and drain everything downstream."""
+        self.rts.flush_all()

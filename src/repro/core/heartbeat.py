@@ -1,0 +1,67 @@
+"""Ordering-update tokens: how GSQL unblocks merge, join, and aggregation.
+
+"The problem is that the presence of a tuple allows us to advance the
+window over which a query operates, but we do not get this information
+in the absence of a tuple."  Following Tucker & Maier's punctuation
+semantics (the paper's [7]) and the Gigascope heartbeat follow-up work,
+the RTS injects :class:`Punctuation` tokens carrying lower bounds on
+ordered attributes; operators use them to advance windows, flush closed
+groups, and purge join buffers even when a stream goes quiet.
+
+Tokens are generated two ways, both implemented by the stream manager:
+
+* **periodically** -- every ``heartbeat_interval`` seconds of stream time;
+* **on demand** -- when an operator detects it might be blocked (its
+  buffers exceed a threshold) it asks the manager for a heartbeat.
+
+A distinct :class:`FlushToken` marks end-of-stream: operators emit all
+remaining state and forward it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Punctuation:
+    """Lower bounds on ordered attributes of a stream.
+
+    ``bounds`` maps a tuple slot index to a value ``b`` with the meaning:
+    every future tuple ``t`` of this stream satisfies ``t[slot] >= b``.
+    """
+
+    bounds: Dict[int, float] = field(default_factory=dict)
+
+    def bound_for(self, slot: int):
+        """The lower bound for ``slot``, or None if not covered."""
+        return self.bounds.get(slot)
+
+    def merged_with(self, other: "Punctuation") -> "Punctuation":
+        """Pointwise max: both tokens' promises hold."""
+        bounds = dict(self.bounds)
+        for slot, value in other.bounds.items():
+            if slot not in bounds or value > bounds[slot]:
+                bounds[slot] = value
+        return Punctuation(bounds)
+
+    def __bool__(self) -> bool:
+        return bool(self.bounds)
+
+
+class FlushToken:
+    """End-of-stream marker: flush all state downstream."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "FLUSH"
+
+
+FLUSH = FlushToken()

@@ -1,0 +1,41 @@
+"""Query instances and on-the-fly parameters.
+
+"To increase the flexibility of the system queries can accept query
+parameters, which are similar to constants but which are specified at
+query instantiation time and which can be changed on-the-fly.  The RTS
+can execute multiple instances of the same LFTA, each with different
+parameters." (Section 3)
+
+A :class:`QueryInstance` ties a plan to its compiled closures and live
+parameter dict; instantiating the same GSQL text twice under different
+names gives two independent instances with independent parameters.
+Pass-by-handle parameters are resolved once at instantiation (the
+handle registration function runs then); changing them later requires
+re-instantiation, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.query_node import QueryNode
+from repro.gsql.codegen import ExprCompiler
+from repro.gsql.planner import QueryPlan
+from repro.gsql.semantic import AnalyzedQuery
+
+
+@dataclass
+class QueryInstance:
+    """One instantiated query: plan + generated code + live nodes."""
+
+    name: str
+    plan: QueryPlan
+    analyzed: AnalyzedQuery
+    compiler: ExprCompiler
+    nodes: List[QueryNode] = field(default_factory=list)
+
+    @property
+    def params(self):
+        """The live parameter dict the generated code reads."""
+        return self.compiler.params

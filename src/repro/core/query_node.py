@@ -1,0 +1,119 @@
+"""The query-node API.
+
+Query nodes are the units the stream manager schedules.  Generated
+query code and user-written operators implement the same interface --
+"Users can write their own query nodes to implement special operators
+by following this API" (the paper's example is an IP defragmentation
+operator; see :mod:`repro.operators.defrag`).
+
+A node has a name, an output :class:`StreamSchema`, and a set of
+subscriber channels.  Stream items are plain tuples; control items are
+:class:`Punctuation` and :class:`FlushToken`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.channels import Channel
+from repro.core.heartbeat import FLUSH, FlushToken, Punctuation
+from repro.gsql.schema import StreamSchema
+
+
+@dataclass
+class NodeStats:
+    tuples_in: int = 0
+    tuples_out: int = 0
+    punctuations_in: int = 0
+    punctuations_out: int = 0
+    discarded: int = 0  # dropped by predicates / partial functions
+
+
+class QueryNode:
+    """Base class for every operator the stream manager runs."""
+
+    def __init__(self, name: str, output_schema: StreamSchema) -> None:
+        self.name = name
+        self.output_schema = output_schema
+        self.subscribers: List[Channel] = []
+        self.inputs: List[Channel] = []
+        #: (producer, channel) pairs behind ``inputs``, for detaching
+        self.input_links: List[tuple] = []
+        self.stats = NodeStats()
+        self.manager = None  # set by the stream manager at registration
+        self.flushed = False
+
+    # -- output side ----------------------------------------------------
+    def subscribe(self, capacity: Optional[int] = None, name: str = "") -> Channel:
+        """Open a new output channel; the caller owns the consumer side."""
+        channel = Channel(capacity=capacity, name=name or f"{self.name}->?")
+        self.subscribers.append(channel)
+        return channel
+
+    def emit(self, row: tuple) -> None:
+        self.stats.tuples_out += 1
+        for channel in self.subscribers:
+            channel.push(row)
+
+    def emit_punctuation(self, punctuation: Punctuation) -> None:
+        if not punctuation:
+            return
+        self.stats.punctuations_out += 1
+        for channel in self.subscribers:
+            channel.push(punctuation)
+
+    def emit_flush(self) -> None:
+        for channel in self.subscribers:
+            channel.push(FLUSH)
+
+    # -- input side (HFTA-style nodes) ------------------------------------
+    def attach_input(self, channel: Channel) -> int:
+        """Register an input channel; returns its input index."""
+        self.inputs.append(channel)
+        return len(self.inputs) - 1
+
+    def dispatch(self, item: Any, input_index: int) -> None:
+        """Route one channel item to the right handler."""
+        if type(item) is tuple:
+            self.stats.tuples_in += 1
+            self.on_tuple(item, input_index)
+        elif isinstance(item, Punctuation):
+            self.stats.punctuations_in += 1
+            self.on_punctuation(item, input_index)
+        elif isinstance(item, FlushToken):
+            self.on_flush(input_index)
+        else:
+            raise TypeError(f"{self.name}: unknown stream item {item!r}")
+
+    # -- handlers to override ------------------------------------------------
+    def on_tuple(self, row: tuple, input_index: int) -> None:
+        raise NotImplementedError
+
+    def on_punctuation(self, punctuation: Punctuation, input_index: int) -> None:
+        """Default: consume silently (operators override to unblock)."""
+
+    def on_flush(self, input_index: int) -> None:
+        """Default: first flush from any input flushes the node."""
+        if not self.flushed:
+            self.flushed = True
+            self.flush()
+            self.emit_flush()
+
+    def flush(self) -> None:
+        """Emit any remaining state (end of stream)."""
+
+    # -- blocked-operator support ----------------------------------------------
+    def request_heartbeat(self) -> None:
+        """Ask the manager for an on-demand ordering-update token."""
+        if self.manager is not None:
+            self.manager.heartbeat_requested(self)
+
+
+class UserNode(QueryNode):
+    """Convenience base class for user-written operators.
+
+    Subclasses override :meth:`on_tuple` (and optionally
+    :meth:`on_punctuation` / :meth:`flush`) and call :meth:`emit`.
+    Register with :meth:`repro.core.engine.Gigascope.add_node`.
+    """

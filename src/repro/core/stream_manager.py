@@ -1,0 +1,287 @@
+"""The stream manager: registry, subscriptions, and the scheduler.
+
+"The central component of Gigascope is a stream manager which tracks
+the query nodes that can be activated.  [...] When a user application
+or query node needs to subscribe to the output of a query, it submits
+the query name to the registry and receives a query handle in return."
+
+Process model: LFTAs (and other packet consumers, e.g. the defrag
+operator) are *linked into* the run-time system -- ``feed_packet``
+calls them directly with no queue in between, which is why the LFTA set
+is fixed once the RTS starts ("all queries which generate LFTAs must be
+submitted in a batch"; changing them requires a stop/restart).  HFTAs
+are separate query nodes connected by channels and driven by
+:meth:`RuntimeSystem.pump`.
+
+The manager is also the heartbeat source: it injects ordering-update
+tokens periodically in stream time, and on demand when a blocked
+operator asks (Section 3, "Unblocking Operators").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.core.channels import Channel
+from repro.core.heartbeat import FLUSH, FlushToken, Punctuation
+from repro.core.query_node import QueryNode
+from repro.net.packet import CapturedPacket
+
+
+class RegistryError(RuntimeError):
+    """Raised for registration and subscription errors."""
+
+
+class Subscription:
+    """A query handle: the consumer side of an output channel."""
+
+    def __init__(self, name: str, channel: Channel) -> None:
+        self.name = name
+        self.channel = channel
+        self.ended = False
+
+    def poll(self) -> List[tuple]:
+        """All data tuples received since the last poll."""
+        rows = []
+        for item in self.channel.drain():
+            if type(item) is tuple:
+                rows.append(item)
+            elif isinstance(item, FlushToken):
+                self.ended = True
+        return rows
+
+    def poll_raw(self) -> List[Any]:
+        """Everything, including punctuation and flush tokens."""
+        return self.channel.drain()
+
+    def __len__(self) -> int:
+        return len(self.channel)
+
+
+class RuntimeSystem:
+    """The Gigascope RTS: registry, packet dispatch, scheduling, heartbeats."""
+
+    def __init__(self, heartbeat_interval: Optional[float] = 1.0,
+                 on_demand_heartbeats: bool = True) -> None:
+        self.heartbeat_interval = heartbeat_interval
+        self.on_demand_heartbeats = on_demand_heartbeats
+        self._nodes: Dict[str, QueryNode] = {}
+        self._packet_consumers: Dict[str, List[QueryNode]] = {}
+        self._all_consumers: List[QueryNode] = []
+        self._hfta_order: List[QueryNode] = []
+        self._started = False
+        self._stream_time = -math.inf
+        self._last_heartbeat = -math.inf
+        self._heartbeat_wanted = False
+        self.packets_fed = 0
+        self.heartbeats_sent = 0
+
+    # -- registry -------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def node(self, name: str) -> QueryNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise RegistryError(f"no query node named {name!r}") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def register_node(self, node: QueryNode,
+                      packet_interface: Optional[str] = None) -> None:
+        """Register a node; packet consumers bind to an interface.
+
+        Packet consumers (LFTAs, defrag, ...) are linked into the RTS
+        and may only be added while it is stopped.
+        """
+        if node.name in self._nodes:
+            raise RegistryError(f"query node {node.name!r} already registered")
+        if packet_interface is not None and self._started:
+            raise RegistryError(
+                "LFTAs are linked into the RTS and must be submitted in a "
+                "batch before start(); stop() the RTS to change them"
+            )
+        self._nodes[node.name] = node
+        node.manager = self
+        if packet_interface is not None:
+            self._packet_consumers.setdefault(packet_interface, []).append(node)
+            self._all_consumers.append(node)
+        else:
+            self._hfta_order.append(node)
+
+    def connect(self, consumer: QueryNode, input_names: Iterable[str],
+                capacity: Optional[int] = None) -> None:
+        """Wire ``consumer``'s inputs to the named producers' outputs."""
+        for name in input_names:
+            producer = self.node(name)
+            channel = producer.subscribe(
+                capacity=capacity, name=f"{name}->{consumer.name}"
+            )
+            consumer.attach_input(channel)
+            consumer.input_links.append((producer, channel))
+
+    def remove_node(self, name: str, force: bool = False) -> None:
+        """Deregister a node and detach its channels.
+
+        Packet consumers (LFTAs) cannot be removed while started -- the
+        LFTA batch restriction works both ways.  Nodes with subscribers
+        are refused unless ``force`` (the engine forces when it removes
+        a whole query after checking no other query depends on it; any
+        remaining application subscriptions simply stop receiving).
+        """
+        node = self.node(name)
+        if node in self._all_consumers:
+            if self._started:
+                raise RegistryError(
+                    "LFTAs are linked into the RTS; stop() before "
+                    "removing one"
+                )
+            for consumers in self._packet_consumers.values():
+                if node in consumers:
+                    consumers.remove(node)
+            self._all_consumers.remove(node)
+        if node.subscribers and not force:
+            raise RegistryError(
+                f"{name!r} still has {len(node.subscribers)} subscriber(s); "
+                "remove the dependents first"
+            )
+        if node in self._hfta_order:
+            self._hfta_order.remove(node)
+        for producer, channel in node.input_links:
+            if channel in producer.subscribers:
+                producer.subscribers.remove(channel)
+        del self._nodes[name]
+
+    def subscribe(self, name: str, capacity: Optional[int] = None) -> Subscription:
+        """Application-side subscription to any query's output stream."""
+        producer = self.node(name)
+        channel = producer.subscribe(capacity=capacity, name=f"{name}->app")
+        return Subscription(name, channel)
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> None:
+        self._started = True
+
+    def stop(self) -> None:
+        """Stop so the LFTA set can change ("we can change the RTS in seconds")."""
+        self._started = False
+
+    # -- packet path ----------------------------------------------------------------
+    @property
+    def stream_time(self) -> float:
+        return self._stream_time
+
+    def feed_packet(self, packet: CapturedPacket) -> None:
+        """Hand one captured packet to every consumer on its interface."""
+        if not self._started:
+            raise RegistryError("RTS not started; call start() first")
+        self.packets_fed += 1
+        if packet.timestamp > self._stream_time:
+            self._stream_time = packet.timestamp
+        consumers = list(self._packet_consumers.get(packet.interface, ()))
+        # Consumers bound to the "any" pseudo-interface see every packet
+        # regardless of where it arrived (FROM any.tcp).
+        if packet.interface != "any":
+            consumers.extend(self._packet_consumers.get("any", ()))
+        view = None
+        if len(consumers) > 1:
+            # Several LFTAs share one header parse per packet -- the
+            # zero-extra-transfer property of linking them into the RTS.
+            from repro.gsql.schema import PacketView
+            view = PacketView(packet)
+        for node in consumers:
+            if view is not None and getattr(node, "accepts_view", False):
+                node.accept_packet(packet, view)
+            else:
+                node.accept_packet(packet)
+        if (
+            self.heartbeat_interval is not None
+            and self._stream_time >= self._last_heartbeat + self.heartbeat_interval
+        ):
+            self._send_heartbeats(self._stream_time)
+
+    def feed(self, packets: Iterable[CapturedPacket], pump_every: int = 256) -> None:
+        """Feed a packet iterable, pumping HFTAs periodically."""
+        count = 0
+        for packet in packets:
+            self.feed_packet(packet)
+            count += 1
+            if count % pump_every == 0:
+                self.pump()
+        self.pump()
+
+    def advance_time(self, stream_time: float) -> None:
+        """Declare stream time without a packet (quiet period)."""
+        if stream_time > self._stream_time:
+            self._stream_time = stream_time
+        self._send_heartbeats(self._stream_time)
+        self.pump()
+
+    # -- heartbeats --------------------------------------------------------------------
+    def _send_heartbeats(self, stream_time: float) -> None:
+        self._last_heartbeat = stream_time
+        self.heartbeats_sent += 1
+        for node in self._all_consumers:
+            on_heartbeat = getattr(node, "on_heartbeat", None)
+            if on_heartbeat is not None:
+                on_heartbeat(stream_time)
+
+    def heartbeat_requested(self, node: QueryNode) -> None:
+        """An operator suspects it is blocked: serve a token at next pump."""
+        if self.on_demand_heartbeats:
+            self._heartbeat_wanted = True
+
+    # -- scheduling -----------------------------------------------------------------------
+    def pump(self) -> int:
+        """Drain HFTA input channels until quiescent; returns items processed."""
+        processed = 0
+        while True:
+            if self._heartbeat_wanted:
+                self._heartbeat_wanted = False
+                if not math.isinf(self._stream_time):
+                    self._send_heartbeats(self._stream_time)
+            progress = False
+            for node in self._hfta_order:
+                for input_index, channel in enumerate(node.inputs):
+                    while channel:
+                        node.dispatch(channel.pop(), input_index)
+                        processed += 1
+                        progress = True
+            if not progress and not self._heartbeat_wanted:
+                return processed
+
+    # -- end of stream -------------------------------------------------------------------------
+    def flush_all(self) -> None:
+        """End every stream: flush packet consumers, propagate FLUSH, pump."""
+        for node in self._all_consumers:
+            if not node.flushed:
+                node.flushed = True
+                node.flush()
+                node.emit_flush()
+        self.pump()
+
+    # -- introspection ----------------------------------------------------------------------------
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        out = {}
+        for name, node in self._nodes.items():
+            entry = {
+                "tuples_in": node.stats.tuples_in,
+                "tuples_out": node.stats.tuples_out,
+                "discarded": node.stats.discarded,
+                "punctuations_in": node.stats.punctuations_in,
+                "punctuations_out": node.stats.punctuations_out,
+            }
+            for extra in ("packets_seen", "dropped", "pairs_emitted",
+                          "groups_emitted", "buffered", "sampled_out"):
+                value = getattr(node, extra, None)
+                if value is not None:
+                    entry[extra] = value
+            table = getattr(node, "table", None)
+            if table is not None:
+                entry["hash_collisions"] = table.collisions
+            out[name] = entry
+        return out

@@ -1,0 +1,59 @@
+"""GSQL: the Gigascope query language.
+
+The pipeline mirrors the paper's GSQL processor:
+
+* :mod:`repro.gsql.lexer` / :mod:`repro.gsql.parser` -- GSQL text to AST
+* :mod:`repro.gsql.types` -- the GSQL type system
+* :mod:`repro.gsql.schema` -- Protocols, Streams, Interfaces, and the DDL
+* :mod:`repro.gsql.ordering` -- ordered-attribute properties (Section 2.1)
+  and their imputation through operators
+* :mod:`repro.gsql.functions` -- the user-function registry (partial
+  functions, pass-by-handle parameters)
+* :mod:`repro.gsql.semantic` -- binding, typing, query classification
+* :mod:`repro.gsql.planner` -- the LFTA/HFTA split and NIC push-down
+* :mod:`repro.gsql.codegen` -- generates Python per-tuple code (the
+  paper generates C/C++)
+"""
+
+from repro.gsql.types import GSQLType, UINT, INT, ULLONG, FLOAT, STRING, BOOL, IP
+from repro.gsql.ordering import Ordering, OrderingKind
+from repro.gsql.schema import (
+    Attribute,
+    ProtocolSchema,
+    StreamSchema,
+    SchemaRegistry,
+    builtin_registry,
+    parse_ddl,
+)
+from repro.gsql.parser import parse_query, GSQLSyntaxError
+from repro.gsql.semantic import analyze, SemanticError, AnalyzedQuery
+from repro.gsql.planner import plan_query, QueryPlan
+from repro.gsql.functions import FunctionRegistry, builtin_functions
+
+__all__ = [
+    "GSQLType",
+    "UINT",
+    "INT",
+    "ULLONG",
+    "FLOAT",
+    "STRING",
+    "BOOL",
+    "IP",
+    "Ordering",
+    "OrderingKind",
+    "Attribute",
+    "ProtocolSchema",
+    "StreamSchema",
+    "SchemaRegistry",
+    "builtin_registry",
+    "parse_ddl",
+    "parse_query",
+    "GSQLSyntaxError",
+    "analyze",
+    "SemanticError",
+    "AnalyzedQuery",
+    "plan_query",
+    "QueryPlan",
+    "FunctionRegistry",
+    "builtin_functions",
+]

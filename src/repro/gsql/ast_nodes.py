@@ -1,0 +1,213 @@
+"""GSQL abstract syntax trees.
+
+Expression nodes are plain dataclasses; the semantic analyzer decorates
+them (in a side table, not in place) with types and bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expr:
+    """Base class for GSQL expressions."""
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    def walk(self):
+        """Yield this node and all descendants, preorder."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return repr(self.value)
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A query parameter reference: ``$name``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class Column(Expr):
+    """A column reference, optionally qualified: ``[table.]name``."""
+
+    name: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``SELECT *``: expanded to every source column by the analyzer."""
+
+    def __str__(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # '-' or 'NOT'
+    operand: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """A scalar (possibly user-defined) function call."""
+
+    name: str
+    args: Tuple[Expr, ...]
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+AGGREGATE_NAMES = frozenset({"COUNT", "SUM", "MIN", "MAX", "AVG"})
+
+
+@dataclass(frozen=True)
+class AggCall(Expr):
+    """An aggregate call; ``arg`` is None for COUNT(*)."""
+
+    name: str  # upper-cased
+    arg: Optional[Expr]
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.arg,) if self.arg is not None else ()
+
+    @property
+    def is_count_star(self) -> bool:
+        return self.name == "COUNT" and self.arg is None
+
+    def __str__(self) -> str:
+        inner = "*" if self.arg is None else str(self.arg)
+        return f"{self.name}({inner})"
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.expr} AS {self.alias}" if self.alias else str(self.expr)
+
+
+@dataclass
+class TableRef:
+    """A FROM-clause source: ``[interface.]name [alias]`` or a subquery.
+
+    ``name`` may denote a Protocol (bound to an Interface) or a Stream
+    (the output of another query).  A parenthesized subquery in the
+    FROM clause ("supporting subqueries in the FROM clause requires
+    only an update of the parser", Section 2.2) is carried in
+    ``subquery``; the engine lifts it into a named query before
+    analysis.
+    """
+
+    name: str
+    interface: Optional[str] = None
+    alias: Optional[str] = None
+    subquery: Optional["SelectQuery"] = None
+
+    @property
+    def binding(self) -> str:
+        """The name this source is referred to by in expressions."""
+        return self.alias or self.name
+
+    def __str__(self) -> str:
+        if self.subquery is not None:
+            text = "(...)"
+        elif self.interface:
+            text = f"{self.interface}.{self.name}"
+        else:
+            text = self.name
+        return f"{text} {self.alias}" if self.alias else text
+
+
+@dataclass
+class GroupByItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.expr} AS {self.alias}" if self.alias else str(self.expr)
+
+
+@dataclass
+class SelectQuery:
+    """SELECT ... FROM ... [WHERE] [GROUP BY] [HAVING]."""
+
+    select_items: List[SelectItem]
+    sources: List[TableRef]
+    where: Optional[Expr] = None
+    group_by: List[GroupByItem] = field(default_factory=list)
+    having: Optional[Expr] = None
+    defines: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def name(self) -> Optional[str]:
+        return self.defines.get("query_name")
+
+
+@dataclass
+class MergeQuery:
+    """MERGE a.ts : b.ts [: c.ts ...] FROM a, b[, c ...].
+
+    The merge operator is GSQL's order-preserving union (Section 2.2).
+    """
+
+    columns: List[Column]  # one ordered column per source, in order
+    sources: List[TableRef]
+    defines: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def name(self) -> Optional[str]:
+        return self.defines.get("query_name")

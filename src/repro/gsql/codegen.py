@@ -1,0 +1,424 @@
+"""GSQL code generation.
+
+The paper's GSQL processor "is actually a code generator": queries are
+translated to C/C++, compiled, and linked into the run-time system.
+This module is the Python analog: expressions are translated to Python
+source, compiled with :func:`compile`, and the resulting closures are
+linked into the operator objects.  The generated source is retained on
+the compiler (``generated_sources``) for inspection and tests.
+
+A tree-walking *interpreted* mode is kept alongside so the benefit of
+code generation is measurable (benchmark E6).
+
+Conventions in generated code:
+
+* ``t`` -- the input tuple (or ``l``/``r`` for join inputs)
+* ``k`` / ``a`` -- group key tuple / aggregate values tuple (post-agg)
+* ``P`` -- the query-parameter dict (mutable; on-the-fly changes)
+* ``_fN`` / ``_hN`` -- resolved function implementations and handles
+
+Partial functions signal "no result" by raising :class:`DiscardTuple`;
+the wrappers installed here convert a ``None`` return into that raise,
+and every generated entry point catches it and discards the tuple --
+"the processing is the same as if there is no result from a join".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.gsql.ast_nodes import (
+    AggCall,
+    BinaryOp,
+    Column,
+    Expr,
+    FuncCall,
+    Literal,
+    Param,
+    UnaryOp,
+)
+from repro.gsql.functions import FunctionRegistry, FunctionSpec
+from repro.gsql.semantic import AggRef, AnalyzedQuery, KeyRef
+from repro.gsql.types import BOOL, FLOAT, GSQLType
+
+
+class DiscardTuple(Exception):
+    """Raised by a partial function with no result: drop the tuple."""
+
+
+class CodegenError(ValueError):
+    """Raised when an expression cannot be compiled."""
+
+
+# Tuple-argument names by arity: 1 input, 2 join inputs, post-agg pair.
+_ARG_NAMES = {1: ("t",), 2: ("l", "r"), "post": ("k", "a")}
+
+_BINOPS = {
+    "=": "==",
+    "<>": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "%": "%",
+    "&": "&",
+    "|": "|",
+    "^": "^",
+    "<<": "<<",
+    ">>": ">>",
+    "AND": "and",
+    "OR": "or",
+}
+
+SlotMap = Optional[Dict[int, int]]
+
+
+class ExprCompiler:
+    """Compiles bound GSQL expressions into Python callables.
+
+    One compiler instance serves one query instantiation: it owns the
+    parameter dict, the resolved pass-by-handle objects, and the
+    environment the generated code runs in.
+    """
+
+    def __init__(
+        self,
+        analyzed: AnalyzedQuery,
+        functions: FunctionRegistry,
+        params: Optional[Dict[str, Any]] = None,
+        mode: str = "compiled",
+    ) -> None:
+        if mode not in ("compiled", "interpreted"):
+            raise CodegenError(f"unknown codegen mode {mode!r}")
+        self.analyzed = analyzed
+        self.functions = functions
+        self.params: Dict[str, Any] = dict(params or {})
+        self.mode = mode
+        self.generated_sources: List[str] = []
+        self._env: Dict[str, Any] = {"P": self.params, "DiscardTuple": DiscardTuple}
+        self._counter = 0
+        self._handle_cache: Dict[Tuple[str, Any], str] = {}
+        missing = [name for name in analyzed.params if name not in self.params]
+        if missing:
+            raise CodegenError(
+                f"query requires parameter(s) {', '.join(missing)}; "
+                "pass them at instantiation"
+            )
+
+    # -- public API ---------------------------------------------------------
+    def tuple_fn(
+        self,
+        exprs: Sequence[Expr],
+        slot_maps: Sequence[SlotMap] = (None,),
+        arity: int = 1,
+    ) -> Callable[..., Optional[tuple]]:
+        """A callable building the output tuple; ``None`` means discard."""
+        if self.mode == "interpreted":
+            return self._interp_tuple_fn(exprs, slot_maps, arity)
+        parts = [self._compile(e, slot_maps, arity) for e in exprs]
+        body = "(" + ", ".join(parts) + ("," if len(parts) == 1 else "") + ")"
+        return self._finalize(body, arity, on_discard="None")
+
+    def predicate_fn(
+        self,
+        conjuncts: Sequence[Expr],
+        slot_maps: Sequence[SlotMap] = (None,),
+        arity: int = 1,
+    ) -> Callable[..., bool]:
+        """A callable evaluating the conjunction; DiscardTuple => False."""
+        if not conjuncts:
+            if arity == 1:
+                return lambda t: True
+            return lambda l, r: True
+        if self.mode == "interpreted":
+            return self._interp_predicate_fn(conjuncts, slot_maps, arity)
+        body = " and ".join(
+            "(" + self._compile(c, slot_maps, arity) + ")" for c in conjuncts
+        )
+        return self._finalize(body, arity, on_discard="False")
+
+    def scalar_fn(
+        self,
+        expr: Expr,
+        slot_maps: Sequence[SlotMap] = (None,),
+        arity: int = 1,
+    ) -> Callable[..., Any]:
+        """A callable computing one value; DiscardTuple propagates."""
+        if self.mode == "interpreted":
+            evaluator = self._interp_evaluator(slot_maps, arity)
+            return lambda *tuples: evaluator(expr, tuples)
+        body = self._compile(expr, slot_maps, arity)
+        return self._finalize(body, arity, on_discard=None)
+
+    def post_tuple_fn(self, exprs: Sequence[Expr]) -> Callable[[tuple, tuple], Optional[tuple]]:
+        """Post-aggregation tuple builder over (key, agg-values)."""
+        if self.mode == "interpreted":
+            evaluator = self._interp_evaluator((None,), "post")
+            def build(k: tuple, a: tuple) -> Optional[tuple]:
+                try:
+                    return tuple(evaluator(e, (k, a)) for e in exprs)
+                except DiscardTuple:
+                    return None
+            return build
+        parts = [self._compile(e, (None,), "post") for e in exprs]
+        body = "(" + ", ".join(parts) + ("," if len(parts) == 1 else "") + ")"
+        return self._finalize(body, "post", on_discard="None")
+
+    def post_predicate_fn(self, expr: Optional[Expr]) -> Callable[[tuple, tuple], bool]:
+        """Post-aggregation (HAVING) predicate over (key, agg-values)."""
+        if expr is None:
+            return lambda k, a: True
+        if self.mode == "interpreted":
+            evaluator = self._interp_evaluator((None,), "post")
+            def check(k: tuple, a: tuple) -> bool:
+                try:
+                    return bool(evaluator(expr, (k, a)))
+                except DiscardTuple:
+                    return False
+            return check
+        body = self._compile(expr, (None,), "post")
+        return self._finalize(body, "post", on_discard="False")
+
+    # -- compiled mode --------------------------------------------------------
+    def _finalize(self, body: str, arity, on_discard: Optional[str]) -> Callable:
+        args = ", ".join(_ARG_NAMES[arity])
+        name = f"_g{self._counter}"
+        self._counter += 1
+        if on_discard is None:
+            source = f"def {name}({args}):\n    return {body}\n"
+        else:
+            source = (
+                f"def {name}({args}):\n"
+                f"    try:\n"
+                f"        return {body}\n"
+                f"    except DiscardTuple:\n"
+                f"        return {on_discard}\n"
+            )
+        self.generated_sources.append(source)
+        code = compile(source, f"<gsql:{self.analyzed.name or 'anonymous'}>", "exec")
+        exec(code, self._env)
+        return self._env[name]
+
+    def _compile(self, expr: Expr, slot_maps: Sequence[SlotMap], arity) -> str:
+        if isinstance(expr, Literal):
+            # GSQL STRING values are bytes at run time (payloads, names);
+            # encode str literals so 'GET' compares equal to b'GET'.
+            if isinstance(expr.value, str):
+                return repr(expr.value.encode("latin-1"))
+            return repr(expr.value)
+        if isinstance(expr, Param):
+            return f"P[{expr.name!r}]"
+        if isinstance(expr, KeyRef):
+            return f"k[{expr.index}]"
+        if isinstance(expr, AggRef):
+            return f"a[{expr.index}]"
+        if isinstance(expr, Column):
+            return self._compile_column(expr, slot_maps, arity)
+        if isinstance(expr, UnaryOp):
+            inner = self._compile(expr.operand, slot_maps, arity)
+            return f"(not {inner})" if expr.op == "NOT" else f"(-{inner})"
+        if isinstance(expr, BinaryOp):
+            left = self._compile(expr.left, slot_maps, arity)
+            right = self._compile(expr.right, slot_maps, arity)
+            if expr.op == "/":
+                op = "/" if self._is_float_division(expr) else "//"
+            else:
+                op = _BINOPS.get(expr.op)
+                if op is None:
+                    raise CodegenError(f"cannot compile operator {expr.op!r}")
+            return f"({left} {op} {right})"
+        if isinstance(expr, FuncCall):
+            return self._compile_call(expr, slot_maps, arity)
+        if isinstance(expr, AggCall):
+            raise CodegenError(f"bare aggregate {expr} reached codegen")
+        raise CodegenError(f"cannot compile {expr!r}")
+
+    def _compile_column(self, expr: Column, slot_maps, arity) -> str:
+        bound = self.analyzed.binding_of(expr)
+        if bound is None:
+            raise CodegenError(f"unbound column {expr}")
+        slot_map = slot_maps[bound.source_index] if bound.source_index < len(slot_maps) else None
+        slot = bound.attr_index if slot_map is None else slot_map[bound.attr_index]
+        names = _ARG_NAMES[arity]
+        var = names[bound.source_index] if arity == 2 else names[0]
+        return f"{var}[{slot}]"
+
+    def _is_float_division(self, expr: BinaryOp) -> bool:
+        left_type = self.analyzed.types.get(id(expr.left))
+        right_type = self.analyzed.types.get(id(expr.right))
+        return left_type is FLOAT or right_type is FLOAT
+
+    def _compile_call(self, expr: FuncCall, slot_maps, arity) -> str:
+        spec = self.functions.get(expr.name)
+        fn_name = self._bind_function(spec)
+        parts = []
+        for position, arg in enumerate(expr.args):
+            if position in spec.handle_params:
+                parts.append(self._bind_handle(spec, arg))
+            else:
+                parts.append(self._compile(arg, slot_maps, arity))
+        return f"{fn_name}({', '.join(parts)})"
+
+    def _bind_function(self, spec: FunctionSpec) -> str:
+        name = f"_f_{spec.name.lower()}"
+        if name not in self._env:
+            implementation = spec.implementation
+            if spec.partial:
+                def wrapped(*args, _impl=implementation):
+                    result = _impl(*args)
+                    if result is None:
+                        raise DiscardTuple()
+                    return result
+                self._env[name] = wrapped
+            else:
+                self._env[name] = implementation
+        return name
+
+    def _bind_handle(self, spec: FunctionSpec, arg: Expr) -> str:
+        """Resolve a pass-by-handle argument at instantiation time."""
+        if isinstance(arg, Literal):
+            raw = arg.value
+        elif isinstance(arg, Param):
+            if arg.name not in self.params:
+                raise CodegenError(f"handle parameter ${arg.name} not supplied")
+            raw = self.params[arg.name]
+        else:
+            raise CodegenError(
+                f"pass-by-handle argument of {spec.name} must be a literal "
+                "or query parameter"
+            )
+        cache_key = (spec.name.lower(), raw if isinstance(raw, (str, bytes, int, float)) else id(raw))
+        if cache_key in self._handle_cache:
+            return self._handle_cache[cache_key]
+        handle = spec.handle_loader(raw)
+        name = f"_h{len(self._handle_cache)}"
+        self._env[name] = handle
+        self._handle_cache[cache_key] = name
+        return name
+
+    # -- interpreted mode -------------------------------------------------------
+    def _interp_evaluator(self, slot_maps, arity):
+        analyzed = self.analyzed
+        functions = self.functions
+        params = self.params
+        handle_memo: Dict[int, Any] = {}
+
+        def evaluate(expr: Expr, tuples: Tuple[tuple, ...]) -> Any:
+            if isinstance(expr, Literal):
+                if isinstance(expr.value, str):
+                    return expr.value.encode("latin-1")
+                return expr.value
+            if isinstance(expr, Param):
+                return params[expr.name]
+            if isinstance(expr, KeyRef):
+                return tuples[0][expr.index]
+            if isinstance(expr, AggRef):
+                return tuples[1][expr.index]
+            if isinstance(expr, Column):
+                bound = analyzed.binding_of(expr)
+                slot_map = (
+                    slot_maps[bound.source_index]
+                    if bound.source_index < len(slot_maps) else None
+                )
+                slot = bound.attr_index if slot_map is None else slot_map[bound.attr_index]
+                row = tuples[bound.source_index] if arity == 2 else tuples[0]
+                return row[slot]
+            if isinstance(expr, UnaryOp):
+                value = evaluate(expr.operand, tuples)
+                return (not value) if expr.op == "NOT" else -value
+            if isinstance(expr, BinaryOp):
+                if expr.op == "AND":
+                    return bool(evaluate(expr.left, tuples)) and bool(
+                        evaluate(expr.right, tuples)
+                    )
+                if expr.op == "OR":
+                    return bool(evaluate(expr.left, tuples)) or bool(
+                        evaluate(expr.right, tuples)
+                    )
+                left = evaluate(expr.left, tuples)
+                right = evaluate(expr.right, tuples)
+                return _apply_binop(expr, left, right, self._is_float_division)
+            if isinstance(expr, FuncCall):
+                spec = functions.get(expr.name)
+                args = []
+                for position, arg in enumerate(expr.args):
+                    if position in spec.handle_params:
+                        key = id(arg)
+                        if key not in handle_memo:
+                            if isinstance(arg, Literal):
+                                raw = arg.value
+                            elif isinstance(arg, Param):
+                                raw = params[arg.name]
+                            else:
+                                raise CodegenError(
+                                    f"bad handle argument for {spec.name}"
+                                )
+                            handle_memo[key] = spec.handle_loader(raw)
+                        args.append(handle_memo[key])
+                    else:
+                        args.append(evaluate(arg, tuples))
+                result = spec.implementation(*args)
+                if spec.partial and result is None:
+                    raise DiscardTuple()
+                return result
+            raise CodegenError(f"cannot evaluate {expr!r}")
+
+        return evaluate
+
+    def _interp_tuple_fn(self, exprs, slot_maps, arity):
+        evaluator = self._interp_evaluator(slot_maps, arity)
+        def build(*tuples) -> Optional[tuple]:
+            try:
+                return tuple(evaluator(e, tuples) for e in exprs)
+            except DiscardTuple:
+                return None
+        return build
+
+    def _interp_predicate_fn(self, conjuncts, slot_maps, arity):
+        evaluator = self._interp_evaluator(slot_maps, arity)
+        def check(*tuples) -> bool:
+            try:
+                return all(bool(evaluator(c, tuples)) for c in conjuncts)
+            except DiscardTuple:
+                return False
+        return check
+
+
+def _apply_binop(expr: BinaryOp, left: Any, right: Any, is_float_division) -> Any:
+    op = expr.op
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        return left / right if is_float_division(expr) else left // right
+    if op == "%":
+        return left % right
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    if op == "<<":
+        return left << right
+    if op == ">>":
+        return left >> right
+    raise CodegenError(f"unknown operator {op!r}")

@@ -1,0 +1,243 @@
+"""The GSQL user-function registry (paper Section 2.2).
+
+GSQL has no stream-to-relation join; instead, user functions act as
+special foreign-key joins.  A function registered here can be:
+
+* **partial** -- it may return no value (``None``), in which case the
+  tuple being processed is discarded, exactly as if a join found no
+  match;
+* **pass-by-handle** in some parameters -- those arguments (literals or
+  query parameters only) need expensive pre-processing (compiling a
+  regular expression, loading a prefix table), done once at query
+  instantiation by the *handle registration function*.
+
+``lfta_safe`` marks functions cheap enough for the low-level FTA; the
+planner keeps expensive functions (regex matching) in the HFTA.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.gsql.types import BOOL, FLOAT, GSQLType, INT, IP, STRING, UINT
+from repro.net.lpm import PrefixTable
+from repro.net.packet import int_to_ip, ip_to_int
+
+
+class FunctionError(ValueError):
+    """Raised for registration and lookup errors."""
+
+
+@dataclass
+class FunctionSpec:
+    """Registry entry for one GSQL function."""
+
+    name: str
+    implementation: Callable[..., Any]
+    arg_types: Tuple[GSQLType, ...]
+    return_type: GSQLType
+    partial: bool = False
+    #: indices (0-based) of pass-by-handle parameters
+    handle_params: Tuple[int, ...] = ()
+    #: loader(literal_value) -> handle object, run at instantiation time
+    handle_loader: Optional[Callable[[Any], Any]] = None
+    #: may this function run in an LFTA?
+    lfta_safe: bool = True
+    #: relative per-call cost (1.0 = a comparison); used by the cost model
+    cost: float = 1.0
+    #: True if the function is monotone nondecreasing in its first
+    #: (non-handle) argument: ordering properties then flow through it
+    #: (weakened to non-strict), and punctuation bounds can be mapped by
+    #: applying the function itself.
+    order_preserving: bool = False
+
+    @property
+    def arity(self) -> int:
+        return len(self.arg_types)
+
+
+class FunctionRegistry:
+    """Holds :class:`FunctionSpec` entries, looked up case-insensitively."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, FunctionSpec] = {}
+
+    def register(self, spec: FunctionSpec) -> None:
+        key = spec.name.lower()
+        if key in self._specs:
+            raise FunctionError(f"function {spec.name!r} already registered")
+        if spec.handle_params and spec.handle_loader is None:
+            raise FunctionError(
+                f"function {spec.name!r} has handle params but no loader"
+            )
+        self._specs[key] = spec
+
+    def get(self, name: str) -> FunctionSpec:
+        spec = self._specs.get(name.lower())
+        if spec is None:
+            raise FunctionError(f"unknown function {name!r}")
+        return spec
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._specs
+
+    def names(self):
+        return sorted(self._specs)
+
+
+# ---------------------------------------------------------------------------
+# Built-in function implementations
+# ---------------------------------------------------------------------------
+
+def _load_prefix_table(source: Any) -> PrefixTable:
+    """Handle loader for ``getlpmid``: a filename or iterable of lines."""
+    if isinstance(source, PrefixTable):
+        return source
+    if isinstance(source, (bytes, str)):
+        text = source.decode() if isinstance(source, bytes) else source
+        looks_inline = "\n" in text or ("/" in text and " " in text.strip())
+        if looks_inline:
+            # Inline table text ("prefix value" lines) rather than a filename.
+            return PrefixTable.from_lines(text.splitlines())
+        return PrefixTable.from_file(text)
+    if isinstance(source, (list, tuple)):
+        return PrefixTable.from_lines(source)
+    raise FunctionError(f"cannot build a prefix table from {type(source).__name__}")
+
+
+def _getlpmid(address: int, table: PrefixTable) -> Optional[int]:
+    """Longest-prefix match; None (no match) discards the tuple."""
+    return table.lookup(address)
+
+
+def _load_regex(pattern: Any) -> "re.Pattern":
+    if isinstance(pattern, bytes):
+        return re.compile(pattern)
+    return re.compile(pattern.encode() if isinstance(pattern, str) else pattern)
+
+
+def _str_match_regex(data: Any, compiled: "re.Pattern") -> bool:
+    if data is None:
+        return False
+    if isinstance(data, str):
+        data = data.encode()
+    return compiled.search(data) is not None
+
+
+def _str_find_substr(data: Any, needle: Any) -> bool:
+    if data is None:
+        return False
+    if isinstance(data, str):
+        data = data.encode()
+    if isinstance(needle, str):
+        needle = needle.encode()
+    return needle in data
+
+
+def _getsubnet(address: int, mask_bits: int) -> int:
+    if not 0 <= mask_bits <= 32:
+        raise ValueError(f"bad mask length {mask_bits}")
+    if mask_bits == 0:
+        return 0
+    return address & (~((1 << (32 - mask_bits)) - 1) & 0xFFFFFFFF)
+
+
+def _str_len(data: Any) -> int:
+    return 0 if data is None else len(data)
+
+
+def builtin_functions() -> FunctionRegistry:
+    """The stock function library.
+
+    ``getlpmid`` and ``str_match_regex`` are the two functions the paper
+    names; the rest are the obvious companions analysts ask for.
+    """
+    registry = FunctionRegistry()
+    registry.register(
+        FunctionSpec(
+            name="getlpmid",
+            implementation=_getlpmid,
+            arg_types=(IP, STRING),
+            return_type=UINT,
+            partial=True,
+            handle_params=(1,),
+            handle_loader=_load_prefix_table,
+            lfta_safe=True,  # the trie walk is a few dozen ops
+            cost=8.0,
+        )
+    )
+    registry.register(
+        FunctionSpec(
+            name="str_match_regex",
+            implementation=_str_match_regex,
+            arg_types=(STRING, STRING),
+            return_type=BOOL,
+            handle_params=(1,),
+            handle_loader=_load_regex,
+            lfta_safe=False,  # "Regular expression finding is too expensive for an LFTA"
+            cost=60.0,
+        )
+    )
+    registry.register(
+        FunctionSpec(
+            name="str_find_substr",
+            implementation=_str_find_substr,
+            arg_types=(STRING, STRING),
+            return_type=BOOL,
+            lfta_safe=False,
+            cost=25.0,
+        )
+    )
+    registry.register(
+        FunctionSpec(
+            name="getsubnet",
+            implementation=_getsubnet,
+            arg_types=(IP, UINT),
+            return_type=IP,
+            cost=2.0,
+        )
+    )
+    registry.register(
+        FunctionSpec(
+            name="floor",
+            implementation=lambda x: int(math.floor(x)),
+            arg_types=(FLOAT,),
+            return_type=UINT,
+            cost=1.0,
+            order_preserving=True,
+        )
+    )
+    registry.register(
+        FunctionSpec(
+            name="str_len",
+            implementation=_str_len,
+            arg_types=(STRING,),
+            return_type=UINT,
+            cost=1.0,
+        )
+    )
+    registry.register(
+        FunctionSpec(
+            name="ip_str",
+            implementation=lambda addr: int_to_ip(addr).encode(),
+            arg_types=(IP,),
+            return_type=STRING,
+            lfta_safe=False,
+            cost=10.0,
+        )
+    )
+    registry.register(
+        FunctionSpec(
+            name="ip_from_str",
+            implementation=lambda text: ip_to_int(
+                text.decode() if isinstance(text, bytes) else text
+            ),
+            arg_types=(STRING,),
+            return_type=IP,
+            cost=10.0,
+        )
+    )
+    return registry

@@ -1,0 +1,237 @@
+"""GSQL lexer.
+
+Tokenizes GSQL query text and DDL.  Keywords are case-insensitive (the
+paper mixes ``Select`` / ``SELECT`` / ``Group by``); identifiers keep
+their case but compare case-insensitively during binding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+class GSQLSyntaxError(SyntaxError):
+    """Raised for lexical and syntactic errors in GSQL text."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+KEYWORDS = frozenset(
+    {
+        "DEFINE", "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+        "MERGE", "AS", "AND", "OR", "NOT", "TRUE", "FALSE", "IN",
+    }
+)
+
+# Token kinds
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+OP = "OP"
+KEYWORD = "KEYWORD"
+PARAMREF = "PARAMREF"
+EOF = "EOF"
+
+_TWO_CHAR_OPS = frozenset({"<=", ">=", "<>", "!=", "<<", ">>", "||"})
+_ONE_CHAR_OPS = frozenset("=<>+-*/%|&^(),.;:{}[]")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    value: object
+    line: int
+    column: int
+
+    def matches(self, kind: str, text: Optional[str] = None) -> bool:
+        if self.kind != kind:
+            return False
+        if text is None:
+            return True
+        if kind in (KEYWORD, IDENT):
+            return self.text.upper() == text.upper()
+        return self.text == text
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize GSQL ``text``; raises :class:`GSQLSyntaxError` on bad input."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(text)
+
+    def error(message: str) -> GSQLSyntaxError:
+        return GSQLSyntaxError(message, line, column)
+
+    while i < n:
+        ch = text[i]
+        # Whitespace
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            column = 1
+            continue
+        # Comments: -- to end of line, // to end of line, /* ... */
+        if text.startswith("--", i) or text.startswith("//", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated /* comment")
+            skipped = text[i : end + 2]
+            line += skipped.count("\n")
+            column = 1 if "\n" in skipped else column + len(skipped)
+            i = end + 2
+            continue
+        start_line, start_column = line, column
+        # String literals, ' or "
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            chunks = []
+            while j < n and text[j] != quote:
+                if text[j] == "\\" and j + 1 < n:
+                    escape = text[j + 1]
+                    chunks.append(
+                        {"n": "\n", "t": "\t", "r": "\r", "\\": "\\",
+                         quote: quote}.get(escape, "\\" + escape)
+                    )
+                    j += 2
+                else:
+                    chunks.append(text[j])
+                    j += 1
+            if j >= n:
+                raise error("unterminated string literal")
+            literal = "".join(chunks)
+            tokens.append(Token(STRING, text[i : j + 1], literal, start_line, start_column))
+            column += j + 1 - i
+            i = j + 1
+            continue
+        # Numbers: hex, float, int
+        if ch.isdigit():
+            j = i
+            if text.startswith("0x", i) or text.startswith("0X", i):
+                j = i + 2
+                while j < n and text[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                value: object = int(text[i:j], 16)
+            else:
+                while j < n and text[j].isdigit():
+                    j += 1
+                is_float = False
+                if j < n and text[j] == "." and j + 1 < n and text[j + 1].isdigit():
+                    is_float = True
+                    j += 1
+                    while j < n and text[j].isdigit():
+                        j += 1
+                if j < n and text[j] in "eE":
+                    k = j + 1
+                    if k < n and text[k] in "+-":
+                        k += 1
+                    if k < n and text[k].isdigit():
+                        is_float = True
+                        j = k
+                        while j < n and text[j].isdigit():
+                            j += 1
+                value = float(text[i:j]) if is_float else int(text[i:j])
+            tokens.append(Token(NUMBER, text[i:j], value, start_line, start_column))
+            column += j - i
+            i = j
+            continue
+        # Query parameters: $name
+        if ch == "$":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise error("expected parameter name after $")
+            tokens.append(Token(PARAMREF, text[i:j], text[i + 1 : j], start_line, start_column))
+            column += j - i
+            i = j
+            continue
+        # Identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            kind = KEYWORD if word.upper() in KEYWORDS else IDENT
+            tokens.append(Token(kind, word, word, start_line, start_column))
+            column += j - i
+            i = j
+            continue
+        # Operators
+        two = text[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token(OP, two, two, start_line, start_column))
+            i += 2
+            column += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token(OP, ch, ch, start_line, start_column))
+            i += 1
+            column += 1
+            continue
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(EOF, "", None, line, column))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the usual peek/accept/expect helpers."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    @classmethod
+    def from_text(cls, text: str) -> "TokenStream":
+        return cls(tokenize(text))
+
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != EOF:
+            self._pos += 1
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        """Consume and return the next token if it matches, else ``None``."""
+        if self.peek().matches(kind, text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        """Consume the next token, raising if it does not match."""
+        token = self.peek()
+        if not token.matches(kind, text):
+            expected = text or kind
+            raise GSQLSyntaxError(
+                f"expected {expected}, found {token.text or 'end of input'!r}",
+                token.line,
+                token.column,
+            )
+        return self.next()
+
+    @property
+    def at_end(self) -> bool:
+        return self.peek().kind == EOF

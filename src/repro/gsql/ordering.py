@@ -1,0 +1,196 @@
+"""Ordered attributes and their ordering properties (paper Section 2.1).
+
+GSQL turns blocking operators into stream operators by reasoning about
+*ordering properties* of attributes: timestamps and sequence numbers
+that increase (strictly, monotonically, within a band, or within a
+group) with the ordinal position of a tuple in its stream.  The query
+processor *imputes* the ordering properties of operator outputs from
+those of the inputs; this module holds both the property representation
+and the imputation rules for expressions.
+
+The property set implemented (the paper's illustrative list, made
+precise):
+
+* ``STRICT_INCREASING`` / ``INCREASING`` (and the decreasing duals)
+* ``NONREPEATING`` -- monotone nonrepeating (e.g. after a hash)
+* ``BANDED_INCREASING(delta)`` -- always within ``delta`` of the
+  high-water mark (Netflow start times are banded-increasing(30 s))
+* ``INCREASING_IN_GROUP(fields)`` -- increasing among tuples with the
+  same values of ``fields``
+* ``NONE`` -- no usable ordering
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class OrderingKind(enum.Enum):
+    NONE = "none"
+    INCREASING = "increasing"
+    STRICT_INCREASING = "strict_increasing"
+    DECREASING = "decreasing"
+    STRICT_DECREASING = "strict_decreasing"
+    NONREPEATING = "nonrepeating"
+    BANDED_INCREASING = "banded_increasing"
+    INCREASING_IN_GROUP = "increasing_in_group"
+
+
+@dataclass(frozen=True)
+class Ordering:
+    """An ordering property, possibly parameterized.
+
+    ``band`` is the band width for ``BANDED_INCREASING``; ``group`` is
+    the tuple of grouping field names for ``INCREASING_IN_GROUP``.
+    """
+
+    kind: OrderingKind = OrderingKind.NONE
+    band: float = 0.0
+    group: Tuple[str, ...] = ()
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def none(cls) -> "Ordering":
+        return cls(OrderingKind.NONE)
+
+    @classmethod
+    def increasing(cls, strict: bool = False) -> "Ordering":
+        return cls(OrderingKind.STRICT_INCREASING if strict else OrderingKind.INCREASING)
+
+    @classmethod
+    def decreasing(cls, strict: bool = False) -> "Ordering":
+        return cls(OrderingKind.STRICT_DECREASING if strict else OrderingKind.DECREASING)
+
+    @classmethod
+    def nonrepeating(cls) -> "Ordering":
+        return cls(OrderingKind.NONREPEATING)
+
+    @classmethod
+    def banded(cls, band: float) -> "Ordering":
+        if band < 0:
+            raise ValueError("band width must be nonnegative")
+        return cls(OrderingKind.BANDED_INCREASING, band=band)
+
+    @classmethod
+    def in_group(cls, *fields: str) -> "Ordering":
+        return cls(OrderingKind.INCREASING_IN_GROUP, group=tuple(fields))
+
+    # -- predicates -----------------------------------------------------
+    @property
+    def is_increasing(self) -> bool:
+        """True for any globally increasing property (banded included)."""
+        return self.kind in (
+            OrderingKind.INCREASING,
+            OrderingKind.STRICT_INCREASING,
+            OrderingKind.BANDED_INCREASING,
+        )
+
+    @property
+    def is_monotone(self) -> bool:
+        """True for exactly increasing/decreasing (not banded or grouped)."""
+        return self.kind in (
+            OrderingKind.INCREASING,
+            OrderingKind.STRICT_INCREASING,
+            OrderingKind.DECREASING,
+            OrderingKind.STRICT_DECREASING,
+        )
+
+    @property
+    def usable_for_windows(self) -> bool:
+        """Can this property bound operator state (flush groups, purge joins)?
+
+        Grouped and nonrepeating orderings cannot: they give no global
+        low-water mark.
+        """
+        return self.is_increasing or self.kind in (
+            OrderingKind.DECREASING,
+            OrderingKind.STRICT_DECREASING,
+        )
+
+    @property
+    def effective_band(self) -> float:
+        """Slack to keep when flushing: 0 for monotone, delta for banded."""
+        return self.band if self.kind == OrderingKind.BANDED_INCREASING else 0.0
+
+    def __str__(self) -> str:
+        if self.kind == OrderingKind.BANDED_INCREASING:
+            return f"banded_increasing({self.band})"
+        if self.kind == OrderingKind.INCREASING_IN_GROUP:
+            return f"increasing_in_group({', '.join(self.group)})"
+        return self.kind.value
+
+    # -- imputation helpers ---------------------------------------------
+    def weaken_to_nonstrict(self) -> "Ordering":
+        """Strict becomes plain monotone (e.g. after integer division)."""
+        if self.kind == OrderingKind.STRICT_INCREASING:
+            return Ordering(OrderingKind.INCREASING)
+        if self.kind == OrderingKind.STRICT_DECREASING:
+            return Ordering(OrderingKind.DECREASING)
+        return self
+
+    def reversed(self) -> "Ordering":
+        """Ordering of ``-x`` or ``c - x``: increasing and decreasing swap."""
+        swap = {
+            OrderingKind.INCREASING: OrderingKind.DECREASING,
+            OrderingKind.STRICT_INCREASING: OrderingKind.STRICT_DECREASING,
+            OrderingKind.DECREASING: OrderingKind.INCREASING,
+            OrderingKind.STRICT_DECREASING: OrderingKind.STRICT_INCREASING,
+        }
+        if self.kind in swap:
+            return Ordering(swap[self.kind])
+        if self.kind == OrderingKind.NONREPEATING:
+            return self
+        # Reversal of banded/grouped properties is not tracked.
+        return Ordering.none()
+
+    def scaled(self, factor: float) -> "Ordering":
+        """Ordering of ``x * factor`` or ``x / (1/factor)`` for constant factor."""
+        if factor > 0:
+            if self.kind == OrderingKind.BANDED_INCREASING:
+                return Ordering.banded(self.band * factor)
+            return self
+        if factor < 0:
+            return self.reversed()
+        return Ordering.none()
+
+    def after_integer_division(self, divisor: int) -> "Ordering":
+        """Ordering of ``x / c`` under integer division (e.g. ``time/60``).
+
+        Strictness is lost (many inputs map to one bucket); bands shrink
+        but a partial bucket can still regress, so keep ceil(band/c).
+        """
+        if divisor <= 0:
+            return Ordering.none()
+        if self.kind == OrderingKind.BANDED_INCREASING:
+            band = -(-self.band // divisor)  # ceiling division
+            return Ordering.banded(band) if band > 0 else Ordering.increasing()
+        if self.kind == OrderingKind.NONREPEATING:
+            return Ordering.none()
+        return self.weaken_to_nonstrict()
+
+    def merge_with(self, other: "Ordering") -> "Ordering":
+        """Ordering of an order-preserving merge of two streams.
+
+        The merge operator emits in nondecreasing order of the merge
+        attribute, so strictness is lost and bands take the maximum.
+        """
+        if not (self.usable_for_windows and other.usable_for_windows):
+            return Ordering.none()
+        increasing = self.is_increasing and other.is_increasing
+        decreasing = not self.is_increasing and not other.is_increasing
+        if increasing:
+            band = max(self.effective_band, other.effective_band)
+            return Ordering.banded(band) if band else Ordering.increasing()
+        if decreasing:
+            return Ordering.decreasing()
+        return Ordering.none()
+
+    def widened(self, extra_band: float) -> "Ordering":
+        """Ordering after a band join adds up to ``extra_band`` of slack."""
+        if extra_band <= 0:
+            return self
+        if self.is_increasing:
+            return Ordering.banded(self.effective_band + extra_band)
+        return Ordering.none()

@@ -1,0 +1,383 @@
+"""GSQL recursive-descent parser.
+
+Grammar (informal)::
+
+    query      := define* (select_query | merge_query)
+    define     := DEFINE '{' (ident value ';')* '}'
+                | DEFINE ident value ';'
+    select     := SELECT select_item (',' select_item)*
+                  FROM source (',' source)*
+                  [WHERE expr]
+                  [GROUP BY group_item (',' group_item)*]
+                  [HAVING expr]
+    merge      := MERGE column ':' column (':' column)*
+                  FROM source (',' source)*
+    source     := [ident '.'] ident [ident]          -- interface.name alias
+    expr       := disjunction with the usual precedence; comparison
+                  operators = <> != < <= > >=; arithmetic + - * / %;
+                  function calls; aggregates; $params
+
+The DEFINE section sets query properties; ``query_name`` names the
+query so other queries and applications can read its output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.gsql.ast_nodes import (
+    AGGREGATE_NAMES,
+    AggCall,
+    BinaryOp,
+    Column,
+    Expr,
+    FuncCall,
+    GroupByItem,
+    Literal,
+    MergeQuery,
+    Param,
+    SelectItem,
+    SelectQuery,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+from repro.gsql.lexer import (
+    EOF,
+    GSQLSyntaxError,
+    IDENT,
+    KEYWORD,
+    NUMBER,
+    OP,
+    PARAMREF,
+    STRING,
+    TokenStream,
+)
+
+Query = Union[SelectQuery, MergeQuery]
+
+
+def parse_query(text: str) -> Query:
+    """Parse a single GSQL query (SELECT or MERGE, with DEFINE section)."""
+    stream = TokenStream.from_text(text)
+    query = _parse_one(stream)
+    stream.accept(OP, ";")
+    if not stream.at_end:
+        token = stream.peek()
+        raise GSQLSyntaxError(
+            f"unexpected trailing input {token.text!r}", token.line, token.column
+        )
+    return query
+
+
+def parse_queries(text: str) -> List[Query]:
+    """Parse a ``;``-separated batch of GSQL queries."""
+    stream = TokenStream.from_text(text)
+    queries = []
+    while not stream.at_end:
+        queries.append(_parse_one(stream))
+        stream.accept(OP, ";")
+    return queries
+
+
+def _parse_one(stream: TokenStream) -> Query:
+    defines = _parse_defines(stream)
+    token = stream.peek()
+    if token.matches(KEYWORD, "SELECT"):
+        query = _parse_select(stream)
+    elif token.matches(KEYWORD, "MERGE"):
+        query = _parse_merge(stream)
+    else:
+        raise GSQLSyntaxError(
+            f"expected SELECT or MERGE, found {token.text!r}", token.line, token.column
+        )
+    query.defines = defines
+    return query
+
+
+def _parse_defines(stream: TokenStream) -> Dict[str, str]:
+    defines: Dict[str, str] = {}
+    while stream.accept(KEYWORD, "DEFINE"):
+        if stream.accept(OP, "{"):
+            while not stream.accept(OP, "}"):
+                _parse_define_entry(stream, defines)
+        else:
+            _parse_define_entry(stream, defines)
+    return defines
+
+
+def _parse_define_entry(stream: TokenStream, defines: Dict[str, str]) -> None:
+    key_token = stream.peek()
+    if key_token.kind not in (IDENT, KEYWORD):
+        raise GSQLSyntaxError(
+            f"expected property name in DEFINE, found {key_token.text!r}",
+            key_token.line,
+            key_token.column,
+        )
+    stream.next()
+    key = key_token.text.lower()
+    # The paper writes "DEFINE query name tcpdest0": allow a two-word key.
+    if key == "query" and stream.peek().matches(IDENT, "name"):
+        stream.next()
+        key = "query_name"
+    value_token = stream.peek()
+    if value_token.kind in (IDENT, NUMBER, STRING, KEYWORD):
+        stream.next()
+        value = str(value_token.value)
+    else:
+        value = ""
+    defines[key] = value
+    stream.expect(OP, ";")
+
+
+def _parse_select(stream: TokenStream) -> SelectQuery:
+    stream.expect(KEYWORD, "SELECT")
+    select_items = [_parse_select_item(stream)]
+    while stream.accept(OP, ","):
+        select_items.append(_parse_select_item(stream))
+    stream.expect(KEYWORD, "FROM")
+    sources = [_parse_source(stream)]
+    while stream.accept(OP, ","):
+        sources.append(_parse_source(stream))
+    where = None
+    if stream.accept(KEYWORD, "WHERE"):
+        where = _parse_expr(stream)
+    group_by: List[GroupByItem] = []
+    if stream.accept(KEYWORD, "GROUP"):
+        stream.expect(KEYWORD, "BY")
+        group_by.append(_parse_group_item(stream))
+        while stream.accept(OP, ","):
+            group_by.append(_parse_group_item(stream))
+    having = None
+    if stream.accept(KEYWORD, "HAVING"):
+        having = _parse_expr(stream)
+    return SelectQuery(
+        select_items=select_items,
+        sources=sources,
+        where=where,
+        group_by=group_by,
+        having=having,
+    )
+
+
+def _parse_merge(stream: TokenStream) -> MergeQuery:
+    stream.expect(KEYWORD, "MERGE")
+    columns = [_parse_merge_column(stream)]
+    while stream.accept(OP, ":"):
+        columns.append(_parse_merge_column(stream))
+    stream.expect(KEYWORD, "FROM")
+    sources = [_parse_source(stream)]
+    while stream.accept(OP, ","):
+        sources.append(_parse_source(stream))
+    if len(columns) != len(sources):
+        token = stream.peek()
+        raise GSQLSyntaxError(
+            f"MERGE lists {len(columns)} columns but {len(sources)} sources",
+            token.line,
+            token.column,
+        )
+    return MergeQuery(columns=columns, sources=sources)
+
+
+def _parse_merge_column(stream: TokenStream) -> Column:
+    first = stream.expect(IDENT)
+    if stream.accept(OP, "."):
+        second = stream.expect(IDENT)
+        return Column(name=second.text, table=first.text)
+    return Column(name=first.text)
+
+
+def _parse_source(stream: TokenStream) -> TableRef:
+    # Subquery in the FROM clause: ( SELECT ... ) [alias]
+    if stream.accept(OP, "("):
+        inner = _parse_one(stream)
+        if not isinstance(inner, SelectQuery):
+            token = stream.peek()
+            raise GSQLSyntaxError("only SELECT subqueries are allowed in FROM",
+                                  token.line, token.column)
+        stream.expect(OP, ")")
+        alias = None
+        if stream.peek().kind == IDENT:
+            alias = stream.next().text
+        name = inner.name or alias or "subquery"
+        return TableRef(name=name, alias=alias, subquery=inner)
+    first = stream.expect(IDENT)
+    interface: Optional[str] = None
+    name = first.text
+    if stream.accept(OP, "."):
+        interface = first.text
+        name = stream.expect(IDENT).text
+    alias = None
+    token = stream.peek()
+    if token.kind == IDENT:
+        alias = stream.next().text
+    return TableRef(name=name, interface=interface, alias=alias)
+
+
+def _parse_select_item(stream: TokenStream) -> SelectItem:
+    # `SELECT *` (only as a whole item, not inside expressions)
+    if stream.peek().matches(OP, "*") and stream.peek(1).matches(OP, ","):
+        stream.next()
+        return SelectItem(expr=Star())
+    if stream.peek().matches(OP, "*") and stream.peek(1).matches(KEYWORD, "FROM"):
+        stream.next()
+        return SelectItem(expr=Star())
+    expr = _parse_expr(stream)
+    alias = None
+    if stream.accept(KEYWORD, "AS"):
+        alias = stream.expect(IDENT).text
+    return SelectItem(expr=expr, alias=alias)
+
+
+def _parse_group_item(stream: TokenStream) -> GroupByItem:
+    expr = _parse_expr(stream)
+    alias = None
+    if stream.accept(KEYWORD, "AS"):
+        alias = stream.expect(IDENT).text
+    return GroupByItem(expr=expr, alias=alias)
+
+
+# ---------------------------------------------------------------------------
+# Expressions (precedence climbing)
+# ---------------------------------------------------------------------------
+
+_COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+_ADDITIVE = {"+", "-", "|", "&", "^", "<<", ">>"}
+_MULTIPLICATIVE = {"*", "/", "%"}
+
+
+def _parse_expr(stream: TokenStream) -> Expr:
+    return _parse_or(stream)
+
+
+def _parse_or(stream: TokenStream) -> Expr:
+    left = _parse_and(stream)
+    while stream.accept(KEYWORD, "OR"):
+        right = _parse_and(stream)
+        left = BinaryOp("OR", left, right)
+    return left
+
+
+def _parse_and(stream: TokenStream) -> Expr:
+    left = _parse_not(stream)
+    while stream.accept(KEYWORD, "AND"):
+        right = _parse_not(stream)
+        left = BinaryOp("AND", left, right)
+    return left
+
+
+def _parse_not(stream: TokenStream) -> Expr:
+    if stream.accept(KEYWORD, "NOT"):
+        return UnaryOp("NOT", _parse_not(stream))
+    return _parse_comparison(stream)
+
+
+def _parse_comparison(stream: TokenStream) -> Expr:
+    left = _parse_additive(stream)
+    token = stream.peek()
+    if token.kind == OP and token.text in _COMPARISONS:
+        stream.next()
+        op = "<>" if token.text == "!=" else token.text
+        right = _parse_additive(stream)
+        return BinaryOp(op, left, right)
+    # `expr IN (v1, v2, ...)` / `expr NOT IN (...)`: desugared to an
+    # =-chain, so it costs nothing downstream (planner, codegen, BPF).
+    negated = False
+    if token.matches(KEYWORD, "NOT") and stream.peek(1).matches(KEYWORD, "IN"):
+        stream.next()
+        negated = True
+        token = stream.peek()
+    if token.matches(KEYWORD, "IN"):
+        stream.next()
+        stream.expect(OP, "(")
+        alternatives = [_parse_additive(stream)]
+        while stream.accept(OP, ","):
+            alternatives.append(_parse_additive(stream))
+        stream.expect(OP, ")")
+        expr: Expr = BinaryOp("=", left, alternatives[0])
+        for alternative in alternatives[1:]:
+            expr = BinaryOp("OR", expr, BinaryOp("=", left, alternative))
+        return UnaryOp("NOT", expr) if negated else expr
+    return left
+
+
+def _parse_additive(stream: TokenStream) -> Expr:
+    left = _parse_multiplicative(stream)
+    while True:
+        token = stream.peek()
+        if token.kind == OP and token.text in _ADDITIVE:
+            stream.next()
+            right = _parse_multiplicative(stream)
+            left = BinaryOp(token.text, left, right)
+        else:
+            return left
+
+
+def _parse_multiplicative(stream: TokenStream) -> Expr:
+    left = _parse_unary(stream)
+    while True:
+        token = stream.peek()
+        if token.kind == OP and token.text in _MULTIPLICATIVE:
+            stream.next()
+            right = _parse_unary(stream)
+            left = BinaryOp(token.text, left, right)
+        else:
+            return left
+
+
+def _parse_unary(stream: TokenStream) -> Expr:
+    if stream.accept(OP, "-"):
+        return UnaryOp("-", _parse_unary(stream))
+    return _parse_primary(stream)
+
+
+def _parse_primary(stream: TokenStream) -> Expr:
+    token = stream.peek()
+    if token.kind == NUMBER:
+        stream.next()
+        return Literal(token.value)
+    if token.kind == STRING:
+        stream.next()
+        return Literal(token.value)
+    if token.kind == PARAMREF:
+        stream.next()
+        return Param(str(token.value))
+    if token.matches(KEYWORD, "TRUE"):
+        stream.next()
+        return Literal(True)
+    if token.matches(KEYWORD, "FALSE"):
+        stream.next()
+        return Literal(False)
+    if stream.accept(OP, "("):
+        expr = _parse_expr(stream)
+        stream.expect(OP, ")")
+        return expr
+    if token.kind == IDENT:
+        stream.next()
+        name = token.text
+        # Function call or aggregate
+        if stream.accept(OP, "("):
+            if name.upper() in AGGREGATE_NAMES:
+                if stream.accept(OP, "*"):
+                    stream.expect(OP, ")")
+                    return AggCall(name.upper(), None)
+                arg = _parse_expr(stream)
+                stream.expect(OP, ")")
+                return AggCall(name.upper(), arg)
+            args: List[Expr] = []
+            if not stream.accept(OP, ")"):
+                args.append(_parse_expr(stream))
+                while stream.accept(OP, ","):
+                    args.append(_parse_expr(stream))
+                stream.expect(OP, ")")
+            return FuncCall(name, tuple(args))
+        # Qualified column
+        if stream.accept(OP, "."):
+            field = stream.expect(IDENT)
+            return Column(name=field.text, table=name)
+        return Column(name=name)
+    raise GSQLSyntaxError(
+        f"unexpected token {token.text or 'end of input'!r} in expression",
+        token.line,
+        token.column,
+    )

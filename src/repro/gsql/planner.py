@@ -1,0 +1,600 @@
+"""The GSQL query planner: the LFTA/HFTA split (paper Section 3).
+
+Gigascope pushes each query as far down the processing stack as it can:
+
+* **LFTA** (low-level FTA): lightweight selection, projection, and
+  *partial* aggregation, linked into the run-time system (or even run
+  on the NIC).  Only predicates whose functions are ``lfta_safe`` may
+  run here -- "Regular expression finding is too expensive for an LFTA".
+* **HFTA** (high-level FTA): everything else -- expensive predicates,
+  final aggregation (the sub/superaggregate split), joins, and merges.
+
+The planner additionally extracts NIC capture hints: a BPF-style
+prefilter from simple ``field op literal`` conjuncts, and the snap
+length implied by the fields the query actually touches.
+
+"To an application LFTAs and HFTAs look identical"; the split is
+invisible except that the LFTA stream carries a mangled name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.gsql.ast_nodes import (
+    AggCall,
+    BinaryOp,
+    Column,
+    Expr,
+    FuncCall,
+    Literal,
+    MergeQuery,
+    Param,
+    UnaryOp,
+)
+from repro.gsql.functions import FunctionRegistry
+from repro.gsql.ordering import Ordering
+from repro.gsql.semantic import (
+    AnalyzedQuery,
+    BoundColumn,
+    JoinWindow,
+    SourceInfo,
+)
+from repro.gsql.schema import Attribute, ProtocolSchema, StreamSchema
+from repro.gsql.types import FLOAT, ULLONG
+
+# Fields a commodity NIC's BPF engine can test (paper: "Other NICs allow
+# us to specify a bpf preliminary filter").
+PUSHABLE_FIELDS = frozenset(
+    {"protocol", "srcport", "destport", "srcip", "destip", "ipversion"}
+)
+
+# Snap lengths: headers-only when the payload is never touched.
+SNAPLEN_HEADERS = 128
+SNAPLEN_FULL = 65535
+
+PAYLOAD_FIELD = "data"
+
+
+class PlanError(ValueError):
+    """Raised when no valid plan exists for a query."""
+
+
+@dataclass
+class PushedPredicate:
+    """One ``field op literal`` conjunct pushable into the NIC's BPF filter."""
+
+    field_name: str
+    op: str  # '=', '<', '<=', '>', '>='
+    value: object
+
+    def __str__(self) -> str:
+        return f"{self.field_name} {self.op} {self.value}"
+
+
+@dataclass
+class CaptureHints:
+    """What the RTS asks the NIC for on behalf of one LFTA."""
+
+    pushed: List[PushedPredicate] = field(default_factory=list)
+    snaplen: int = SNAPLEN_FULL
+
+
+@dataclass
+class LftaPlan:
+    """A low-level FTA: runs inside the RTS (or on the NIC)."""
+
+    name: str
+    interface: str
+    protocol: ProtocolSchema
+    predicates: List[Expr]
+    mode: str  # 'projection' | 'partial_aggregation'
+    output_schema: StreamSchema
+    hints: CaptureHints
+    # projection mode
+    project_exprs: List[Expr] = field(default_factory=list)
+    # partial_aggregation mode
+    group_exprs: List[Expr] = field(default_factory=list)
+    aggregates: List[AggCall] = field(default_factory=list)
+    window_key_index: int = -1
+    window_key_band: float = 0.0
+    #: protocol attr_index -> output slot, for rebinding HFTA expressions
+    field_map: Dict[int, int] = field(default_factory=dict)
+    #: Bernoulli sampling rate (DEFINE sample p); None = keep everything
+    sample_rate: Optional[float] = None
+
+
+@dataclass
+class HftaPlan:
+    """A high-level FTA: a separate query node reading Stream input."""
+
+    name: str
+    kind: str  # 'selection' | 'aggregation' | 'join' | 'merge'
+    inputs: List[str]
+    input_schemas: List[StreamSchema]
+    output_schema: StreamSchema
+    #: per input: attr_index-in-original-source -> input slot (None = identity)
+    slot_maps: List[Optional[Dict[int, int]]]
+    predicates: List[Expr] = field(default_factory=list)
+    select_exprs: List[Expr] = field(default_factory=list)
+    # aggregation
+    group_exprs: List[Expr] = field(default_factory=list)
+    aggregates: List[AggCall] = field(default_factory=list)
+    post_select_exprs: List[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    window_key_index: int = -1
+    window_key_band: float = 0.0
+    #: True when inputs are LFTA partial aggregates to be combined
+    final_from_partials: bool = False
+    # join
+    join_window: Optional[JoinWindow] = None
+    #: (input_index, slot) of each side's ordered attribute
+    join_slots: Optional[Tuple[Tuple[int, int], Tuple[int, int]]] = None
+    #: re-sort join output on its window column (DEFINE join_output sorted)
+    join_sorted_output: bool = False
+    # merge: (input_index, slot) per input
+    merge_slots: List[Tuple[int, int]] = field(default_factory=list)
+    #: Bernoulli sampling rate for stream-input queries with no LFTA
+    sample_rate: Optional[float] = None
+
+
+@dataclass
+class QueryPlan:
+    """The complete plan: zero or more LFTAs feeding at most one HFTA."""
+
+    name: str
+    analyzed: AnalyzedQuery
+    lftas: List[LftaPlan]
+    hfta: Optional[HftaPlan]
+    output_schema: StreamSchema
+
+    @property
+    def is_lfta_only(self) -> bool:
+        """A simple query can execute entirely as an LFTA."""
+        return self.hfta is None
+
+    def describe(self) -> str:
+        """A human-readable plan summary (for EXPLAIN-style output)."""
+        lines = [f"plan {self.name}:"]
+        for lfta in self.lftas:
+            lines.append(
+                f"  LFTA {lfta.name} on {lfta.interface}.{lfta.protocol.name} "
+                f"[{lfta.mode}] preds={len(lfta.predicates)} "
+                f"snaplen={lfta.hints.snaplen} pushed={len(lfta.hints.pushed)}"
+            )
+        if self.hfta is not None:
+            lines.append(
+                f"  HFTA {self.hfta.name} [{self.hfta.kind}] "
+                f"inputs={self.hfta.inputs}"
+            )
+        return "\n".join(lines)
+
+
+def plan_query(analyzed: AnalyzedQuery, functions: FunctionRegistry,
+               name: Optional[str] = None) -> QueryPlan:
+    """Plan an analyzed query; raises :class:`PlanError` when impossible."""
+    planner = _Planner(analyzed, functions, name or analyzed.name or "anonymous")
+    plan = planner.plan()
+    # Sampling happens at the query's first operator: in the LFTA when
+    # there is one (earliest possible reduction), else at the HFTA.
+    if analyzed.sample_rate is not None:
+        if plan.lftas:
+            plan.lftas[0].sample_rate = analyzed.sample_rate
+        elif plan.hfta is not None:
+            plan.hfta.sample_rate = analyzed.sample_rate
+    return plan
+
+
+class _Planner:
+    def __init__(self, analyzed: AnalyzedQuery, functions: FunctionRegistry,
+                 name: str) -> None:
+        self.analyzed = analyzed
+        self.functions = functions
+        self.name = name
+
+    # -- helpers ------------------------------------------------------------
+    def _is_lfta_safe(self, expr: Expr) -> bool:
+        """Cheap enough for the low-level FTA: no expensive functions."""
+        for node in expr.walk():
+            if isinstance(node, FuncCall):
+                if not self.functions.get(node.name).lfta_safe:
+                    return False
+            if isinstance(node, AggCall):
+                return False
+        return True
+
+    def _columns_of(self, exprs: Sequence[Expr], source_index: int) -> List[BoundColumn]:
+        """Distinct bound columns of ``source_index`` used by ``exprs``."""
+        seen: Dict[int, BoundColumn] = {}
+        for expr in exprs:
+            for node in expr.walk():
+                if isinstance(node, Column):
+                    bound = self.analyzed.binding_of(node)
+                    if bound is not None and bound.source_index == source_index:
+                        seen.setdefault(bound.attr_index, bound)
+        return [seen[index] for index in sorted(seen)]
+
+    def _touches_payload(self, exprs: Sequence[Expr], source: SourceInfo) -> bool:
+        for expr in exprs:
+            for node in expr.walk():
+                if isinstance(node, Column):
+                    bound = self.analyzed.binding_of(node)
+                    if bound is not None and bound.attribute.name.lower() == PAYLOAD_FIELD:
+                        return True
+        return False
+
+    def _capture_hints(self, lfta_predicates: Sequence[Expr],
+                       all_exprs: Sequence[Expr],
+                       source: SourceInfo) -> CaptureHints:
+        pushed = []
+        for conjunct in lfta_predicates:
+            candidate = _pushable(conjunct, self.analyzed)
+            if candidate is not None:
+                pushed.append(candidate)
+        snaplen = (
+            SNAPLEN_FULL if self._touches_payload(all_exprs, source)
+            else SNAPLEN_HEADERS
+        )
+        return CaptureHints(pushed=pushed, snaplen=snaplen)
+
+    def _mangled(self, index: int) -> str:
+        return f"_fta_{self.name}_{index}"
+
+    # -- entry point ----------------------------------------------------------
+    def plan(self) -> QueryPlan:
+        kind = self.analyzed.kind
+        if kind == "selection":
+            return self._plan_selection()
+        if kind == "aggregation":
+            return self._plan_aggregation()
+        if kind == "join":
+            return self._plan_join()
+        if kind == "merge":
+            return self._plan_merge()
+        raise PlanError(f"unknown query kind {kind!r}")
+
+    # -- selection ---------------------------------------------------------------
+    def _plan_selection(self) -> QueryPlan:
+        analyzed = self.analyzed
+        source = analyzed.sources[0]
+        select_exprs = [col.expr for col in analyzed.output_columns]
+        if not source.is_protocol:
+            hfta = HftaPlan(
+                name=self.name,
+                kind="selection",
+                inputs=[source.ref.name],
+                input_schemas=[source.schema],
+                output_schema=analyzed.output_schema,
+                slot_maps=[None],
+                predicates=list(analyzed.where_conjuncts),
+                select_exprs=select_exprs,
+            )
+            return QueryPlan(self.name, analyzed, [], hfta, analyzed.output_schema)
+
+        safe = [c for c in analyzed.where_conjuncts if self._is_lfta_safe(c)]
+        unsafe = [c for c in analyzed.where_conjuncts if not self._is_lfta_safe(c)]
+        select_safe = all(self._is_lfta_safe(e) for e in select_exprs)
+
+        if not unsafe and select_safe:
+            # The whole query executes as a single LFTA.
+            hints = self._capture_hints(safe, safe + select_exprs, source)
+            lfta = LftaPlan(
+                name=self.name,
+                interface=source.interface,
+                protocol=source.schema,
+                predicates=safe,
+                mode="projection",
+                project_exprs=select_exprs,
+                output_schema=analyzed.output_schema,
+                hints=hints,
+            )
+            return QueryPlan(self.name, analyzed, [lfta], None, analyzed.output_schema)
+
+        # Split: LFTA does the safe filtering and projects the raw fields
+        # the HFTA needs; the HFTA finishes.
+        needed = self._columns_of(unsafe + select_exprs, 0)
+        lfta, slot_map = self._projection_lfta(source, safe, needed,
+                                               unsafe + select_exprs, 0)
+        hfta = HftaPlan(
+            name=self.name,
+            kind="selection",
+            inputs=[lfta.name],
+            input_schemas=[lfta.output_schema],
+            output_schema=analyzed.output_schema,
+            slot_maps=[slot_map],
+            predicates=unsafe,
+            select_exprs=select_exprs,
+        )
+        return QueryPlan(self.name, analyzed, [lfta], hfta, analyzed.output_schema)
+
+    def _projection_lfta(self, source: SourceInfo, predicates: List[Expr],
+                         needed: List[BoundColumn], all_exprs: List[Expr],
+                         index: int) -> Tuple[LftaPlan, Dict[int, int]]:
+        """An LFTA that filters and forwards raw protocol fields."""
+        if not needed:
+            # Degenerate but legal: project a constant placeholder.
+            raise PlanError("internal: projection LFTA with no fields")
+        slot_map = {bound.attr_index: slot for slot, bound in enumerate(needed)}
+        attributes = [bound.attribute for bound in needed]
+        schema = StreamSchema(self._mangled(index), attributes)
+        project_exprs = [
+            _raw_column(self.analyzed, source, bound) for bound in needed
+        ]
+        hints = self._capture_hints(predicates, all_exprs + predicates, source)
+        lfta = LftaPlan(
+            name=self._mangled(index),
+            interface=source.interface,
+            protocol=source.schema,
+            predicates=predicates,
+            mode="projection",
+            project_exprs=project_exprs,
+            output_schema=schema,
+            hints=hints,
+            field_map=slot_map,
+        )
+        return lfta, slot_map
+
+    # -- aggregation ----------------------------------------------------------------
+    def _plan_aggregation(self) -> QueryPlan:
+        analyzed = self.analyzed
+        source = analyzed.sources[0]
+        post_select = [col.expr for col in analyzed.output_columns]
+
+        if not source.is_protocol:
+            hfta = HftaPlan(
+                name=self.name,
+                kind="aggregation",
+                inputs=[source.ref.name],
+                input_schemas=[source.schema],
+                output_schema=analyzed.output_schema,
+                slot_maps=[None],
+                predicates=list(analyzed.where_conjuncts),
+                group_exprs=list(analyzed.group_exprs),
+                aggregates=list(analyzed.aggregates),
+                post_select_exprs=post_select,
+                having=analyzed.having,
+                window_key_index=analyzed.window_key_index,
+                window_key_band=analyzed.window_key_band,
+            )
+            return QueryPlan(self.name, analyzed, [], hfta, analyzed.output_schema)
+
+        safe_where = [c for c in analyzed.where_conjuncts if self._is_lfta_safe(c)]
+        unsafe_where = [c for c in analyzed.where_conjuncts if not self._is_lfta_safe(c)]
+        groups_safe = all(self._is_lfta_safe(e) for e in analyzed.group_exprs)
+        aggs_safe = all(
+            agg.arg is None or self._is_lfta_safe(agg.arg)
+            for agg in analyzed.aggregates
+        )
+
+        if not unsafe_where and groups_safe and aggs_safe:
+            return self._plan_two_level_aggregation(source, safe_where, post_select)
+
+        # Fall back: LFTA filters + projects raw fields, HFTA aggregates fully.
+        needed_exprs = (
+            unsafe_where + list(analyzed.group_exprs)
+            + [agg.arg for agg in analyzed.aggregates if agg.arg is not None]
+        )
+        needed = self._columns_of(needed_exprs, 0)
+        lfta, slot_map = self._projection_lfta(
+            source, safe_where, needed, needed_exprs, 0
+        )
+        hfta = HftaPlan(
+            name=self.name,
+            kind="aggregation",
+            inputs=[lfta.name],
+            input_schemas=[lfta.output_schema],
+            output_schema=analyzed.output_schema,
+            slot_maps=[slot_map],
+            predicates=unsafe_where,
+            group_exprs=list(analyzed.group_exprs),
+            aggregates=list(analyzed.aggregates),
+            post_select_exprs=post_select,
+            having=analyzed.having,
+            window_key_index=analyzed.window_key_index,
+            window_key_band=analyzed.window_key_band,
+        )
+        return QueryPlan(self.name, analyzed, [lfta], hfta, analyzed.output_schema)
+
+    def _plan_two_level_aggregation(self, source: SourceInfo,
+                                    safe_where: List[Expr],
+                                    post_select: List[Expr]) -> QueryPlan:
+        """The sub/superaggregate split: LFTA partials, HFTA finishes.
+
+        The LFTA output carries the group key values followed by the
+        partial-aggregate slots; evictions from the direct-mapped table
+        emit partials for the *same* group more than once, and the HFTA
+        re-combines them.
+        """
+        analyzed = self.analyzed
+        key_attrs = [
+            Attribute(name, gsql_type, ordering)
+            for name, gsql_type, ordering in zip(
+                analyzed.group_names, analyzed.group_types, analyzed.group_orderings
+            )
+        ]
+        partial_attrs = []
+        for agg, agg_type in zip(analyzed.aggregates, analyzed.aggregate_types):
+            base = f"p_{agg.name.lower()}{len(partial_attrs)}"
+            if agg.name == "AVG":
+                partial_attrs.append(Attribute(base + "_sum", FLOAT))
+                partial_attrs.append(Attribute(base + "_cnt", ULLONG))
+            else:
+                partial_attrs.append(Attribute(base, agg_type))
+        lfta_name = self._mangled(0)
+        lfta_schema = StreamSchema(lfta_name, key_attrs + partial_attrs)
+        all_exprs = (
+            safe_where + list(analyzed.group_exprs)
+            + [agg.arg for agg in analyzed.aggregates if agg.arg is not None]
+        )
+        hints = self._capture_hints(safe_where, all_exprs, source)
+        lfta = LftaPlan(
+            name=lfta_name,
+            interface=source.interface,
+            protocol=source.schema,
+            predicates=safe_where,
+            mode="partial_aggregation",
+            group_exprs=list(analyzed.group_exprs),
+            aggregates=list(analyzed.aggregates),
+            output_schema=lfta_schema,
+            hints=hints,
+            window_key_index=analyzed.window_key_index,
+            window_key_band=analyzed.window_key_band,
+        )
+        hfta = HftaPlan(
+            name=self.name,
+            kind="aggregation",
+            inputs=[lfta_name],
+            input_schemas=[lfta_schema],
+            output_schema=analyzed.output_schema,
+            slot_maps=[None],
+            aggregates=list(analyzed.aggregates),
+            post_select_exprs=post_select,
+            having=analyzed.having,
+            window_key_index=analyzed.window_key_index,
+            window_key_band=analyzed.window_key_band,
+            final_from_partials=True,
+        )
+        return QueryPlan(self.name, analyzed, [lfta], hfta, analyzed.output_schema)
+
+    # -- join -------------------------------------------------------------------------
+    def _plan_join(self) -> QueryPlan:
+        analyzed = self.analyzed
+        window = analyzed.join_window
+        if window is None:
+            raise PlanError("join without a window reached the planner")
+        select_exprs = [col.expr for col in analyzed.output_columns]
+
+        # Partition conjuncts: single-source & lfta-safe go to that LFTA;
+        # everything else is evaluated at the join.
+        lfta_preds: List[List[Expr]] = [[], []]
+        hfta_preds: List[Expr] = []
+        for conjunct in analyzed.where_conjuncts:
+            side = _single_source(conjunct, analyzed)
+            if (side is not None and analyzed.sources[side].is_protocol
+                    and self._is_lfta_safe(conjunct)):
+                lfta_preds[side].append(conjunct)
+            else:
+                hfta_preds.append(conjunct)
+
+        lftas: List[LftaPlan] = []
+        inputs: List[str] = []
+        input_schemas: List[StreamSchema] = []
+        slot_maps: List[Optional[Dict[int, int]]] = []
+        for side, source in enumerate(analyzed.sources):
+            if source.is_protocol:
+                needed_exprs = hfta_preds + select_exprs
+                needed = self._columns_of(needed_exprs, side)
+                # The window columns must flow through as well.
+                for bound in (window.left, window.right):
+                    if bound.source_index == side and not any(
+                        b.attr_index == bound.attr_index for b in needed
+                    ):
+                        needed.append(bound)
+                        needed.sort(key=lambda b: b.attr_index)
+                lfta, slot_map = self._projection_lfta(
+                    source, lfta_preds[side], needed, needed_exprs, side
+                )
+                lftas.append(lfta)
+                inputs.append(lfta.name)
+                input_schemas.append(lfta.output_schema)
+                slot_maps.append(slot_map)
+            else:
+                inputs.append(source.ref.name)
+                input_schemas.append(source.schema)
+                slot_maps.append(None)
+
+        def slot_of(bound: BoundColumn) -> Tuple[int, int]:
+            slot_map = slot_maps[bound.source_index]
+            slot = bound.attr_index if slot_map is None else slot_map[bound.attr_index]
+            return (bound.source_index, slot)
+
+        hfta = HftaPlan(
+            name=self.name,
+            kind="join",
+            inputs=inputs,
+            input_schemas=input_schemas,
+            output_schema=analyzed.output_schema,
+            slot_maps=slot_maps,
+            predicates=hfta_preds,
+            select_exprs=select_exprs,
+            join_window=window,
+            join_slots=(slot_of(window.left), slot_of(window.right)),
+            join_sorted_output=analyzed.join_sorted_output,
+        )
+        return QueryPlan(self.name, analyzed, lftas, hfta, analyzed.output_schema)
+
+    # -- merge -------------------------------------------------------------------------
+    def _plan_merge(self) -> QueryPlan:
+        analyzed = self.analyzed
+        inputs = []
+        input_schemas = []
+        merge_slots = []
+        for position, source in enumerate(analyzed.sources):
+            if source.is_protocol:
+                raise PlanError(
+                    "MERGE sources must be streams; wrap the protocol in a "
+                    "selection query first"
+                )
+            inputs.append(source.ref.name)
+            input_schemas.append(source.schema)
+            bound = analyzed.merge_columns[position]
+            merge_slots.append((position, bound.attr_index))
+        hfta = HftaPlan(
+            name=self.name,
+            kind="merge",
+            inputs=inputs,
+            input_schemas=input_schemas,
+            output_schema=analyzed.output_schema,
+            slot_maps=[None] * len(inputs),
+            merge_slots=merge_slots,
+        )
+        return QueryPlan(self.name, analyzed, [], hfta, analyzed.output_schema)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _raw_column(analyzed: AnalyzedQuery, source: SourceInfo,
+                bound: BoundColumn) -> Column:
+    """A fresh Column node for a raw field, bound into the side tables."""
+    column = Column(name=bound.attribute.name, table=source.binding)
+    analyzed.bindings[id(column)] = bound
+    analyzed.types[id(column)] = bound.attribute.gsql_type
+    return column
+
+
+def _single_source(expr: Expr, analyzed: AnalyzedQuery) -> Optional[int]:
+    """The one source index ``expr`` references, or None if 0 or 2 sources."""
+    sources = set()
+    for node in expr.walk():
+        if isinstance(node, Column):
+            bound = analyzed.binding_of(node)
+            if bound is not None:
+                sources.add(bound.source_index)
+    if len(sources) == 1:
+        return sources.pop()
+    return None
+
+
+def _pushable(conjunct: Expr, analyzed: AnalyzedQuery) -> Optional[PushedPredicate]:
+    """Recognize ``column op literal`` over a BPF-testable field."""
+    if not isinstance(conjunct, BinaryOp):
+        return None
+    if conjunct.op not in ("=", "<", "<=", ">", ">="):
+        return None
+    column, literal, op = None, None, conjunct.op
+    if isinstance(conjunct.left, Column) and isinstance(conjunct.right, Literal):
+        column, literal = conjunct.left, conjunct.right
+    elif isinstance(conjunct.right, Column) and isinstance(conjunct.left, Literal):
+        column, literal = conjunct.right, conjunct.left
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}[op]
+    else:
+        return None
+    name = column.name.lower()
+    if name not in PUSHABLE_FIELDS:
+        return None
+    if not isinstance(literal.value, (int, float)):
+        return None
+    return PushedPredicate(field_name=name, op=op, value=literal.value)

@@ -1,0 +1,867 @@
+"""GSQL semantic analysis: binding, typing, classification, imputation.
+
+The analyzer turns a parsed query into an :class:`AnalyzedQuery` that
+the planner consumes.  It
+
+* resolves FROM sources to Protocols (bound to Interfaces) or Streams,
+* binds and type-checks every expression,
+* classifies the query (selection / aggregation / join / merge),
+* rewrites post-aggregation expressions over :class:`KeyRef` /
+  :class:`AggRef` leaves,
+* extracts the join window from the join predicate (required -- GSQL
+  rejects joins it cannot window), and
+* imputes the ordering properties of the output stream (Section 2.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.gsql.ast_nodes import (
+    AggCall,
+    BinaryOp,
+    Column,
+    Expr,
+    FuncCall,
+    GroupByItem,
+    Literal,
+    MergeQuery,
+    Param,
+    SelectQuery,
+    TableRef,
+    UnaryOp,
+)
+from repro.gsql.functions import FunctionRegistry, FunctionSpec
+from repro.gsql.ordering import Ordering
+from repro.gsql.schema import (
+    Attribute,
+    ProtocolSchema,
+    SchemaRegistry,
+    StreamSchema,
+)
+from repro.gsql.types import (
+    BOOL,
+    FLOAT,
+    GSQLType,
+    INT,
+    IP,
+    STRING,
+    UINT,
+    ULLONG,
+    comparable,
+    literal_type,
+    unify_numeric,
+)
+
+Query = Union[SelectQuery, MergeQuery]
+
+
+class SemanticError(ValueError):
+    """Raised when a query is well-formed but meaningless."""
+
+
+# Post-aggregation leaf nodes produced by the rewrite pass -----------------
+
+@dataclass(frozen=True)
+class KeyRef(Expr):
+    """Reference to group-by key slot ``index`` in post-agg expressions."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"key[{self.index}]"
+
+
+@dataclass(frozen=True)
+class AggRef(Expr):
+    """Reference to aggregate slot ``index`` in post-agg expressions."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"agg[{self.index}]"
+
+
+@dataclass
+class SourceInfo:
+    """A resolved FROM source."""
+
+    ref: TableRef
+    schema: Union[ProtocolSchema, StreamSchema]
+    is_protocol: bool
+    interface: Optional[str]
+
+    @property
+    def binding(self) -> str:
+        return self.ref.binding
+
+
+@dataclass
+class BoundColumn:
+    source_index: int
+    attr_index: int
+    attribute: Attribute
+
+
+@dataclass
+class JoinWindow:
+    """Constraint ``left.ts - right.ts in [low, high]`` from the predicate."""
+
+    left: BoundColumn
+    right: BoundColumn
+    low: float
+    high: float
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    @property
+    def is_equality(self) -> bool:
+        return self.low == 0 and self.high == 0
+
+
+@dataclass
+class OutputColumn:
+    name: str
+    expr: Expr  # post-agg form for aggregation queries
+    gsql_type: GSQLType
+    ordering: Ordering
+
+
+@dataclass
+class AnalyzedQuery:
+    """Everything the planner needs to know about one query."""
+
+    query: Query
+    kind: str  # 'selection' | 'aggregation' | 'join' | 'merge'
+    name: Optional[str]
+    sources: List[SourceInfo]
+    output_schema: StreamSchema
+    output_columns: List[OutputColumn]
+    params: List[str]
+    #: Bernoulli sampling rate from ``DEFINE sample p`` (None = no sampling);
+    #: applied at the query's first operator, under the analyst's control
+    #: (the paper's research-directions requirement).
+    sample_rate: Optional[float] = None
+    warnings: List[str] = field(default_factory=list)
+    # selection / pre-aggregation predicate (conjunct list, bound)
+    where_conjuncts: List[Expr] = field(default_factory=list)
+    # aggregation only
+    group_exprs: List[Expr] = field(default_factory=list)
+    group_names: List[str] = field(default_factory=list)
+    group_orderings: List[Ordering] = field(default_factory=list)
+    group_types: List[GSQLType] = field(default_factory=list)
+    aggregates: List[AggCall] = field(default_factory=list)
+    aggregate_types: List[GSQLType] = field(default_factory=list)
+    having: Optional[Expr] = None  # post-agg form
+    window_key_index: int = -1  # which group expr closes windows; -1 = none
+    window_key_band: float = 0.0
+    # join only
+    join_window: Optional[JoinWindow] = None
+    #: ``DEFINE join_output sorted``: the join re-sorts its output, so
+    #: ordered columns stay monotone at the cost of more buffer space
+    #: ("monotonically increasing requires more buffer space", §2.1)
+    join_sorted_output: bool = False
+    # merge only
+    merge_columns: List[BoundColumn] = field(default_factory=list)
+    # expression metadata side tables (id(expr) keyed)
+    types: Dict[int, GSQLType] = field(default_factory=dict)
+    bindings: Dict[int, BoundColumn] = field(default_factory=dict)
+
+    def type_of(self, expr: Expr) -> GSQLType:
+        return self.types[id(expr)]
+
+    def binding_of(self, expr: Expr) -> Optional[BoundColumn]:
+        return self.bindings.get(id(expr))
+
+
+StreamResolver = Callable[[str], Optional[StreamSchema]]
+
+
+def analyze(
+    query: Query,
+    registry: SchemaRegistry,
+    functions: FunctionRegistry,
+    stream_resolver: Optional[StreamResolver] = None,
+    default_interface: str = "eth0",
+) -> AnalyzedQuery:
+    """Analyze ``query`` against the protocol registry and function library."""
+    analyzer = _Analyzer(registry, functions, stream_resolver, default_interface)
+    if isinstance(query, MergeQuery):
+        return analyzer.analyze_merge(query)
+    return analyzer.analyze_select(query)
+
+
+class _Analyzer:
+    def __init__(
+        self,
+        registry: SchemaRegistry,
+        functions: FunctionRegistry,
+        stream_resolver: Optional[StreamResolver],
+        default_interface: str,
+    ) -> None:
+        self.registry = registry
+        self.functions = functions
+        self.stream_resolver = stream_resolver or (lambda name: None)
+        self.default_interface = default_interface
+        self.types: Dict[int, GSQLType] = {}
+        self.bindings: Dict[int, BoundColumn] = {}
+        self.params: List[str] = []
+        self.warnings: List[str] = []
+
+    # -- source resolution ------------------------------------------------
+    def resolve_sources(self, refs: Sequence[TableRef]) -> List[SourceInfo]:
+        sources = []
+        for ref in refs:
+            if ref.subquery is not None:
+                raise SemanticError(
+                    "FROM-clause subqueries must be lifted into named "
+                    "queries first (the engine does this automatically)"
+                )
+            protocol = self.registry.get(ref.name)
+            if protocol is not None:
+                interface = ref.interface or self.default_interface
+                sources.append(SourceInfo(ref, protocol, True, interface))
+                continue
+            if ref.interface is not None:
+                raise SemanticError(
+                    f"{ref.interface}.{ref.name}: {ref.name!r} is not a protocol"
+                )
+            stream = self.stream_resolver(ref.name)
+            if stream is None:
+                raise SemanticError(f"unknown source {ref.name!r}")
+            sources.append(SourceInfo(ref, stream, False, None))
+        bindings = [source.binding.lower() for source in sources]
+        if len(set(bindings)) != len(bindings):
+            raise SemanticError("duplicate source bindings in FROM; add aliases")
+        return sources
+
+    # -- column binding -----------------------------------------------------
+    def bind_column(self, column: Column, sources: List[SourceInfo]) -> BoundColumn:
+        matches = []
+        for source_index, source in enumerate(sources):
+            if column.table is not None:
+                if column.table.lower() != source.binding.lower():
+                    continue
+                if column.name not in source.schema:
+                    raise SemanticError(
+                        f"no column {column.name!r} in {source.binding}"
+                    )
+                attr_index = source.schema.index_of(column.name)
+                matches.append((source_index, attr_index))
+            elif column.name in source.schema:
+                matches.append((source_index, source.schema.index_of(column.name)))
+        if not matches:
+            raise SemanticError(f"unknown column {column}")
+        if len(matches) > 1:
+            raise SemanticError(f"ambiguous column {column}; qualify it")
+        source_index, attr_index = matches[0]
+        attribute = sources[source_index].schema.attributes[attr_index]
+        bound = BoundColumn(source_index, attr_index, attribute)
+        self.bindings[id(column)] = bound
+        return bound
+
+    # -- typing -------------------------------------------------------------
+    def type_expr(self, expr: Expr, sources: List[SourceInfo],
+                  post_agg: Optional[Tuple[List[GSQLType], List[GSQLType]]] = None
+                  ) -> GSQLType:
+        """Infer and record the type of ``expr``.
+
+        ``post_agg`` supplies (group key types, aggregate types) when
+        typing rewritten post-aggregation expressions.
+        """
+        result = self._type_expr(expr, sources, post_agg)
+        self.types[id(expr)] = result
+        return result
+
+    def _type_expr(self, expr, sources, post_agg) -> GSQLType:
+        if isinstance(expr, Literal):
+            return literal_type(expr.value)
+        if isinstance(expr, Param):
+            if expr.name not in self.params:
+                self.params.append(expr.name)
+            return UINT  # parameters default to UINT; coerced at bind time
+        if isinstance(expr, KeyRef):
+            if post_agg is None:
+                raise SemanticError("KeyRef outside post-aggregation context")
+            return post_agg[0][expr.index]
+        if isinstance(expr, AggRef):
+            if post_agg is None:
+                raise SemanticError("AggRef outside post-aggregation context")
+            return post_agg[1][expr.index]
+        if isinstance(expr, Column):
+            bound = self.bindings.get(id(expr)) or self.bind_column(expr, sources)
+            return bound.attribute.gsql_type
+        if isinstance(expr, UnaryOp):
+            inner = self.type_expr(expr.operand, sources, post_agg)
+            if expr.op == "NOT":
+                if inner is not BOOL:
+                    raise SemanticError(f"NOT applied to {inner}")
+                return BOOL
+            if not inner.numeric:
+                raise SemanticError(f"unary - applied to {inner}")
+            return INT if inner in (UINT, INT) else inner
+        if isinstance(expr, BinaryOp):
+            return self._type_binary(expr, sources, post_agg)
+        if isinstance(expr, FuncCall):
+            return self._type_func(expr, sources, post_agg)
+        if isinstance(expr, AggCall):
+            raise SemanticError(
+                f"aggregate {expr} not allowed here (only in SELECT/HAVING "
+                "of a GROUP BY query)"
+            )
+        raise SemanticError(f"cannot type expression {expr!r}")
+
+    def _type_binary(self, expr: BinaryOp, sources, post_agg) -> GSQLType:
+        left = self.type_expr(expr.left, sources, post_agg)
+        right = self.type_expr(expr.right, sources, post_agg)
+        if expr.op in ("AND", "OR"):
+            if left is not BOOL or right is not BOOL:
+                raise SemanticError(f"{expr.op} over non-boolean operands in {expr}")
+            return BOOL
+        if expr.op in ("=", "<>", "<", "<=", ">", ">="):
+            if not comparable(left, right):
+                raise SemanticError(f"cannot compare {left} with {right} in {expr}")
+            return BOOL
+        if expr.op in ("+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"):
+            try:
+                return unify_numeric(left, right)
+            except TypeError as error:
+                raise SemanticError(str(error)) from None
+        raise SemanticError(f"unknown operator {expr.op!r}")
+
+    def _type_func(self, expr: FuncCall, sources, post_agg) -> GSQLType:
+        spec = self.functions.get(expr.name)  # raises FunctionError if unknown
+        if len(expr.args) != spec.arity:
+            raise SemanticError(
+                f"{expr.name} takes {spec.arity} argument(s), got {len(expr.args)}"
+            )
+        for position, arg in enumerate(expr.args):
+            if position in spec.handle_params:
+                if not isinstance(arg, (Literal, Param)):
+                    raise SemanticError(
+                        f"argument {position + 1} of {expr.name} is pass-by-handle "
+                        "and must be a literal or query parameter"
+                    )
+            arg_type = self.type_expr(arg, sources, post_agg)
+            want = spec.arg_types[position]
+            ok = (
+                arg_type is want
+                or (want.numeric and arg_type.numeric)
+                or (want is STRING and arg_type is STRING)
+                or isinstance(arg, Param)
+            )
+            if not ok:
+                raise SemanticError(
+                    f"argument {position + 1} of {expr.name}: expected {want}, "
+                    f"got {arg_type}"
+                )
+        return spec.return_type
+
+    # -- ordering imputation -------------------------------------------------
+    def impute_ordering(self, expr: Expr, sources: List[SourceInfo]) -> Ordering:
+        """Ordering property of ``expr`` over the input stream(s)."""
+        if isinstance(expr, Column):
+            bound = self.bindings.get(id(expr))
+            if bound is None:
+                return Ordering.none()
+            return bound.attribute.ordering
+        if isinstance(expr, UnaryOp) and expr.op == "-":
+            return self.impute_ordering(expr.operand, sources).reversed()
+        if isinstance(expr, BinaryOp):
+            left_const = _constant_value(expr.left)
+            right_const = _constant_value(expr.right)
+            if expr.op == "+":
+                if right_const is not None:
+                    return self.impute_ordering(expr.left, sources)
+                if left_const is not None:
+                    return self.impute_ordering(expr.right, sources)
+            elif expr.op == "-":
+                if right_const is not None:
+                    return self.impute_ordering(expr.left, sources)
+                if left_const is not None:
+                    return self.impute_ordering(expr.right, sources).reversed()
+            elif expr.op == "*":
+                if right_const is not None:
+                    return self.impute_ordering(expr.left, sources).scaled(right_const)
+                if left_const is not None:
+                    return self.impute_ordering(expr.right, sources).scaled(left_const)
+            elif expr.op == "/" and right_const is not None and right_const != 0:
+                inner = self.impute_ordering(expr.left, sources)
+                left_type = self.types.get(id(expr.left))
+                if left_type is FLOAT or isinstance(right_const, float):
+                    return inner.scaled(1.0 / right_const)
+                return inner.after_integer_division(int(right_const))
+        if isinstance(expr, FuncCall) and expr.args:
+            try:
+                spec = self.functions.get(expr.name)
+            except Exception:
+                spec = None
+            if spec is not None and spec.order_preserving and not spec.handle_params:
+                inner = self.impute_ordering(expr.args[0], sources)
+                if inner.is_increasing:
+                    band = inner.effective_band
+                    # A monotone step function (floor) can lag by one unit.
+                    if band:
+                        return Ordering.banded(band + 1)
+                    return inner.weaken_to_nonstrict()
+        return Ordering.none()
+
+    # -- SELECT ---------------------------------------------------------------
+    def analyze_select(self, query: SelectQuery) -> AnalyzedQuery:
+        sources = self.resolve_sources(query.sources)
+        if len(sources) > 2:
+            raise SemanticError("GSQL joins are restricted to two streams")
+        query.select_items = self._expand_stars(query.select_items, sources)
+        has_aggs = any(
+            isinstance(node, AggCall)
+            for item in query.select_items
+            for node in item.expr.walk()
+        ) or (query.having is not None and any(
+            isinstance(node, AggCall) for node in query.having.walk()
+        ))
+        is_aggregation = bool(query.group_by) or has_aggs
+        if len(sources) == 2 and is_aggregation:
+            raise SemanticError(
+                "aggregation over a join is not supported in one query; "
+                "compose two queries instead"
+            )
+        where_conjuncts = _split_conjuncts(query.where)
+        for conjunct in where_conjuncts:
+            ctype = self.type_expr(conjunct, sources)
+            if ctype is not BOOL:
+                raise SemanticError(f"WHERE term {conjunct} is {ctype}, not BOOL")
+
+        if len(sources) == 2:
+            return self._finish_join(query, sources, where_conjuncts)
+        if is_aggregation:
+            return self._finish_aggregation(query, sources, where_conjuncts)
+        return self._finish_selection(query, sources, where_conjuncts)
+
+    def _expand_stars(self, items, sources) -> List["SelectItem"]:
+        """Replace ``SELECT *`` with one item per source attribute."""
+        from repro.gsql.ast_nodes import SelectItem, Star
+        expanded: List[SelectItem] = []
+        qualify = len(sources) > 1
+        for item in items:
+            if not isinstance(item.expr, Star):
+                expanded.append(item)
+                continue
+            for source in sources:
+                table = source.binding if qualify else None
+                for attribute in source.schema.attributes:
+                    expanded.append(
+                        SelectItem(Column(attribute.name, table=table))
+                    )
+        return expanded
+
+    def _finish_selection(self, query, sources, where_conjuncts) -> AnalyzedQuery:
+        output_columns = []
+        for index, item in enumerate(query.select_items):
+            gsql_type = self.type_expr(item.expr, sources)
+            ordering = self.impute_ordering(item.expr, sources)
+            name = item.alias or _default_name(item.expr, index)
+            output_columns.append(OutputColumn(name, item.expr, gsql_type, ordering))
+        _dedupe_names(output_columns)
+        return self._build(query, "selection", sources, output_columns,
+                           where_conjuncts=where_conjuncts)
+
+    def _finish_aggregation(self, query, sources, where_conjuncts) -> AnalyzedQuery:
+        group_exprs: List[Expr] = []
+        group_names: List[str] = []
+        group_types: List[GSQLType] = []
+        group_orderings: List[Ordering] = []
+        for index, item in enumerate(query.group_by):
+            group_exprs.append(item.expr)
+            group_types.append(self.type_expr(item.expr, sources))
+            group_orderings.append(self.impute_ordering(item.expr, sources))
+            group_names.append(item.alias or _default_name(item.expr, index))
+
+        aggregates: List[AggCall] = []
+        aggregate_types: List[GSQLType] = []
+
+        def agg_index(agg: AggCall) -> int:
+            for position, existing in enumerate(aggregates):
+                if existing == agg:
+                    return position
+            if agg.arg is not None:
+                arg_type = self.type_expr(agg.arg, sources)
+            else:
+                arg_type = UINT
+            aggregates.append(agg)
+            aggregate_types.append(_aggregate_type(agg, arg_type))
+            return len(aggregates) - 1
+
+        def rewrite(expr: Expr) -> Expr:
+            # Group expression (structural) match first.
+            for position, group_expr in enumerate(group_exprs):
+                if expr == group_expr:
+                    return KeyRef(position)
+            if isinstance(expr, Column) and expr.table is None:
+                for position, name in enumerate(group_names):
+                    if name.lower() == expr.name.lower():
+                        return KeyRef(position)
+            if isinstance(expr, AggCall):
+                return AggRef(agg_index(expr))
+            if isinstance(expr, Column):
+                raise SemanticError(
+                    f"column {expr} must appear in GROUP BY or inside an aggregate"
+                )
+            if isinstance(expr, BinaryOp):
+                return BinaryOp(expr.op, rewrite(expr.left), rewrite(expr.right))
+            if isinstance(expr, UnaryOp):
+                return UnaryOp(expr.op, rewrite(expr.operand))
+            if isinstance(expr, FuncCall):
+                return FuncCall(expr.name, tuple(rewrite(a) for a in expr.args))
+            return expr
+
+        post_env = (group_types, aggregate_types)
+        output_columns = []
+        for index, item in enumerate(query.select_items):
+            rewritten = rewrite(item.expr)
+            gsql_type = self.type_expr(rewritten, sources, post_env)
+            if isinstance(rewritten, KeyRef):
+                ordering = group_orderings[rewritten.index].weaken_to_nonstrict()
+            else:
+                ordering = Ordering.none()
+            name = item.alias or _default_name(item.expr, index)
+            output_columns.append(OutputColumn(name, rewritten, gsql_type, ordering))
+        _dedupe_names(output_columns)
+
+        having = None
+        if query.having is not None:
+            having = rewrite(query.having)
+            having_type = self.type_expr(having, sources, post_env)
+            if having_type is not BOOL:
+                raise SemanticError(f"HAVING is {having_type}, not BOOL")
+
+        window_key_index = -1
+        window_key_band = 0.0
+        for position, ordering in enumerate(group_orderings):
+            if ordering.usable_for_windows and ordering.is_increasing:
+                window_key_index = position
+                window_key_band = ordering.effective_band
+                break
+        if window_key_index < 0:
+            self.warnings.append(
+                "aggregation has no increasing group-by attribute; groups "
+                "can only be emitted by an explicit flush"
+            )
+
+        analyzed = self._build(query, "aggregation", sources, output_columns,
+                               where_conjuncts=where_conjuncts)
+        analyzed.group_exprs = group_exprs
+        analyzed.group_names = group_names
+        analyzed.group_types = group_types
+        analyzed.group_orderings = group_orderings
+        analyzed.aggregates = aggregates
+        analyzed.aggregate_types = aggregate_types
+        analyzed.having = having
+        analyzed.window_key_index = window_key_index
+        analyzed.window_key_band = window_key_band
+        return analyzed
+
+    def _finish_join(self, query, sources, where_conjuncts) -> AnalyzedQuery:
+        window = self._extract_join_window(where_conjuncts, sources)
+        if window is None:
+            raise SemanticError(
+                "join predicate must constrain an ordered attribute from "
+                "each stream to define a join window"
+            )
+        algorithm = query.defines.get("join_output", "banded").lower()
+        if algorithm not in ("banded", "sorted"):
+            raise SemanticError(
+                f"DEFINE join_output must be 'banded' or 'sorted', "
+                f"got {algorithm!r}")
+        sorted_output = algorithm == "sorted"
+        output_columns = []
+        sort_target_found = False
+        for index, item in enumerate(query.select_items):
+            gsql_type = self.type_expr(item.expr, sources)
+            ordering = self.impute_ordering(item.expr, sources)
+            # "B.ts might be monotonically increasing or
+            # banded-increasing(2) depending on the choice of join
+            # algorithm (monotonically increasing requires more buffer
+            # space)" -- Section 2.1.  The banded algorithm emits pairs
+            # as they form; the sorted algorithm re-orders its output on
+            # the first window column in the select list.
+            bound = self.bindings.get(id(item.expr))
+            is_window_column = bound is not None and any(
+                bound.source_index == side.source_index
+                and bound.attr_index == side.attr_index
+                for side in (window.left, window.right)
+            )
+            if ordering.usable_for_windows:
+                if window.is_equality:
+                    ordering = ordering.weaken_to_nonstrict()
+                elif (sorted_output and is_window_column
+                      and not sort_target_found):
+                    sort_target_found = True
+                    ordering = ordering.weaken_to_nonstrict()
+                else:
+                    ordering = ordering.widened(window.width)
+            name = item.alias or _default_name(item.expr, index)
+            output_columns.append(OutputColumn(name, item.expr, gsql_type, ordering))
+        if sorted_output and not window.is_equality and not sort_target_found:
+            raise SemanticError(
+                "DEFINE join_output sorted requires the select list to "
+                "include one of the join-window columns")
+        _dedupe_names(output_columns)
+        analyzed = self._build(query, "join", sources, output_columns,
+                               where_conjuncts=where_conjuncts)
+        analyzed.join_window = window
+        analyzed.join_sorted_output = sorted_output and not window.is_equality
+        return analyzed
+
+    def _extract_join_window(self, conjuncts, sources) -> Optional[JoinWindow]:
+        low = -math.inf
+        high = math.inf
+        left_col: Optional[BoundColumn] = None
+        right_col: Optional[BoundColumn] = None
+        for conjunct in conjuncts:
+            normalized = _normalize_band_constraint(conjunct, self.bindings)
+            if normalized is None:
+                continue
+            col_a, col_b, op, offset = normalized
+            if not (col_a.attribute.ordering.usable_for_windows
+                    and col_b.attribute.ordering.usable_for_windows):
+                continue
+            # Orient as (source 0) - (source 1).
+            if col_a.source_index == 0 and col_b.source_index == 1:
+                pass
+            elif col_a.source_index == 1 and col_b.source_index == 0:
+                col_a, col_b = col_b, col_a
+                offset = -offset
+                op = {"<=": ">=", ">=": "<=", "=": "="}[op]
+            else:
+                continue
+            if left_col is None:
+                left_col, right_col = col_a, col_b
+            elif (left_col.attr_index != col_a.attr_index
+                  or right_col.attr_index != col_b.attr_index):
+                continue  # a second, different ordered pair; ignore
+            if op == "=":
+                low = max(low, offset)
+                high = min(high, offset)
+            elif op == "<=":
+                high = min(high, offset)
+            else:  # >=
+                low = max(low, offset)
+        if left_col is None or right_col is None:
+            return None
+        if math.isinf(low) or math.isinf(high) or low > high:
+            return None
+        return JoinWindow(left=left_col, right=right_col, low=low, high=high)
+
+    # -- MERGE -----------------------------------------------------------------
+    def analyze_merge(self, query: MergeQuery) -> AnalyzedQuery:
+        sources = self.resolve_sources(query.sources)
+        if len(sources) < 2:
+            raise SemanticError("MERGE needs at least two sources")
+        merge_columns = []
+        for position, column in enumerate(query.columns):
+            source = sources[position]
+            table = column.table
+            if table is not None and table.lower() != source.binding.lower():
+                raise SemanticError(
+                    f"merge column {column} does not belong to source "
+                    f"{source.binding} (position {position + 1})"
+                )
+            if column.name not in source.schema:
+                raise SemanticError(f"no column {column.name!r} in {source.binding}")
+            attr_index = source.schema.index_of(column.name)
+            attribute = source.schema.attributes[attr_index]
+            if not attribute.ordering.usable_for_windows:
+                raise SemanticError(
+                    f"merge column {column} has no usable ordering property"
+                )
+            merge_columns.append(BoundColumn(position, attr_index, attribute))
+        first = sources[0].schema
+        for source in sources[1:]:
+            if len(source.schema) != len(first):
+                raise SemanticError("merged streams must have matching schemas")
+            for attr_a, attr_b in zip(first.attributes, source.schema.attributes):
+                if attr_a.gsql_type is not attr_b.gsql_type:
+                    raise SemanticError(
+                        f"merged column type mismatch: {attr_a} vs {attr_b}"
+                    )
+        merged_ordering = merge_columns[0].attribute.ordering
+        for bound in merge_columns[1:]:
+            merged_ordering = merged_ordering.merge_with(bound.attribute.ordering)
+        output_columns = []
+        merge_positions = {bound.attr_index for bound in merge_columns}
+        merge_attr_index = merge_columns[0].attr_index
+        for index, attribute in enumerate(first.attributes):
+            ordering = merged_ordering if index == merge_attr_index else Ordering.none()
+            output_columns.append(
+                OutputColumn(attribute.name, Column(attribute.name),
+                             attribute.gsql_type, ordering)
+            )
+        analyzed = self._build(query, "merge", sources, output_columns)
+        analyzed.merge_columns = merge_columns
+        return analyzed
+
+    # -- shared ------------------------------------------------------------------
+    def _build(self, query, kind, sources, output_columns,
+               where_conjuncts=None) -> AnalyzedQuery:
+        name = query.defines.get("query_name")
+        sample_rate = None
+        if "sample" in query.defines:
+            try:
+                sample_rate = float(query.defines["sample"])
+            except ValueError:
+                raise SemanticError(
+                    f"DEFINE sample must be a probability, got "
+                    f"{query.defines['sample']!r}") from None
+            if not 0.0 < sample_rate <= 1.0:
+                raise SemanticError("DEFINE sample must be in (0, 1]")
+            if kind in ("merge", "join"):
+                raise SemanticError(
+                    f"sampling a {kind.upper()} is not meaningful; "
+                    "sample the input queries instead")
+        schema = StreamSchema(
+            name or "anonymous",
+            [
+                Attribute(col.name, col.gsql_type, col.ordering)
+                for col in output_columns
+            ],
+        )
+        return AnalyzedQuery(
+            query=query,
+            kind=kind,
+            name=name,
+            sources=sources,
+            output_schema=schema,
+            output_columns=output_columns,
+            params=list(self.params),
+            sample_rate=sample_rate,
+            warnings=list(self.warnings),
+            where_conjuncts=list(where_conjuncts or []),
+            types=self.types,
+            bindings=self.bindings,
+        )
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _split_conjuncts(expr: Optional[Expr]) -> List[Expr]:
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _constant_value(expr: Expr) -> Optional[Union[int, float]]:
+    """The numeric value of a constant expression, else None."""
+    if isinstance(expr, Literal) and isinstance(expr.value, (int, float)) \
+            and not isinstance(expr.value, bool):
+        return expr.value
+    if isinstance(expr, UnaryOp) and expr.op == "-":
+        inner = _constant_value(expr.operand)
+        return -inner if inner is not None else None
+    if isinstance(expr, BinaryOp):
+        left = _constant_value(expr.left)
+        right = _constant_value(expr.right)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/" and right != 0:
+            return left / right
+    return None
+
+
+def _normalize_band_constraint(conjunct: Expr, bindings: Dict[int, BoundColumn]):
+    """Normalize ``colA (cmp) colB +- c`` into ``(colA, colB, op, offset)``
+    meaning ``colA - colB  op  offset`` with op in {=, <=, >=}.
+
+    Returns None for conjuncts that are not of this shape.
+    """
+    if not isinstance(conjunct, BinaryOp):
+        return None
+    if conjunct.op not in ("=", "<=", ">=", "<", ">"):
+        return None
+    op = {"<": "<=", ">": ">="}.get(conjunct.op, conjunct.op)
+
+    def decompose(expr: Expr):
+        """Return (column, constant_offset) for expr = column +- c."""
+        if isinstance(expr, Column):
+            bound = bindings.get(id(expr))
+            return (bound, 0.0) if bound is not None else None
+        if isinstance(expr, BinaryOp) and expr.op in ("+", "-"):
+            const = _constant_value(expr.right)
+            if const is not None:
+                inner = decompose(expr.left)
+                if inner is not None:
+                    column, offset = inner
+                    return column, offset + (const if expr.op == "+" else -const)
+            if expr.op == "+":
+                const = _constant_value(expr.left)
+                if const is not None:
+                    inner = decompose(expr.right)
+                    if inner is not None:
+                        column, offset = inner
+                        return column, offset + const
+        return None
+
+    left = decompose(conjunct.left)
+    right = decompose(conjunct.right)
+    if left is None or right is None:
+        return None
+    col_a, offset_a = left
+    col_b, offset_b = right
+    if col_a.source_index == col_b.source_index:
+        return None
+    # colA + oa  op  colB + ob  ==>  colA - colB  op  ob - oa
+    return col_a, col_b, op, offset_b - offset_a
+
+
+def _aggregate_type(agg: AggCall, arg_type: GSQLType) -> GSQLType:
+    if agg.name == "COUNT":
+        return ULLONG
+    if agg.name == "AVG":
+        return FLOAT
+    if agg.name == "SUM":
+        if not arg_type.numeric:
+            raise SemanticError(f"SUM over non-numeric type {arg_type}")
+        return FLOAT if arg_type is FLOAT else ULLONG
+    if agg.name in ("MIN", "MAX"):
+        return arg_type
+    raise SemanticError(f"unknown aggregate {agg.name}")
+
+
+def _default_name(expr: Expr, index: int) -> str:
+    if isinstance(expr, Column):
+        return expr.name
+    if isinstance(expr, AggCall):
+        return agg_default_name(expr)
+    if isinstance(expr, FuncCall):
+        return expr.name.lower()
+    return f"col{index}"
+
+
+def agg_default_name(agg: AggCall) -> str:
+    if agg.is_count_star:
+        return "cnt"
+    return f"{agg.name.lower()}_{_default_name(agg.arg, 0)}"
+
+
+def _dedupe_names(columns: List[OutputColumn]) -> None:
+    seen: Dict[str, int] = {}
+    for column in columns:
+        key = column.name.lower()
+        if key in seen:
+            seen[key] += 1
+            column.name = f"{column.name}_{seen[key]}"
+        else:
+            seen[key] = 0

@@ -1,0 +1,95 @@
+"""The GSQL type system.
+
+GSQL types are a small fixed set mirroring what the paper's code
+generator emits as C types.  ``IP`` is represented as a 32-bit unsigned
+integer on the wire but kept distinct for display and for functions
+like ``getlpmid`` that only make sense on addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class GSQLType:
+    """A GSQL scalar type."""
+
+    name: str
+    python_type: type
+    numeric: bool
+
+    def __str__(self) -> str:
+        return self.name
+
+
+UINT = GSQLType("UINT", int, True)
+INT = GSQLType("INT", int, True)
+ULLONG = GSQLType("ULLONG", int, True)
+FLOAT = GSQLType("FLOAT", float, True)
+STRING = GSQLType("STRING", bytes, False)
+BOOL = GSQLType("BOOL", bool, False)
+IP = GSQLType("IP", int, True)
+IP6 = GSQLType("IP6", int, True)  # 128-bit address
+
+_BY_NAME = {
+    t.name: t for t in (UINT, INT, ULLONG, FLOAT, STRING, BOOL, IP, IP6)
+}
+# DDL aliases accepted by parse_type.
+_BY_NAME["UINT32"] = UINT
+_BY_NAME["UINT64"] = ULLONG
+_BY_NAME["INTEGER"] = INT
+_BY_NAME["DOUBLE"] = FLOAT
+_BY_NAME["BOOLEAN"] = BOOL
+_BY_NAME["IPV4"] = IP
+
+
+class TypeError_(TypeError):
+    """A GSQL typing error (named to avoid shadowing the builtin)."""
+
+
+def parse_type(name: str) -> GSQLType:
+    """Look up a type by its DDL name (case-insensitive)."""
+    gsql_type = _BY_NAME.get(name.upper())
+    if gsql_type is None:
+        raise TypeError_(f"unknown GSQL type {name!r}")
+    return gsql_type
+
+
+_NUMERIC_RANK = {INT: 0, UINT: 1, ULLONG: 2, IP: 1, IP6: 2, FLOAT: 3}
+
+
+def unify_numeric(left: GSQLType, right: GSQLType) -> GSQLType:
+    """Result type of an arithmetic operation over two numeric types."""
+    if not (left.numeric and right.numeric):
+        raise TypeError_(f"cannot apply arithmetic to {left} and {right}")
+    if FLOAT in (left, right):
+        return FLOAT
+    winner = left if _NUMERIC_RANK[left] >= _NUMERIC_RANK[right] else right
+    # Arithmetic on addresses yields plain integers.
+    if winner is IP:
+        return UINT
+    if winner is IP6:
+        return ULLONG
+    return winner
+
+
+def comparable(left: GSQLType, right: GSQLType) -> bool:
+    """True if values of the two types may be compared with =, <, etc."""
+    if left.numeric and right.numeric:
+        return True
+    return left is right
+
+
+def literal_type(value: object) -> GSQLType:
+    """Infer the GSQL type of a Python literal value."""
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return UINT if value >= 0 else INT
+    if isinstance(value, float):
+        return FLOAT
+    if isinstance(value, (bytes, str)):
+        return STRING
+    raise TypeError_(f"no GSQL type for literal {value!r}")

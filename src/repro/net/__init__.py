@@ -1,0 +1,47 @@
+"""Network substrate: wire formats, capture files, and network algorithms.
+
+Everything Gigascope interprets at the packet level lives here, written
+from scratch (no scapy/dpkt):
+
+* :mod:`repro.net.packet` -- captured-packet container and address helpers
+* :mod:`repro.net.ethernet`, :mod:`repro.net.ip`, :mod:`repro.net.tcp`,
+  :mod:`repro.net.udp` -- header parse/build with checksums
+* :mod:`repro.net.pcap` -- classic libpcap file reader/writer
+* :mod:`repro.net.netflow` -- Netflow v5-style records and router export
+* :mod:`repro.net.bgp` -- simplified BGP UPDATE messages
+* :mod:`repro.net.lpm` -- longest-prefix-match trie (used by ``getlpmid``)
+"""
+
+from repro.net.packet import CapturedPacket, ip_to_int, int_to_ip, mac_to_bytes, bytes_to_mac
+from repro.net.ethernet import EthernetHeader, ETHERTYPE_IPV4
+from repro.net.ip import IPv4Header, PROTO_TCP, PROTO_UDP, PROTO_ICMP
+from repro.net.tcp import TCPHeader
+from repro.net.udp import UDPHeader
+from repro.net.pcap import PcapReader, PcapWriter
+from repro.net.netflow import NetflowRecord, NetflowExporter, pack_netflow_v5, unpack_netflow_v5
+from repro.net.bgp import BGPUpdate
+from repro.net.lpm import PrefixTable
+
+__all__ = [
+    "CapturedPacket",
+    "ip_to_int",
+    "int_to_ip",
+    "mac_to_bytes",
+    "bytes_to_mac",
+    "EthernetHeader",
+    "ETHERTYPE_IPV4",
+    "IPv4Header",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "PROTO_ICMP",
+    "TCPHeader",
+    "UDPHeader",
+    "PcapReader",
+    "PcapWriter",
+    "NetflowRecord",
+    "NetflowExporter",
+    "pack_netflow_v5",
+    "unpack_netflow_v5",
+    "BGPUpdate",
+    "PrefixTable",
+]

@@ -1,0 +1,111 @@
+"""Simplified BGP UPDATE messages.
+
+The paper lists BGP monitoring (router configuration analysis) among
+Gigascope's applications, with BGP updates as one of the packet sources
+a Protocol can interpret.  We implement a compact UPDATE encoding:
+announced and withdrawn prefixes plus an AS path, framed with the
+standard 19-byte BGP header.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+BGP_HEADER = struct.Struct("!16sHB")
+MSG_UPDATE = 2
+MARKER = b"\xff" * 16
+
+Prefix = Tuple[int, int]  # (network as int, prefix length)
+
+
+def _pack_prefix(prefix: Prefix) -> bytes:
+    network, length = prefix
+    if not 0 <= length <= 32:
+        raise ValueError(f"bad prefix length {length}")
+    nbytes = (length + 7) // 8
+    raw = network.to_bytes(4, "big")[:nbytes]
+    return bytes([length]) + raw
+
+
+def _unpack_prefixes(data: bytes) -> List[Prefix]:
+    prefixes = []
+    offset = 0
+    while offset < len(data):
+        length = data[offset]
+        nbytes = (length + 7) // 8
+        raw = data[offset + 1 : offset + 1 + nbytes]
+        if len(raw) < nbytes:
+            raise ValueError("truncated prefix")
+        network = int.from_bytes(raw + b"\x00" * (4 - nbytes), "big")
+        prefixes.append((network, length))
+        offset += 1 + nbytes
+    return prefixes
+
+
+@dataclass
+class BGPUpdate:
+    """One BGP UPDATE: withdrawals, announcements, and the AS path."""
+
+    peer_as: int = 0
+    announced: List[Prefix] = field(default_factory=list)
+    withdrawn: List[Prefix] = field(default_factory=list)
+    as_path: List[int] = field(default_factory=list)
+
+    def pack(self) -> bytes:
+        """Serialize with the standard BGP header framing."""
+        withdrawn = b"".join(_pack_prefix(p) for p in self.withdrawn)
+        # Path attribute: type AS_PATH (2), one AS_SEQUENCE segment.
+        if self.as_path:
+            segment = bytes([2, len(self.as_path)]) + b"".join(
+                asn.to_bytes(2, "big") for asn in self.as_path
+            )
+            attrs = bytes([0x40, 2, len(segment)]) + segment
+        else:
+            attrs = b""
+        announced = b"".join(_pack_prefix(p) for p in self.announced)
+        body = (
+            len(withdrawn).to_bytes(2, "big") + withdrawn
+            + len(attrs).to_bytes(2, "big") + attrs
+            + announced
+        )
+        return BGP_HEADER.pack(MARKER, BGP_HEADER.size + len(body), MSG_UPDATE) + body
+
+    @classmethod
+    def parse(cls, data: bytes) -> "BGPUpdate":
+        """Parse a serialized UPDATE; raises ``ValueError`` when malformed."""
+        if len(data) < BGP_HEADER.size:
+            raise ValueError("truncated BGP header")
+        marker, length, msg_type = BGP_HEADER.unpack_from(data, 0)
+        if marker != MARKER:
+            raise ValueError("bad BGP marker")
+        if msg_type != MSG_UPDATE:
+            raise ValueError(f"not an UPDATE (type={msg_type})")
+        if len(data) < length:
+            raise ValueError("truncated BGP message")
+        body = data[BGP_HEADER.size : length]
+        wlen = int.from_bytes(body[0:2], "big")
+        withdrawn = _unpack_prefixes(body[2 : 2 + wlen])
+        offset = 2 + wlen
+        alen = int.from_bytes(body[offset : offset + 2], "big")
+        attrs = body[offset + 2 : offset + 2 + alen]
+        as_path: List[int] = []
+        aoff = 0
+        while aoff < len(attrs):
+            _flags, attr_type, attr_len = attrs[aoff], attrs[aoff + 1], attrs[aoff + 2]
+            value = attrs[aoff + 3 : aoff + 3 + attr_len]
+            if attr_type == 2 and len(value) >= 2:
+                count = value[1]
+                as_path = [
+                    int.from_bytes(value[2 + 2 * i : 4 + 2 * i], "big")
+                    for i in range(count)
+                ]
+            aoff += 3 + attr_len
+        announced = _unpack_prefixes(body[offset + 2 + alen :])
+        return cls(announced=announced, withdrawn=withdrawn, as_path=as_path)
+
+    @property
+    def origin_as(self) -> int:
+        """The AS that originated the announcement (last in the path)."""
+        return self.as_path[-1] if self.as_path else 0

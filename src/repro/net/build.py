@@ -1,0 +1,186 @@
+"""Convenience builders for complete Ethernet/IPv4/TCP|UDP frames.
+
+The traffic generators in :mod:`repro.workloads` use these to produce
+real wire bytes which the GSQL protocol schemas then re-interpret --
+the same round trip a deployed Gigascope performs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.net.ethernet import ETHERTYPE_IPV4, EthernetHeader
+from repro.net.ip import IPv4Header, PROTO_TCP, PROTO_UDP
+from repro.net.packet import CapturedPacket, ip_to_int
+from repro.net.tcp import TCPHeader
+from repro.net.udp import UDPHeader
+
+
+def _as_ip_int(addr: Union[int, str]) -> int:
+    return addr if isinstance(addr, int) else ip_to_int(addr)
+
+
+def build_tcp_frame(
+    src_ip: Union[int, str],
+    dst_ip: Union[int, str],
+    src_port: int,
+    dst_port: int,
+    payload: bytes = b"",
+    seq: int = 0,
+    ack: int = 0,
+    flags: int = 0,
+    ttl: int = 64,
+    identification: int = 0,
+    eth_src: str = "02:00:00:00:00:01",
+    eth_dst: str = "02:00:00:00:00:02",
+) -> bytes:
+    """Build a full Ethernet/IPv4/TCP frame with valid checksums."""
+    src = _as_ip_int(src_ip)
+    dst = _as_ip_int(dst_ip)
+    tcp = TCPHeader(
+        src_port=src_port, dst_port=dst_port, seq=seq, ack=ack, flags=flags
+    )
+    segment = tcp.pack(src, dst, payload) + payload
+    ip = IPv4Header(
+        src=src, dst=dst, protocol=PROTO_TCP, ttl=ttl, identification=identification
+    )
+    eth = EthernetHeader(dst=eth_dst, src=eth_src, ethertype=ETHERTYPE_IPV4)
+    return eth.pack() + ip.pack(payload_len=len(segment)) + segment
+
+
+def build_udp_frame(
+    src_ip: Union[int, str],
+    dst_ip: Union[int, str],
+    src_port: int,
+    dst_port: int,
+    payload: bytes = b"",
+    ttl: int = 64,
+    identification: int = 0,
+    eth_src: str = "02:00:00:00:00:01",
+    eth_dst: str = "02:00:00:00:00:02",
+) -> bytes:
+    """Build a full Ethernet/IPv4/UDP frame with valid checksums."""
+    src = _as_ip_int(src_ip)
+    dst = _as_ip_int(dst_ip)
+    udp = UDPHeader(src_port=src_port, dst_port=dst_port)
+    datagram = udp.pack(src, dst, payload) + payload
+    ip = IPv4Header(
+        src=src, dst=dst, protocol=PROTO_UDP, ttl=ttl, identification=identification
+    )
+    eth = EthernetHeader(dst=eth_dst, src=eth_src, ethertype=ETHERTYPE_IPV4)
+    return eth.pack() + ip.pack(payload_len=len(datagram)) + datagram
+
+
+def _as_ip6_int(addr: Union[int, str]) -> int:
+    from repro.net.ipv6 import ip6_to_int
+    return addr if isinstance(addr, int) else ip6_to_int(addr)
+
+
+def _patch_checksum(header: bytes, checksum_offset: int, pseudo: bytes,
+                    payload: bytes) -> bytes:
+    """Recompute an L4 checksum over a v6 pseudo-header."""
+    from repro.net.checksum import internet_checksum
+    cleared = bytearray(header)
+    cleared[checksum_offset] = 0
+    cleared[checksum_offset + 1] = 0
+    checksum = internet_checksum(pseudo + bytes(cleared) + payload)
+    cleared[checksum_offset] = checksum >> 8
+    cleared[checksum_offset + 1] = checksum & 0xFF
+    return bytes(cleared)
+
+
+def build_tcp6_frame(
+    src_ip: Union[int, str],
+    dst_ip: Union[int, str],
+    src_port: int,
+    dst_port: int,
+    payload: bytes = b"",
+    seq: int = 0,
+    flags: int = 0,
+    hop_limit: int = 64,
+    eth_src: str = "02:00:00:00:00:01",
+    eth_dst: str = "02:00:00:00:00:02",
+) -> bytes:
+    """Build a full Ethernet/IPv6/TCP frame with a valid checksum."""
+    from repro.net.ipv6 import ETHERTYPE_IPV6, IPv6Header, pseudo_header_v6
+    from repro.net.ip import PROTO_TCP
+
+    src = _as_ip6_int(src_ip)
+    dst = _as_ip6_int(dst_ip)
+    tcp = TCPHeader(src_port=src_port, dst_port=dst_port, seq=seq, flags=flags)
+    header = tcp.pack(0, 0, payload)  # checksummed for v4; re-patch for v6
+    pseudo = pseudo_header_v6(src, dst, PROTO_TCP, len(header) + len(payload))
+    header = _patch_checksum(header, 16, pseudo, payload)
+    ip6 = IPv6Header(src=src, dst=dst, next_header=PROTO_TCP,
+                     hop_limit=hop_limit)
+    eth = EthernetHeader(dst=eth_dst, src=eth_src, ethertype=ETHERTYPE_IPV6)
+    return eth.pack() + ip6.pack(payload_len=len(header) + len(payload)) \
+        + header + payload
+
+
+def build_udp6_frame(
+    src_ip: Union[int, str],
+    dst_ip: Union[int, str],
+    src_port: int,
+    dst_port: int,
+    payload: bytes = b"",
+    hop_limit: int = 64,
+    eth_src: str = "02:00:00:00:00:01",
+    eth_dst: str = "02:00:00:00:00:02",
+) -> bytes:
+    """Build a full Ethernet/IPv6/UDP frame with a valid checksum."""
+    from repro.net.ipv6 import ETHERTYPE_IPV6, IPv6Header, pseudo_header_v6
+    from repro.net.ip import PROTO_UDP
+
+    src = _as_ip6_int(src_ip)
+    dst = _as_ip6_int(dst_ip)
+    udp = UDPHeader(src_port=src_port, dst_port=dst_port)
+    header = udp.pack(0, 0, payload)
+    pseudo = pseudo_header_v6(src, dst, PROTO_UDP, len(header) + len(payload))
+    header = _patch_checksum(header, 6, pseudo, payload)
+    ip6 = IPv6Header(src=src, dst=dst, next_header=PROTO_UDP,
+                     hop_limit=hop_limit)
+    eth = EthernetHeader(dst=eth_dst, src=eth_src, ethertype=ETHERTYPE_IPV6)
+    return eth.pack() + ip6.pack(payload_len=len(header) + len(payload)) \
+        + header + payload
+
+
+def build_icmp_frame(
+    src_ip: Union[int, str],
+    dst_ip: Union[int, str],
+    icmp_type: int = 8,
+    code: int = 0,
+    identifier: int = 0,
+    sequence: int = 0,
+    payload: bytes = b"",
+    ttl: int = 64,
+    identification: int = 0,
+    eth_src: str = "02:00:00:00:00:01",
+    eth_dst: str = "02:00:00:00:00:02",
+) -> bytes:
+    """Build a full Ethernet/IPv4/ICMP frame with valid checksums."""
+    from repro.net.icmp import ICMPHeader
+    from repro.net.ip import PROTO_ICMP
+
+    src = _as_ip_int(src_ip)
+    dst = _as_ip_int(dst_ip)
+    icmp = ICMPHeader(icmp_type=icmp_type, code=code, identifier=identifier,
+                      sequence=sequence)
+    message = icmp.pack(payload) + payload
+    ip = IPv4Header(src=src, dst=dst, protocol=PROTO_ICMP, ttl=ttl,
+                    identification=identification)
+    eth = EthernetHeader(dst=eth_dst, src=eth_src, ethertype=ETHERTYPE_IPV4)
+    return eth.pack() + ip.pack(payload_len=len(message)) + message
+
+
+def capture(
+    frame: bytes,
+    timestamp: float,
+    interface: str = "eth0",
+    snaplen: Optional[int] = None,
+) -> CapturedPacket:
+    """Wrap frame bytes as a :class:`CapturedPacket`, optionally truncated."""
+    packet = CapturedPacket(timestamp=timestamp, data=frame, interface=interface)
+    if snaplen is not None:
+        packet = packet.truncate(snaplen)
+    return packet

@@ -1,0 +1,132 @@
+"""DNS message header and question-section parsing.
+
+DNS monitoring (query floods, NXDOMAIN storms, cache-poisoning
+signatures) is bread-and-butter network analysis; the ``dns`` Protocol
+interprets UDP port-53 datagrams with this parser.  Only the header and
+the first question are decoded -- what per-packet monitoring queries
+need -- with compression-pointer handling for names.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+HEADER_LEN = 12
+
+QTYPE_A = 1
+QTYPE_NS = 2
+QTYPE_CNAME = 5
+QTYPE_PTR = 12
+QTYPE_MX = 15
+QTYPE_TXT = 16
+QTYPE_AAAA = 28
+QTYPE_ANY = 255
+
+RCODE_NOERROR = 0
+RCODE_SERVFAIL = 2
+RCODE_NXDOMAIN = 3
+
+_HDR = struct.Struct("!HHHHHH")
+
+
+@dataclass
+class DNSMessage:
+    """The fixed header plus the first question of a DNS message."""
+
+    txid: int = 0
+    is_response: bool = False
+    opcode: int = 0
+    rcode: int = 0
+    recursion_desired: bool = False
+    questions: int = 0
+    answers: int = 0
+    qname: str = ""
+    qtype: int = 0
+
+    @classmethod
+    def parse(cls, data: bytes) -> "DNSMessage":
+        """Parse header + first question; raises ``ValueError`` when short."""
+        if len(data) < HEADER_LEN:
+            raise ValueError("truncated DNS header")
+        txid, flags, qdcount, ancount, _ns, _ar = _HDR.unpack_from(data, 0)
+        message = cls(
+            txid=txid,
+            is_response=bool(flags & 0x8000),
+            opcode=(flags >> 11) & 0xF,
+            rcode=flags & 0xF,
+            recursion_desired=bool(flags & 0x0100),
+            questions=qdcount,
+            answers=ancount,
+        )
+        if qdcount > 0:
+            name, offset = decode_name(data, HEADER_LEN)
+            message.qname = name
+            if len(data) >= offset + 2:
+                message.qtype = struct.unpack_from("!H", data, offset)[0]
+        return message
+
+
+def decode_name(data: bytes, offset: int, depth: int = 0) -> Tuple[str, int]:
+    """Decode a (possibly compressed) domain name.
+
+    Returns ``(name, offset_after_name)`` where the offset is past the
+    name *at the original position* (pointers do not advance it).
+    """
+    if depth > 10:
+        raise ValueError("DNS name compression loop")
+    labels = []
+    cursor = offset
+    while True:
+        if cursor >= len(data):
+            raise ValueError("truncated DNS name")
+        length = data[cursor]
+        if length == 0:
+            cursor += 1
+            break
+        if length & 0xC0 == 0xC0:  # compression pointer
+            if cursor + 1 >= len(data):
+                raise ValueError("truncated DNS pointer")
+            pointer = ((length & 0x3F) << 8) | data[cursor + 1]
+            suffix, _ = decode_name(data, pointer, depth + 1)
+            labels.append(suffix)
+            cursor += 2
+            return ".".join(label for label in labels if label), cursor
+        cursor += 1
+        if cursor + length > len(data):
+            raise ValueError("truncated DNS label")
+        labels.append(data[cursor : cursor + length].decode("ascii", "replace"))
+        cursor += length
+    return ".".join(labels), cursor
+
+
+def encode_name(name: str) -> bytes:
+    """Encode a dotted name (no compression)."""
+    out = bytearray()
+    for label in name.split("."):
+        if not label:
+            continue
+        raw = label.encode("ascii")
+        if len(raw) > 63:
+            raise ValueError(f"DNS label too long: {label!r}")
+        out.append(len(raw))
+        out.extend(raw)
+    out.append(0)
+    return bytes(out)
+
+
+def build_query(txid: int, qname: str, qtype: int = QTYPE_A,
+                recursion_desired: bool = True) -> bytes:
+    """Build a one-question DNS query message."""
+    flags = 0x0100 if recursion_desired else 0
+    header = _HDR.pack(txid, flags, 1, 0, 0, 0)
+    return header + encode_name(qname) + struct.pack("!HH", qtype, 1)
+
+
+def build_response(txid: int, qname: str, qtype: int = QTYPE_A,
+                   rcode: int = RCODE_NOERROR, answers: int = 1) -> bytes:
+    """Build a minimal response (question echoed, answer count only)."""
+    flags = 0x8180 | (rcode & 0xF)
+    header = _HDR.pack(txid, flags, 1, answers if rcode == 0 else 0, 0, 0)
+    return header + encode_name(qname) + struct.pack("!HH", qtype, 1)

@@ -1,0 +1,41 @@
+"""Ethernet II framing."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.net.packet import bytes_to_mac, mac_to_bytes
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+ETHERTYPE_IPV6 = 0x86DD
+
+HEADER_LEN = 14
+
+_HDR = struct.Struct("!6s6sH")
+
+
+@dataclass
+class EthernetHeader:
+    """An Ethernet II header (no 802.1Q tag support)."""
+
+    dst: str = "ff:ff:ff:ff:ff:ff"
+    src: str = "00:00:00:00:00:00"
+    ethertype: int = ETHERTYPE_IPV4
+
+    @classmethod
+    def parse(cls, data: bytes, offset: int = 0) -> "EthernetHeader":
+        """Parse a header from ``data`` starting at ``offset``."""
+        if len(data) - offset < HEADER_LEN:
+            raise ValueError("truncated Ethernet header")
+        dst, src, ethertype = _HDR.unpack_from(data, offset)
+        return cls(dst=bytes_to_mac(dst), src=bytes_to_mac(src), ethertype=ethertype)
+
+    def pack(self) -> bytes:
+        """Serialize to the 14-byte wire format."""
+        return _HDR.pack(mac_to_bytes(self.dst), mac_to_bytes(self.src), self.ethertype)
+
+    @property
+    def header_len(self) -> int:
+        return HEADER_LEN

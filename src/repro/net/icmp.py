@@ -1,0 +1,62 @@
+"""ICMP header parsing and serialization.
+
+Ping floods and unreachable storms are classic intrusion-detection
+signals (one of Gigascope's listed applications), so the stock protocol
+library exposes ICMP alongside TCP/UDP.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.net.checksum import internet_checksum
+
+TYPE_ECHO_REPLY = 0
+TYPE_DEST_UNREACHABLE = 3
+TYPE_ECHO_REQUEST = 8
+TYPE_TIME_EXCEEDED = 11
+
+HEADER_LEN = 8
+
+_HDR = struct.Struct("!BBHHH")
+
+
+@dataclass
+class ICMPHeader:
+    """An ICMP header (echo-style rest-of-header as id/seq)."""
+
+    icmp_type: int = TYPE_ECHO_REQUEST
+    code: int = 0
+    identifier: int = 0
+    sequence: int = 0
+    checksum: int = 0  # as-parsed; recomputed by pack()
+
+    @classmethod
+    def parse(cls, data: bytes, offset: int = 0) -> "ICMPHeader":
+        """Parse from ``data`` at ``offset``; raises on truncation."""
+        if len(data) - offset < HEADER_LEN:
+            raise ValueError("truncated ICMP header")
+        icmp_type, code, checksum, identifier, sequence = _HDR.unpack_from(
+            data, offset)
+        return cls(icmp_type=icmp_type, code=code, checksum=checksum,
+                   identifier=identifier, sequence=sequence)
+
+    @property
+    def header_len(self) -> int:
+        return HEADER_LEN
+
+    @property
+    def is_echo(self) -> bool:
+        return self.icmp_type in (TYPE_ECHO_REQUEST, TYPE_ECHO_REPLY)
+
+    def pack(self, payload: bytes = b"") -> bytes:
+        """Serialize with a correct checksum over header + payload."""
+        header = bytearray(
+            _HDR.pack(self.icmp_type, self.code, 0, self.identifier,
+                      self.sequence)
+        )
+        checksum = internet_checksum(bytes(header) + payload)
+        header[2] = checksum >> 8
+        header[3] = checksum & 0xFF
+        return bytes(header)

@@ -1,0 +1,184 @@
+"""IPv4 header parsing, serialization, and fragmentation."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.net.checksum import internet_checksum
+from repro.net.packet import int_to_ip, ip_to_int
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+FLAG_DF = 0x2  # don't fragment
+FLAG_MF = 0x1  # more fragments
+
+MIN_HEADER_LEN = 20
+
+_FIXED = struct.Struct("!BBHHHBBHII")
+
+
+@dataclass
+class IPv4Header:
+    """An IPv4 header.
+
+    Addresses are stored as 32-bit integers (GSQL exposes them as UINT);
+    use :func:`repro.net.packet.int_to_ip` for display.
+    """
+
+    src: int = 0
+    dst: int = 0
+    protocol: int = PROTO_TCP
+    ttl: int = 64
+    tos: int = 0
+    identification: int = 0
+    flags: int = 0
+    fragment_offset: int = 0  # in 8-byte units
+    total_length: int = 0  # filled by pack() when 0
+    options: bytes = b""
+    version: int = 4
+    checksum: int = 0  # filled by pack(); as-parsed value after parse()
+
+    @classmethod
+    def parse(cls, data: bytes, offset: int = 0) -> "IPv4Header":
+        """Parse a header from ``data`` at ``offset``; raises on truncation."""
+        if len(data) - offset < MIN_HEADER_LEN:
+            raise ValueError("truncated IPv4 header")
+        (
+            ver_ihl,
+            tos,
+            total_length,
+            identification,
+            flags_frag,
+            ttl,
+            protocol,
+            checksum,
+            src,
+            dst,
+        ) = _FIXED.unpack_from(data, offset)
+        version = ver_ihl >> 4
+        ihl = ver_ihl & 0x0F
+        header_len = ihl * 4
+        if header_len < MIN_HEADER_LEN:
+            raise ValueError(f"bad IHL {ihl}")
+        if len(data) - offset < header_len:
+            raise ValueError("truncated IPv4 options")
+        options = bytes(data[offset + MIN_HEADER_LEN : offset + header_len])
+        return cls(
+            version=version,
+            tos=tos,
+            total_length=total_length,
+            identification=identification,
+            flags=(flags_frag >> 13) & 0x7,
+            fragment_offset=flags_frag & 0x1FFF,
+            ttl=ttl,
+            protocol=protocol,
+            checksum=checksum,
+            src=src,
+            dst=dst,
+            options=options,
+        )
+
+    @property
+    def header_len(self) -> int:
+        """Header length in bytes, including options padded to 4 bytes."""
+        opt_len = (len(self.options) + 3) & ~3
+        return MIN_HEADER_LEN + opt_len
+
+    @property
+    def is_fragment(self) -> bool:
+        """True for any fragment (first, middle, or last) of a larger datagram."""
+        return self.fragment_offset > 0 or bool(self.flags & FLAG_MF)
+
+    @property
+    def more_fragments(self) -> bool:
+        return bool(self.flags & FLAG_MF)
+
+    @property
+    def dont_fragment(self) -> bool:
+        return bool(self.flags & FLAG_DF)
+
+    @property
+    def src_str(self) -> str:
+        return int_to_ip(self.src)
+
+    @property
+    def dst_str(self) -> str:
+        return int_to_ip(self.dst)
+
+    def pack(self, payload_len: int = -1) -> bytes:
+        """Serialize with a correct checksum.
+
+        If ``total_length`` is 0 it is computed from ``payload_len``
+        (which then must be given).
+        """
+        opt = self.options + b"\x00" * ((-len(self.options)) % 4)
+        ihl = (MIN_HEADER_LEN + len(opt)) // 4
+        total_length = self.total_length
+        if total_length == 0:
+            if payload_len < 0:
+                raise ValueError("need payload_len to compute total_length")
+            total_length = MIN_HEADER_LEN + len(opt) + payload_len
+        flags_frag = ((self.flags & 0x7) << 13) | (self.fragment_offset & 0x1FFF)
+        header = bytearray(
+            _FIXED.pack(
+                (self.version << 4) | ihl,
+                self.tos,
+                total_length,
+                self.identification,
+                flags_frag,
+                self.ttl,
+                self.protocol,
+                0,
+                self.src,
+                self.dst,
+            )
+        )
+        header.extend(opt)
+        checksum = internet_checksum(bytes(header))
+        header[10] = checksum >> 8
+        header[11] = checksum & 0xFF
+        return bytes(header)
+
+    def key(self) -> Tuple[int, int, int, int]:
+        """Reassembly key: (src, dst, protocol, identification)."""
+        return (self.src, self.dst, self.protocol, self.identification)
+
+
+def build_ipv4_packet(header: IPv4Header, payload: bytes) -> bytes:
+    """Serialize ``header`` followed by ``payload`` with lengths fixed up."""
+    hdr = IPv4Header(**{**header.__dict__})
+    hdr.total_length = 0
+    return hdr.pack(payload_len=len(payload)) + payload
+
+
+def fragment_ipv4(header: IPv4Header, payload: bytes, mtu: int) -> List[bytes]:
+    """Split an IPv4 datagram into fragments that fit ``mtu`` bytes each.
+
+    Returns the full on-wire bytes of each fragment (header + data).
+    The fragment data size is rounded down to a multiple of 8 as the
+    wire format requires.
+    """
+    header_len = header.header_len
+    max_data = (mtu - header_len) & ~7
+    if max_data <= 0:
+        raise ValueError(f"MTU {mtu} too small for header of {header_len} bytes")
+    if header_len + len(payload) <= mtu:
+        return [build_ipv4_packet(header, payload)]
+    if header.dont_fragment:
+        raise ValueError("DF set on a datagram larger than the MTU")
+    fragments = []
+    offset = 0
+    while offset < len(payload):
+        chunk = payload[offset : offset + max_data]
+        last = offset + len(chunk) >= len(payload)
+        frag_header = IPv4Header(**{**header.__dict__})
+        frag_header.fragment_offset = (header.fragment_offset * 8 + offset) // 8
+        frag_header.flags = header.flags | (0 if last and not header.more_fragments else FLAG_MF)
+        frag_header.total_length = 0
+        fragments.append(frag_header.pack(payload_len=len(chunk)) + chunk)
+        offset += len(chunk)
+    return fragments

@@ -1,0 +1,157 @@
+"""IPv6 header parsing and serialization.
+
+The paper's protocol list is IPv4-centric (2003), but its Protocol
+mechanism is format-agnostic: "These data packets can be from any
+reasonable source."  IPv6 is the obvious second network layer, and the
+stock library exposes ``tcp6``/``udp6`` protocols built on this header.
+
+Addresses are carried as 128-bit integers; :func:`ip6_to_int` /
+:func:`int_to_ip6` convert to and from colon-hex text (with ``::``
+compression support on both sides).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+ETHERTYPE_IPV6 = 0x86DD
+HEADER_LEN = 40
+
+# Extension headers that carry a (next_header, length) prefix and can
+# simply be skipped to find the transport header.
+_SKIPPABLE_EXTENSIONS = frozenset({0, 43, 60})  # hop-by-hop, routing, dest opts
+EXT_FRAGMENT = 44
+
+_FIXED = struct.Struct("!IHBB16s16s")
+
+
+def ip6_to_int(text: str) -> int:
+    """Parse colon-hex IPv6 notation (with ``::``) to a 128-bit integer."""
+    if text.count("::") > 1:
+        raise ValueError(f"multiple '::' in {text!r}")
+    if "::" in text:
+        head_text, _, tail_text = text.partition("::")
+        head = head_text.split(":") if head_text else []
+        tail = tail_text.split(":") if tail_text else []
+        missing = 8 - len(head) - len(tail)
+        if missing < 1:
+            raise ValueError(f"bad '::' expansion in {text!r}")
+        groups = head + ["0"] * missing + tail
+    else:
+        groups = text.split(":")
+    if len(groups) != 8:
+        raise ValueError(f"IPv6 address needs 8 groups: {text!r}")
+    value = 0
+    for group in groups:
+        number = int(group or "0", 16)
+        if not 0 <= number <= 0xFFFF:
+            raise ValueError(f"group out of range in {text!r}")
+        value = (value << 16) | number
+    return value
+
+
+def int_to_ip6(value: int) -> str:
+    """Render a 128-bit integer as compressed colon-hex notation."""
+    if not 0 <= value < (1 << 128):
+        raise ValueError(f"not a 128-bit address: {value!r}")
+    groups = [(value >> (112 - 16 * i)) & 0xFFFF for i in range(8)]
+    # Find the longest run of zero groups for :: compression.
+    best_start, best_len = -1, 0
+    run_start, run_len = -1, 0
+    for index, group in enumerate(groups + [-1]):
+        if group == 0:
+            if run_start < 0:
+                run_start, run_len = index, 0
+            run_len += 1
+        else:
+            if run_len > best_len:
+                best_start, best_len = run_start, run_len
+            run_start, run_len = -1, 0
+    if best_len >= 2:
+        head = ":".join(f"{g:x}" for g in groups[:best_start])
+        tail = ":".join(f"{g:x}" for g in groups[best_start + best_len :])
+        return f"{head}::{tail}"
+    return ":".join(f"{g:x}" for g in groups)
+
+
+@dataclass
+class IPv6Header:
+    """An IPv6 fixed header."""
+
+    src: int = 0
+    dst: int = 0
+    next_header: int = 6
+    payload_length: int = 0  # filled by pack() when 0
+    hop_limit: int = 64
+    traffic_class: int = 0
+    flow_label: int = 0
+    version: int = 6
+
+    @classmethod
+    def parse(cls, data: bytes, offset: int = 0) -> "IPv6Header":
+        """Parse a fixed header; raises on truncation."""
+        if len(data) - offset < HEADER_LEN:
+            raise ValueError("truncated IPv6 header")
+        word, payload_length, next_header, hop_limit, src, dst = \
+            _FIXED.unpack_from(data, offset)
+        return cls(
+            version=word >> 28,
+            traffic_class=(word >> 20) & 0xFF,
+            flow_label=word & 0xFFFFF,
+            payload_length=payload_length,
+            next_header=next_header,
+            hop_limit=hop_limit,
+            src=int.from_bytes(src, "big"),
+            dst=int.from_bytes(dst, "big"),
+        )
+
+    @property
+    def header_len(self) -> int:
+        return HEADER_LEN
+
+    def pack(self, payload_len: int = -1) -> bytes:
+        """Serialize (IPv6 has no header checksum)."""
+        payload_length = self.payload_length
+        if payload_length == 0:
+            if payload_len < 0:
+                raise ValueError("need payload_len to compute payload_length")
+            payload_length = payload_len
+        word = (
+            (self.version << 28)
+            | ((self.traffic_class & 0xFF) << 20)
+            | (self.flow_label & 0xFFFFF)
+        )
+        return _FIXED.pack(
+            word, payload_length, self.next_header, self.hop_limit,
+            self.src.to_bytes(16, "big"), self.dst.to_bytes(16, "big"),
+        )
+
+
+def skip_extension_headers(data: bytes, offset: int,
+                           next_header: int) -> Tuple[int, int]:
+    """Walk skippable extension headers; returns (protocol, L4 offset).
+
+    A fragment header (there is no L4 header in non-first fragments)
+    returns protocol 44 at the fragment header itself.
+    """
+    while next_header in _SKIPPABLE_EXTENSIONS:
+        if len(data) - offset < 2:
+            raise ValueError("truncated IPv6 extension header")
+        next_next = data[offset]
+        length = (data[offset + 1] + 1) * 8
+        offset += length
+        next_header = next_next
+    return next_header, offset
+
+
+def pseudo_header_v6(src: int, dst: int, protocol: int, length: int) -> bytes:
+    """The IPv6 pseudo-header for TCP/UDP checksums (RFC 8200 §8.1)."""
+    return (
+        src.to_bytes(16, "big")
+        + dst.to_bytes(16, "big")
+        + length.to_bytes(4, "big")
+        + b"\x00\x00\x00"
+        + bytes([protocol])
+    )

@@ -1,0 +1,122 @@
+"""Longest-prefix matching over IPv4 prefixes.
+
+This is the "special fast algorithm" behind the paper's ``getlpmid``
+user function (Section 2.2): map an IP address to the ID of the most
+specific matching subnet, e.g. to attribute traffic to AT&T peers'
+autonomous systems.  Implemented as a binary trie; lookups walk at most
+32 nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, TextIO, Tuple, Union
+
+from repro.net.packet import ip_to_int
+
+
+class _Node:
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional[_Node]] = [None, None]
+        self.value: Any = None
+        self.has_value = False
+
+
+def parse_prefix(text: str) -> Tuple[int, int]:
+    """Parse ``"10.1.0.0/16"`` into ``(network_int, prefix_len)``.
+
+    A bare address is treated as a /32.  The network is masked to the
+    prefix length.
+    """
+    if "/" in text:
+        addr, _, length_text = text.partition("/")
+        length = int(length_text)
+    else:
+        addr, length = text, 32
+    if not 0 <= length <= 32:
+        raise ValueError(f"bad prefix length in {text!r}")
+    network = ip_to_int(addr)
+    if length < 32:
+        network &= ~((1 << (32 - length)) - 1) & 0xFFFFFFFF
+    return network, length
+
+
+class PrefixTable:
+    """A longest-prefix-match table from IPv4 prefixes to values."""
+
+    def __init__(self) -> None:
+        self._root = _Node()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add(self, prefix: Union[str, Tuple[int, int]], value: Any) -> None:
+        """Insert ``prefix`` (string or ``(network, length)``) with ``value``.
+
+        Re-inserting an existing prefix replaces its value.
+        """
+        if isinstance(prefix, str):
+            network, length = parse_prefix(prefix)
+        else:
+            network, length = prefix
+        node = self._root
+        for depth in range(length):
+            bit = (network >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._count += 1
+        node.value = value
+        node.has_value = True
+
+    def lookup(self, address: Union[int, str]) -> Any:
+        """Return the value of the longest matching prefix, or ``None``."""
+        if isinstance(address, str):
+            address = ip_to_int(address)
+        node = self._root
+        best = node.value if node.has_value else None
+        for depth in range(32):
+            bit = (address >> (31 - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.has_value:
+                best = node.value
+        return best
+
+    def __contains__(self, address: Union[int, str]) -> bool:
+        return self.lookup(address) is not None
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str]) -> "PrefixTable":
+        """Build a table from ``prefix value`` lines (# comments allowed).
+
+        This is the format the ``getlpmid`` pass-by-handle parameter file
+        uses: one prefix and its peer/AS id per line.
+        """
+        table = cls()
+        for raw in lines:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"expected 'prefix value', got {raw!r}")
+            prefix_text, value_text = parts
+            try:
+                value: Any = int(value_text)
+            except ValueError:
+                value = value_text
+            table.add(prefix_text, value)
+        return table
+
+    @classmethod
+    def from_file(cls, path: str) -> "PrefixTable":
+        """Load a prefix table from a file of ``prefix value`` lines."""
+        with open(path) as handle:
+            return cls.from_lines(handle)

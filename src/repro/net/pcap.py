@@ -1,0 +1,129 @@
+"""Classic libpcap capture-file format (the ``.pcap`` tcpdump writes).
+
+Only the original microsecond format is implemented (magic
+``0xa1b2c3d4``); both byte orders are accepted on read.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterator, Union
+
+from repro.net.packet import CapturedPacket
+
+MAGIC_USEC = 0xA1B2C3D4
+LINKTYPE_ETHERNET = 1
+
+_GLOBAL_HDR = struct.Struct("<IHHiIII")
+_GLOBAL_HDR_BE = struct.Struct(">IHHiIII")
+_REC_HDR = struct.Struct("<IIII")
+_REC_HDR_BE = struct.Struct(">IIII")
+
+
+class PcapError(ValueError):
+    """Raised for malformed pcap files."""
+
+
+class PcapWriter:
+    """Write :class:`CapturedPacket` objects to a pcap file.
+
+    Usable as a context manager::
+
+        with PcapWriter(open(path, "wb"), snaplen=65535) as writer:
+            writer.write(packet)
+    """
+
+    def __init__(self, fileobj: BinaryIO, snaplen: int = 65535,
+                 linktype: int = LINKTYPE_ETHERNET) -> None:
+        self._file = fileobj
+        self.snaplen = snaplen
+        self._file.write(
+            _GLOBAL_HDR.pack(MAGIC_USEC, 2, 4, 0, 0, snaplen, linktype)
+        )
+        self.packets_written = 0
+
+    def write(self, packet: CapturedPacket) -> None:
+        """Append one packet record, truncating to the file's snap length."""
+        data = packet.data[: self.snaplen]
+        seconds = int(packet.timestamp)
+        microseconds = int(round((packet.timestamp - seconds) * 1_000_000))
+        if microseconds >= 1_000_000:
+            seconds += 1
+            microseconds -= 1_000_000
+        self._file.write(_REC_HDR.pack(seconds, microseconds, len(data), packet.orig_len))
+        self._file.write(data)
+        self.packets_written += 1
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class PcapReader:
+    """Iterate :class:`CapturedPacket` objects out of a pcap file."""
+
+    def __init__(self, fileobj: BinaryIO, interface: str = "pcap0") -> None:
+        self._file = fileobj
+        self.interface = interface
+        header = fileobj.read(_GLOBAL_HDR.size)
+        if len(header) < _GLOBAL_HDR.size:
+            raise PcapError("truncated pcap global header")
+        magic_le = struct.unpack_from("<I", header)[0]
+        if magic_le == MAGIC_USEC:
+            self._rec = _REC_HDR
+            fields = _GLOBAL_HDR.unpack(header)
+        elif struct.unpack_from(">I", header)[0] == MAGIC_USEC:
+            self._rec = _REC_HDR_BE
+            fields = _GLOBAL_HDR_BE.unpack(header)
+        else:
+            raise PcapError(f"bad pcap magic {magic_le:#x}")
+        (_, self.version_major, self.version_minor, _, _,
+         self.snaplen, self.linktype) = fields
+
+    def __iter__(self) -> Iterator[CapturedPacket]:
+        return self
+
+    def __next__(self) -> CapturedPacket:
+        header = self._file.read(self._rec.size)
+        if not header:
+            raise StopIteration
+        if len(header) < self._rec.size:
+            raise PcapError("truncated pcap record header")
+        seconds, microseconds, caplen, orig_len = self._rec.unpack(header)
+        data = self._file.read(caplen)
+        if len(data) < caplen:
+            raise PcapError("truncated pcap record body")
+        return CapturedPacket(
+            timestamp=seconds + microseconds / 1_000_000,
+            data=data,
+            orig_len=orig_len,
+            interface=self.interface,
+        )
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "PcapReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def write_pcap(path: str, packets, snaplen: int = 65535) -> int:
+    """Write ``packets`` to ``path``; returns the number written."""
+    with PcapWriter(open(path, "wb"), snaplen=snaplen) as writer:
+        for packet in packets:
+            writer.write(packet)
+        return writer.packets_written
+
+
+def read_pcap(path: str, interface: str = "pcap0"):
+    """Read all packets from ``path`` into a list."""
+    with PcapReader(open(path, "rb"), interface=interface) as reader:
+        return list(reader)

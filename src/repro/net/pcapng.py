@@ -1,0 +1,224 @@
+"""pcapng (next-generation capture) file reading and writing.
+
+Modern tooling writes pcapng rather than classic pcap; traces arrive in
+both, so the CLI and :mod:`repro.net` support both.  Implemented
+subset, which covers everything tcpdump/wireshark emit by default:
+
+* Section Header Blocks (both byte orders),
+* Interface Description Blocks (snaplen, link type, ``if_tsresol`` and
+  ``if_name`` options),
+* Enhanced Packet Blocks (timestamps in the interface's resolution),
+* unknown block types are skipped, per the spec.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Dict, Iterator, List, Optional
+
+from repro.net.packet import CapturedPacket
+
+SHB_TYPE = 0x0A0D0D0A
+IDB_TYPE = 0x00000001
+EPB_TYPE = 0x00000006
+BYTE_ORDER_MAGIC = 0x1A2B3C4D
+
+_OPT_END = 0
+_OPT_IF_NAME = 2
+_OPT_IF_TSRESOL = 9
+
+LINKTYPE_ETHERNET = 1
+
+
+class PcapngError(ValueError):
+    """Raised for malformed pcapng files."""
+
+
+class _Interface:
+    def __init__(self, name: str, tsresol_raw: int = 6) -> None:
+        self.name = name
+        if tsresol_raw & 0x80:
+            self.ticks_per_second = 2 ** (tsresol_raw & 0x7F)
+        else:
+            self.ticks_per_second = 10 ** tsresol_raw
+
+
+def _parse_options(data: bytes, endian: str) -> Dict[int, bytes]:
+    options: Dict[int, bytes] = {}
+    offset = 0
+    while offset + 4 <= len(data):
+        code, length = struct.unpack_from(endian + "HH", data, offset)
+        offset += 4
+        if code == _OPT_END:
+            break
+        options[code] = data[offset : offset + length]
+        offset += (length + 3) & ~3
+    return options
+
+
+class PcapngReader:
+    """Iterate :class:`CapturedPacket` objects out of a pcapng file.
+
+    Interface names come from ``if_name`` options when present, else
+    ``"pcapng<N>"``; they become the packets' capture interfaces.
+    """
+
+    def __init__(self, fileobj: BinaryIO,
+                 interface_prefix: str = "pcapng") -> None:
+        self._file = fileobj
+        self._prefix = interface_prefix
+        self._endian = "<"
+        self._interfaces: List[_Interface] = []
+        self._started = False
+
+    def _read_block(self):
+        header = self._file.read(8)
+        if not header:
+            return None
+        if len(header) < 8:
+            raise PcapngError("truncated block header")
+        block_type = struct.unpack_from(self._endian + "I", header, 0)[0]
+        if block_type == SHB_TYPE:
+            # Total length endianness is defined by the section itself:
+            # peek at the byte-order magic first.
+            magic_raw = self._file.read(4)
+            if len(magic_raw) < 4:
+                raise PcapngError("truncated section header")
+            if struct.unpack("<I", magic_raw)[0] == BYTE_ORDER_MAGIC:
+                self._endian = "<"
+            elif struct.unpack(">I", magic_raw)[0] == BYTE_ORDER_MAGIC:
+                self._endian = ">"
+            else:
+                raise PcapngError("bad byte-order magic")
+            total_length = struct.unpack(self._endian + "I", header[4:8])[0]
+            body = self._file.read(total_length - 12)
+            if len(body) < total_length - 12:
+                raise PcapngError("truncated section header block")
+            self._interfaces = []  # a new section resets interfaces
+            self._started = True
+            return (SHB_TYPE, b"")
+        total_length = struct.unpack(self._endian + "I", header[4:8])[0]
+        if total_length < 12 or total_length % 4:
+            raise PcapngError(f"bad block length {total_length}")
+        body = self._file.read(total_length - 8)
+        if len(body) < total_length - 8:
+            raise PcapngError("truncated block body")
+        return (block_type, body[:-4])  # strip trailing total length
+
+    def __iter__(self) -> Iterator[CapturedPacket]:
+        while True:
+            block = self._read_block()
+            if block is None:
+                return
+            block_type, body = block
+            if block_type == SHB_TYPE:
+                continue
+            if not self._started:
+                raise PcapngError("file does not start with a section header")
+            if block_type == IDB_TYPE:
+                _linktype, _reserved, _snaplen = struct.unpack_from(
+                    self._endian + "HHI", body, 0)
+                options = _parse_options(body[8:], self._endian)
+                name = options.get(_OPT_IF_NAME, b"").split(b"\x00")[0].decode(
+                    "utf-8", "replace")
+                tsresol = options.get(_OPT_IF_TSRESOL, b"\x06")[0]
+                if not name:
+                    name = f"{self._prefix}{len(self._interfaces)}"
+                self._interfaces.append(_Interface(name, tsresol))
+                continue
+            if block_type == EPB_TYPE:
+                (iface_id, ts_high, ts_low, caplen, orig_len) = \
+                    struct.unpack_from(self._endian + "IIIII", body, 0)
+                data = body[20 : 20 + caplen]
+                if len(data) < caplen:
+                    raise PcapngError("truncated packet data")
+                if iface_id >= len(self._interfaces):
+                    raise PcapngError(f"EPB references unknown interface "
+                                      f"{iface_id}")
+                interface = self._interfaces[iface_id]
+                ticks = (ts_high << 32) | ts_low
+                yield CapturedPacket(
+                    timestamp=ticks / interface.ticks_per_second,
+                    data=data,
+                    orig_len=orig_len,
+                    interface=interface.name,
+                )
+                continue
+            # Unknown block types are skipped, per the spec.
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "PcapngReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _pad4(data: bytes) -> bytes:
+    return data + b"\x00" * ((-len(data)) % 4)
+
+
+def _option(code: int, value: bytes) -> bytes:
+    return struct.pack("<HH", code, len(value)) + _pad4(value)
+
+
+class PcapngWriter:
+    """Write packets as one section with one interface per name seen."""
+
+    def __init__(self, fileobj: BinaryIO, snaplen: int = 65535) -> None:
+        self._file = fileobj
+        self.snaplen = snaplen
+        self._interface_ids: Dict[str, int] = {}
+        self.packets_written = 0
+        body = struct.pack("<IHHq", BYTE_ORDER_MAGIC, 1, 0, -1)
+        self._write_block(SHB_TYPE, body)
+
+    def _write_block(self, block_type: int, body: bytes) -> None:
+        total = 12 + len(body)
+        self._file.write(struct.pack("<II", block_type, total))
+        self._file.write(body)
+        self._file.write(struct.pack("<I", total))
+
+    def _interface_id(self, name: str) -> int:
+        if name not in self._interface_ids:
+            options = (_option(_OPT_IF_NAME, name.encode() + b"\x00")
+                       + _option(_OPT_IF_TSRESOL, b"\x06\x00\x00\x00")
+                       + struct.pack("<HH", _OPT_END, 0))
+            body = struct.pack("<HHI", LINKTYPE_ETHERNET, 0, self.snaplen)
+            self._write_block(IDB_TYPE, body + options)
+            self._interface_ids[name] = len(self._interface_ids)
+        return self._interface_ids[name]
+
+    def write(self, packet: CapturedPacket) -> None:
+        iface_id = self._interface_id(packet.interface)
+        data = packet.data[: self.snaplen]
+        ticks = int(round(packet.timestamp * 1_000_000))
+        header = struct.pack(
+            "<IIIII", iface_id, (ticks >> 32) & 0xFFFFFFFF,
+            ticks & 0xFFFFFFFF, len(data), packet.orig_len,
+        )
+        self._write_block(EPB_TYPE, header + _pad4(data))
+        self.packets_written += 1
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "PcapngWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def write_pcapng(path: str, packets, snaplen: int = 65535) -> int:
+    with PcapngWriter(open(path, "wb"), snaplen=snaplen) as writer:
+        for packet in packets:
+            writer.write(packet)
+        return writer.packets_written
+
+
+def read_pcapng(path: str):
+    with PcapngReader(open(path, "rb")) as reader:
+        return list(reader)

@@ -1,0 +1,115 @@
+"""TCP header parsing and serialization."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.net.checksum import internet_checksum, pseudo_header
+from repro.net.ip import PROTO_TCP
+
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+FLAG_URG = 0x20
+
+MIN_HEADER_LEN = 20
+
+_FIXED = struct.Struct("!HHIIBBHHH")
+
+
+@dataclass
+class TCPHeader:
+    """A TCP header (options carried opaquely)."""
+
+    src_port: int = 0
+    dst_port: int = 0
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    window: int = 65535
+    urgent: int = 0
+    options: bytes = b""
+    checksum: int = 0  # as-parsed; recomputed by pack()
+
+    @classmethod
+    def parse(cls, data: bytes, offset: int = 0) -> "TCPHeader":
+        """Parse from ``data`` at ``offset``; raises on truncation."""
+        if len(data) - offset < MIN_HEADER_LEN:
+            raise ValueError("truncated TCP header")
+        (
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            offset_reserved,
+            flags,
+            window,
+            checksum,
+            urgent,
+        ) = _FIXED.unpack_from(data, offset)
+        data_offset = (offset_reserved >> 4) * 4
+        if data_offset < MIN_HEADER_LEN:
+            raise ValueError(f"bad TCP data offset {data_offset}")
+        if len(data) - offset < data_offset:
+            raise ValueError("truncated TCP options")
+        options = bytes(data[offset + MIN_HEADER_LEN : offset + data_offset])
+        return cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=window,
+            checksum=checksum,
+            urgent=urgent,
+            options=options,
+        )
+
+    @property
+    def header_len(self) -> int:
+        """Header length in bytes, options padded to a 4-byte boundary."""
+        return MIN_HEADER_LEN + ((len(self.options) + 3) & ~3)
+
+    @property
+    def syn(self) -> bool:
+        return bool(self.flags & FLAG_SYN)
+
+    @property
+    def fin(self) -> bool:
+        return bool(self.flags & FLAG_FIN)
+
+    @property
+    def rst(self) -> bool:
+        return bool(self.flags & FLAG_RST)
+
+    @property
+    def ack_flag(self) -> bool:
+        return bool(self.flags & FLAG_ACK)
+
+    def pack(self, src_ip: int = 0, dst_ip: int = 0, payload: bytes = b"") -> bytes:
+        """Serialize; the checksum covers the pseudo-header when IPs are given."""
+        opt = self.options + b"\x00" * ((-len(self.options)) % 4)
+        data_offset = (MIN_HEADER_LEN + len(opt)) // 4
+        header = bytearray(
+            _FIXED.pack(
+                self.src_port,
+                self.dst_port,
+                self.seq,
+                self.ack,
+                data_offset << 4,
+                self.flags,
+                self.window,
+                0,
+                self.urgent,
+            )
+        )
+        header.extend(opt)
+        segment = bytes(header) + payload
+        pseudo = pseudo_header(src_ip, dst_ip, PROTO_TCP, len(segment))
+        checksum = internet_checksum(pseudo + segment)
+        header[16] = checksum >> 8
+        header[17] = checksum & 0xFF
+        return bytes(header)

@@ -1,0 +1,48 @@
+"""UDP header parsing and serialization."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.net.checksum import internet_checksum, pseudo_header
+from repro.net.ip import PROTO_UDP
+
+HEADER_LEN = 8
+
+_HDR = struct.Struct("!HHHH")
+
+
+@dataclass
+class UDPHeader:
+    """A UDP header."""
+
+    src_port: int = 0
+    dst_port: int = 0
+    length: int = 0  # filled by pack() when 0
+    checksum: int = 0  # as-parsed; recomputed by pack()
+
+    @classmethod
+    def parse(cls, data: bytes, offset: int = 0) -> "UDPHeader":
+        """Parse from ``data`` at ``offset``; raises on truncation."""
+        if len(data) - offset < HEADER_LEN:
+            raise ValueError("truncated UDP header")
+        src_port, dst_port, length, checksum = _HDR.unpack_from(data, offset)
+        return cls(src_port=src_port, dst_port=dst_port, length=length, checksum=checksum)
+
+    @property
+    def header_len(self) -> int:
+        return HEADER_LEN
+
+    def pack(self, src_ip: int = 0, dst_ip: int = 0, payload: bytes = b"") -> bytes:
+        """Serialize; the checksum covers the pseudo-header when IPs are given."""
+        length = self.length or HEADER_LEN + len(payload)
+        header = bytearray(_HDR.pack(self.src_port, self.dst_port, length, 0))
+        datagram = bytes(header) + payload
+        pseudo = pseudo_header(src_ip, dst_ip, PROTO_UDP, length)
+        checksum = internet_checksum(pseudo + datagram)
+        if checksum == 0:
+            checksum = 0xFFFF  # RFC 768: transmitted zero means "no checksum"
+        header[6] = checksum >> 8
+        header[7] = checksum & 0xFF
+        return bytes(header)

@@ -1,0 +1,26 @@
+"""Simulated network interface cards.
+
+The paper's testbed used a Tigon gigabit Ethernet card -- a programmable
+NIC with its own run-time system.  Gigascope exploits whatever the NIC
+offers (Section 3):
+
+* a **BPF prefilter** plus a **snap length**, pushing a simple
+  selection/projection into the card (:mod:`repro.nic.bpf`);
+* a full **on-NIC RTS** executing LFTAs on the card itself
+  (:mod:`repro.nic.nic_rts`), so the host only sees reduced tuples.
+
+:mod:`repro.nic.nic` models the card: wire-side ring buffer, per-packet
+processing cost, filtering, truncation, and delivery to the host.
+"""
+
+from repro.nic.bpf import BpfProgram, compile_pushed_predicates
+from repro.nic.nic import Nic, NicStats
+from repro.nic.nic_rts import NicRts
+
+__all__ = [
+    "BpfProgram",
+    "compile_pushed_predicates",
+    "Nic",
+    "NicStats",
+    "NicRts",
+]

@@ -1,0 +1,140 @@
+"""A BPF-style packet prefilter executed by the NIC.
+
+"Other NICs allow us to specify a bpf (Berkeley packet filter)
+preliminary filter, and to specify the number of bytes of qualifying
+packets (the snap length) to be returned -- that is, we can push a
+simple selection/projection operator into the NIC." (Section 3)
+
+:func:`compile_pushed_predicates` turns the planner's
+:class:`~repro.gsql.planner.PushedPredicate` list into a
+:class:`BpfProgram` that tests raw frame bytes at fixed offsets --
+exactly the subset of tests classic BPF can express cheaply.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, List, Optional, Sequence
+
+from repro.gsql.planner import PushedPredicate
+from repro.net.ethernet import ETHERTYPE_IPV4
+
+_ETH_LEN = 14
+_OPS = {
+    "=": operator.eq,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+# Extractors working on raw frame bytes (Ethernet + IPv4 [+ L4]).
+# Each returns None when the field is not present in this packet.
+
+def _ipversion(data: bytes) -> Optional[int]:
+    if len(data) < _ETH_LEN + 1:
+        return None
+    return data[_ETH_LEN] >> 4
+
+
+def _protocol(data: bytes) -> Optional[int]:
+    if len(data) < _ETH_LEN + 10:
+        return None
+    return data[_ETH_LEN + 9]
+
+
+def _srcip(data: bytes) -> Optional[int]:
+    if len(data) < _ETH_LEN + 16:
+        return None
+    return int.from_bytes(data[_ETH_LEN + 12 : _ETH_LEN + 16], "big")
+
+
+def _destip(data: bytes) -> Optional[int]:
+    if len(data) < _ETH_LEN + 20:
+        return None
+    return int.from_bytes(data[_ETH_LEN + 16 : _ETH_LEN + 20], "big")
+
+
+def _l4_offset(data: bytes) -> Optional[int]:
+    if len(data) < _ETH_LEN + 20:
+        return None
+    ihl = data[_ETH_LEN] & 0x0F
+    # Non-first fragments carry no L4 header.
+    flags_frag = int.from_bytes(data[_ETH_LEN + 6 : _ETH_LEN + 8], "big")
+    if flags_frag & 0x1FFF:
+        return None
+    return _ETH_LEN + ihl * 4
+
+
+def _srcport(data: bytes) -> Optional[int]:
+    offset = _l4_offset(data)
+    if offset is None or len(data) < offset + 2:
+        return None
+    return int.from_bytes(data[offset : offset + 2], "big")
+
+
+def _destport(data: bytes) -> Optional[int]:
+    offset = _l4_offset(data)
+    if offset is None or len(data) < offset + 4:
+        return None
+    return int.from_bytes(data[offset + 2 : offset + 4], "big")
+
+
+_EXTRACTORS = {
+    "ipversion": _ipversion,
+    "protocol": _protocol,
+    "srcip": _srcip,
+    "destip": _destip,
+    "srcport": _srcport,
+    "destport": _destport,
+}
+
+
+class BpfProgram:
+    """A conjunction of fixed-offset field tests over raw frame bytes."""
+
+    def __init__(self, tests: Sequence[Callable[[bytes], bool]],
+                 description: str = "") -> None:
+        self._tests = list(tests)
+        self.description = description
+        self.evaluated = 0
+        self.matched = 0
+
+    def __len__(self) -> int:
+        return len(self._tests)
+
+    def matches(self, data: bytes) -> bool:
+        """True if every test passes; an Ethernet/IPv4 check is implicit."""
+        self.evaluated += 1
+        if len(data) >= _ETH_LEN:
+            ethertype = int.from_bytes(data[12:14], "big")
+            if ethertype != ETHERTYPE_IPV4:
+                return False
+        for test in self._tests:
+            if not test(data):
+                return False
+        self.matched += 1
+        return True
+
+    def __repr__(self) -> str:
+        return f"BpfProgram({self.description or len(self._tests)})"
+
+
+def compile_pushed_predicates(predicates: Sequence[PushedPredicate]) -> BpfProgram:
+    """Compile the planner's pushed predicates to a runnable filter."""
+    tests = []
+    parts = []
+    for predicate in predicates:
+        extractor = _EXTRACTORS.get(predicate.field_name)
+        if extractor is None:
+            continue  # not testable at the NIC; the LFTA rechecks anyway
+        compare = _OPS[predicate.op]
+        value = predicate.value
+
+        def test(data: bytes, extract=extractor, cmp=compare, want=value) -> bool:
+            field = extract(data)
+            return field is not None and cmp(field, want)
+
+        tests.append(test)
+        parts.append(str(predicate))
+    return BpfProgram(tests, description=" and ".join(parts))

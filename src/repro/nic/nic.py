@@ -1,0 +1,102 @@
+"""The simulated NIC: ring buffer, prefilter, snap length, on-card LFTAs.
+
+The card is modeled as a single server with a fixed per-packet
+processing cost and a bounded wire-side ring: packets arriving while
+the ring is full are lost on the card ("the most that our router could
+handle" bounded the paper's NIC experiment before the Tigon itself
+saturated, so the card's capacity is deliberately generous).
+
+Depending on configuration the card
+
+* runs a BPF prefilter and truncates to the snap length, then delivers
+  raw packets to the host (options 2/3 of Section 4), or
+* executes LFTAs on the card (option 4): the host then receives only
+  the LFTAs' output tuples, each far cheaper than a packet interrupt.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional
+
+from repro.net.packet import CapturedPacket
+from repro.nic.bpf import BpfProgram
+from repro.nic.nic_rts import NicRts
+
+
+@dataclass
+class NicStats:
+    received: int = 0
+    filtered: int = 0  # rejected by the BPF prefilter
+    ring_dropped: int = 0  # lost: card too slow for the wire
+    delivered_packets: int = 0
+    delivered_tuples: int = 0
+
+
+class Nic:
+    """A programmable gigabit NIC (Tigon-style)."""
+
+    def __init__(
+        self,
+        service_us: float = 1.2,
+        ring_slots: int = 512,
+        bpf: Optional[BpfProgram] = None,
+        snaplen: Optional[int] = None,
+        rts: Optional[NicRts] = None,
+        lfta_service_us: float = 4.5,
+    ) -> None:
+        self.service_us = service_us
+        self.lfta_service_us = lfta_service_us
+        self.ring_slots = ring_slots
+        self.bpf = bpf
+        self.snaplen = snaplen
+        self.rts = rts
+        self.stats = NicStats()
+        self._completions: Deque[float] = deque()
+        #: host deliveries: (timestamp_us, payload) where payload is a
+        #: CapturedPacket (raw modes) or a tuple batch (on-NIC LFTA mode)
+        self.deliveries: List = []
+
+    def _server_accept(self, now_us: float, service_us: float) -> bool:
+        """Single-server queue with ``ring_slots`` waiting positions."""
+        completions = self._completions
+        while completions and completions[0] <= now_us:
+            completions.popleft()
+        if len(completions) >= self.ring_slots:
+            return False
+        start = completions[-1] if completions else now_us
+        completions.append(max(start, now_us) + service_us)
+        return True
+
+    def receive(self, packet: CapturedPacket, now_us: float) -> None:
+        """A packet arrives from the wire at ``now_us`` (microseconds)."""
+        self.stats.received += 1
+        service = self.lfta_service_us if self.rts is not None else self.service_us
+        if not self._server_accept(now_us, service):
+            self.stats.ring_dropped += 1
+            return
+        if self.bpf is not None and not self.bpf.matches(packet.data):
+            self.stats.filtered += 1
+            return
+        if self.snaplen is not None:
+            packet = packet.truncate(self.snaplen)
+        if self.rts is not None:
+            rows = self.rts.execute(packet)
+            if rows:
+                self.stats.delivered_tuples += len(rows)
+                self.deliveries.append((now_us, rows))
+            return
+        self.stats.delivered_packets += 1
+        self.deliveries.append((now_us, packet))
+
+    def take_deliveries(self) -> List:
+        out = self.deliveries
+        self.deliveries = []
+        return out
+
+    @property
+    def loss_rate(self) -> float:
+        if not self.stats.received:
+            return 0.0
+        return self.stats.ring_dropped / self.stats.received

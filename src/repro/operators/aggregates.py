@@ -1,0 +1,123 @@
+"""Aggregate state machinery shared by LFTA and HFTA aggregation.
+
+Gigascope's aggregate query splitting works like sub-/super-aggregates
+in data-cube computation: the LFTA maintains *partial* states that the
+HFTA later *combines*.  For each GSQL aggregate this module defines
+
+* ``init/update`` -- per-tuple accumulation,
+* ``partials`` -- the flat slot encoding emitted by an LFTA,
+* ``combine`` -- folding a partial encoding into a state, and
+* ``final`` -- the finished value.
+
+COUNT combines by summing counts; SUM by summing; MIN/MAX by min/max;
+AVG carries a (sum, count) pair across the split.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.gsql.ast_nodes import AggCall
+
+
+def partial_layout(aggregates: Sequence[AggCall]) -> List[int]:
+    """Number of partial slots each aggregate occupies (AVG needs two)."""
+    return [2 if agg.name == "AVG" else 1 for agg in aggregates]
+
+
+class AggregateOps:
+    """Executes a list of aggregates over group state lists.
+
+    ``arg_fns`` holds one compiled argument-extractor per aggregate
+    (``None`` for COUNT(*)), each taking the input tuple.
+    """
+
+    def __init__(self, aggregates: Sequence[AggCall],
+                 arg_fns: Sequence[Optional[Callable[[tuple], Any]]]) -> None:
+        if len(aggregates) != len(arg_fns):
+            raise ValueError("one argument function per aggregate required")
+        self.aggregates = list(aggregates)
+        self.arg_fns = list(arg_fns)
+        self.layout = partial_layout(aggregates)
+        self.partial_width = sum(self.layout)
+
+    # -- per-tuple accumulation ------------------------------------------
+    def new_state(self) -> list:
+        state = []
+        for agg in self.aggregates:
+            if agg.name == "COUNT":
+                state.append(0)
+            elif agg.name == "SUM":
+                state.append(0)
+            elif agg.name == "AVG":
+                state.append([0.0, 0])
+            else:  # MIN / MAX start undefined until the first update
+                state.append(None)
+        return state
+
+    def update(self, state: list, row: tuple) -> None:
+        """Fold one raw input tuple into ``state``."""
+        for index, agg in enumerate(self.aggregates):
+            arg_fn = self.arg_fns[index]
+            name = agg.name
+            if name == "COUNT":
+                state[index] += 1
+                continue
+            value = arg_fn(row)
+            if name == "SUM":
+                state[index] += value
+            elif name == "MIN":
+                if state[index] is None or value < state[index]:
+                    state[index] = value
+            elif name == "MAX":
+                if state[index] is None or value > state[index]:
+                    state[index] = value
+            elif name == "AVG":
+                pair = state[index]
+                pair[0] += value
+                pair[1] += 1
+
+    # -- the partial encoding (LFTA output slots) ---------------------------
+    def partials(self, state: list) -> Tuple[Any, ...]:
+        """Flatten ``state`` into the LFTA partial-slot encoding."""
+        out: List[Any] = []
+        for index, agg in enumerate(self.aggregates):
+            if agg.name == "AVG":
+                out.extend(state[index])
+            else:
+                out.append(state[index])
+        return tuple(out)
+
+    def combine(self, state: list, partial_slots: Sequence[Any]) -> None:
+        """Fold one partial encoding (a superaggregate step) into ``state``."""
+        cursor = 0
+        for index, agg in enumerate(self.aggregates):
+            name = agg.name
+            if name == "AVG":
+                pair = state[index]
+                pair[0] += partial_slots[cursor]
+                pair[1] += partial_slots[cursor + 1]
+                cursor += 2
+                continue
+            value = partial_slots[cursor]
+            cursor += 1
+            if name in ("COUNT", "SUM"):
+                state[index] += value
+            elif name == "MIN":
+                if state[index] is None or (value is not None and value < state[index]):
+                    state[index] = value
+            elif name == "MAX":
+                if state[index] is None or (value is not None and value > state[index]):
+                    state[index] = value
+
+    # -- results ----------------------------------------------------------
+    def final_values(self, state: list) -> Tuple[Any, ...]:
+        """One finished value per aggregate, in declaration order."""
+        out: List[Any] = []
+        for index, agg in enumerate(self.aggregates):
+            if agg.name == "AVG":
+                total, count = state[index]
+                out.append(total / count if count else 0.0)
+            else:
+                out.append(state[index])
+        return tuple(out)

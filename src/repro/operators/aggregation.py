@@ -1,0 +1,156 @@
+"""The HFTA aggregation operator with ordered group flushing.
+
+"The group key must contain at least one ordered attribute.  When a
+tuple arrives for aggregation whose ordered attribute is larger than
+that in any current group, we can deduce that all of the current groups
+are closed and will receive no further updates in the future.  All of
+the closed groups are flushed to the output."  (Section 2.1)
+
+Banded-increasing keys keep a slack of the band width before closing.
+The node either aggregates raw tuples (full mode) or combines the
+partial aggregates an LFTA emits (superaggregate mode), completing the
+sub/super-aggregate split of Section 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.heartbeat import Punctuation
+from repro.core.query_node import QueryNode
+from repro.gsql.codegen import ExprCompiler
+from repro.gsql.planner import HftaPlan
+from repro.gsql.semantic import AnalyzedQuery, KeyRef
+from repro.operators.aggregates import AggregateOps
+from repro.operators.base import key_bound_fn
+
+
+class AggregationNode(QueryNode):
+    """Group-by/aggregation over one input stream."""
+
+    def __init__(self, plan: HftaPlan, analyzed: AnalyzedQuery,
+                 compiler: ExprCompiler) -> None:
+        super().__init__(plan.name, plan.output_schema)
+        self.plan = plan
+        slot_maps = tuple(plan.slot_maps)
+        self.from_partials = plan.final_from_partials
+        if plan.sample_rate is not None and not self.from_partials:
+            import random
+            self._sample_rate = plan.sample_rate
+            self._sample_rng = random.Random(hash(plan.name) & 0xFFFFFFFF)
+        else:
+            self._sample_rate = None
+            self._sample_rng = None
+        self._predicate = compiler.predicate_fn(plan.predicates, slot_maps)
+        arg_fns = []
+        if self.from_partials:
+            self._key_width = len(analyzed.group_exprs)
+            self._key_fn = None
+            arg_fns = [None] * len(plan.aggregates)
+        else:
+            self._key_width = len(plan.group_exprs)
+            self._key_fn = compiler.tuple_fn(plan.group_exprs, slot_maps)
+            arg_fns = [
+                compiler.scalar_fn(agg.arg, slot_maps) if agg.arg is not None else None
+                for agg in plan.aggregates
+            ]
+        self.aggregate_ops = AggregateOps(plan.aggregates, arg_fns)
+        self._post_select = compiler.post_tuple_fn(plan.post_select_exprs)
+        self._having = compiler.post_predicate_fn(plan.having)
+        self._window_index = plan.window_key_index
+        self._window_band = plan.window_key_band
+        self._groups: Dict[tuple, list] = {}
+        self._high_water = None
+        if self.from_partials:
+            identity = (
+                (0, plan.window_key_index, lambda b: b)
+                if plan.window_key_index >= 0 else None
+            )
+            self._key_bound = identity
+        else:
+            self._key_bound = key_bound_fn(
+                plan.group_exprs, plan.window_key_index, analyzed, slot_maps,
+                functions=compiler.functions,
+            )
+        # Which output slot carries the window key, for outgoing punctuation.
+        self._window_out_slot = -1
+        for slot, expr in enumerate(plan.post_select_exprs):
+            if isinstance(expr, KeyRef) and expr.index == plan.window_key_index:
+                self._window_out_slot = slot
+                break
+        self.groups_emitted = 0
+
+    @property
+    def open_groups(self) -> int:
+        return len(self._groups)
+
+    def on_tuple(self, row: tuple, input_index: int) -> None:
+        if (self._sample_rate is not None
+                and self._sample_rng.random() >= self._sample_rate):
+            self.stats.discarded += 1
+            return
+        if not self._predicate(row):
+            self.stats.discarded += 1
+            return
+        if self.from_partials:
+            key = row[: self._key_width]
+            partial_slots = row[self._key_width :]
+        else:
+            key = self._key_fn(row)
+            if key is None:
+                self.stats.discarded += 1
+                return
+            partial_slots = None
+        if self._window_index >= 0:
+            window_value = key[self._window_index]
+            if self._high_water is None or window_value > self._high_water:
+                self._high_water = window_value
+                self._flush_below(window_value - self._window_band)
+        state = self._groups.get(key)
+        if state is None:
+            state = self.aggregate_ops.new_state()
+            self._groups[key] = state
+        if self.from_partials:
+            self.aggregate_ops.combine(state, partial_slots)
+        else:
+            self.aggregate_ops.update(state, row)
+
+    def _flush_below(self, low_water) -> None:
+        index = self._window_index
+        closed = [key for key in self._groups if key[index] < low_water]
+        closed.sort(key=lambda key: key[index])
+        for key in closed:
+            self._emit_group(key, self._groups.pop(key))
+        if self._window_out_slot >= 0:
+            self.emit_punctuation(Punctuation({self._window_out_slot: low_water}))
+
+    def _emit_group(self, key: tuple, state: list) -> None:
+        values = self.aggregate_ops.final_values(state)
+        if not self._having(key, values):
+            self.stats.discarded += 1
+            return
+        out = self._post_select(key, values)
+        if out is None:
+            self.stats.discarded += 1
+            return
+        self.groups_emitted += 1
+        self.emit(out)
+
+    def on_punctuation(self, punctuation: Punctuation, input_index: int) -> None:
+        if self._key_bound is None or self._window_index < 0:
+            return
+        _source, slot, bound_fn = self._key_bound
+        bound = punctuation.bound_for(slot)
+        if bound is None:
+            return
+        low_water = bound_fn(bound)
+        if self._high_water is None or low_water > self._high_water - self._window_band:
+            self._flush_below(low_water)
+
+    def flush(self) -> None:
+        """Emit every remaining group (explicit flush / end of stream)."""
+        keys = list(self._groups)
+        if self._window_index >= 0:
+            keys.sort(key=lambda key: key[self._window_index])
+        for key in keys:
+            self._emit_group(key, self._groups.pop(key))

@@ -1,0 +1,123 @@
+"""Shared operator helpers: punctuation bound transforms.
+
+When a punctuation token promises ``t[slot] >= b`` on an operator's
+input, the operator can often promise something about its *output*
+ordered attributes too -- exactly the ordering-imputation reasoning of
+Section 2.1, applied to lower bounds at run time.  This module derives
+the transform functions for the expression shapes whose ordering the
+analyzer tracks: a bare column, ``col op const`` for monotone ops, and
+integer bucketing ``col / const``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.gsql.ast_nodes import BinaryOp, Column, Expr, FuncCall, Literal
+from repro.gsql.semantic import AnalyzedQuery
+from repro.gsql.types import FLOAT
+
+BoundFn = Callable[[float], float]
+SlotMap = Optional[Dict[int, int]]
+
+# key: (source_index, input_slot); value: list of (output_slot, transform)
+TransformTable = Dict[Tuple[int, int], List[Tuple[int, BoundFn]]]
+
+
+def _expr_bound_fn(expr: Expr, analyzed: AnalyzedQuery,
+                   slot_maps: Sequence[SlotMap],
+                   functions=None) -> Optional[Tuple[int, int, BoundFn]]:
+    """(source, input_slot, monotone bound transform) for ``expr``, if any."""
+    if isinstance(expr, Column):
+        bound = analyzed.binding_of(expr)
+        if bound is None:
+            return None
+        slot_map = (
+            slot_maps[bound.source_index]
+            if bound.source_index < len(slot_maps) else None
+        )
+        slot = bound.attr_index if slot_map is None else slot_map[bound.attr_index]
+        return bound.source_index, slot, lambda b: b
+    if isinstance(expr, BinaryOp) and isinstance(expr.right, Literal):
+        constant = expr.right.value
+        if not isinstance(constant, (int, float)) or isinstance(constant, bool):
+            return None
+        inner = _expr_bound_fn(expr.left, analyzed, slot_maps, functions)
+        if inner is None:
+            return None
+        source, slot, fn = inner
+        if expr.op == "+":
+            return source, slot, lambda b, f=fn, c=constant: f(b) + c
+        if expr.op == "-":
+            return source, slot, lambda b, f=fn, c=constant: f(b) - c
+        if expr.op == "*" and constant > 0:
+            return source, slot, lambda b, f=fn, c=constant: f(b) * c
+        if expr.op == "/" and constant > 0:
+            left_type = analyzed.types.get(id(expr.left))
+            if left_type is FLOAT or isinstance(constant, float):
+                return source, slot, lambda b, f=fn, c=constant: f(b) / c
+            return source, slot, lambda b, f=fn, c=constant: int(f(b)) // int(c)
+    if isinstance(expr, FuncCall) and expr.args and functions is not None:
+        # A monotone nondecreasing function maps lower bounds to lower
+        # bounds: just apply it.
+        try:
+            spec = functions.get(expr.name)
+        except Exception:
+            return None
+        if spec.order_preserving and not spec.handle_params:
+            inner = _expr_bound_fn(expr.args[0], analyzed, slot_maps, functions)
+            if inner is not None:
+                source, slot, fn = inner
+                impl = spec.implementation
+                return source, slot, lambda b, f=fn, g=impl: g(f(b))
+    return None
+
+
+def output_bound_transforms(exprs: Sequence[Expr], analyzed: AnalyzedQuery,
+                            output_schema, slot_maps: Sequence[SlotMap] = (None,),
+                            functions=None) -> TransformTable:
+    """Punctuation transforms for a projection's output expressions.
+
+    Maps each usable (source, input slot) to the output slots that carry
+    a monotone function of it, with the bound transform to apply.
+    ``output_schema`` supplies the imputed orderings of the outputs
+    (the LFTA projection schema differs from the query output schema).
+    """
+    table: TransformTable = {}
+    for output_slot, expr in enumerate(exprs):
+        # Only increasing output attributes make usable promises.
+        if not output_schema.attributes[output_slot].ordering.is_increasing:
+            continue
+        derived = _expr_bound_fn(expr, analyzed, slot_maps, functions)
+        if derived is None:
+            continue
+        source, slot, fn = derived
+        table.setdefault((source, slot), []).append((output_slot, fn))
+    return table
+
+
+def apply_transforms(table: TransformTable, source: int,
+                     bounds: Dict[int, float]) -> Dict[int, float]:
+    """Translate input punctuation ``bounds`` into output bounds."""
+    out: Dict[int, float] = {}
+    for slot, value in bounds.items():
+        for output_slot, fn in table.get((source, slot), ()):
+            candidate = fn(value)
+            if output_slot not in out or candidate > out[output_slot]:
+                out[output_slot] = candidate
+    return out
+
+
+def key_bound_fn(group_exprs: Sequence[Expr], window_key_index: int,
+                 analyzed: AnalyzedQuery,
+                 slot_maps: Sequence[SlotMap] = (None,),
+                 functions=None) -> Optional[Tuple[int, int, BoundFn]]:
+    """Transform from an input-slot bound to a window-key bound.
+
+    Used by aggregation: a promise on the raw timestamp becomes a
+    promise on e.g. the ``time/60`` bucket key.
+    """
+    if window_key_index < 0:
+        return None
+    return _expr_bound_fn(group_exprs[window_key_index], analyzed, slot_maps,
+                          functions)

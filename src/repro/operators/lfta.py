@@ -1,0 +1,180 @@
+"""The low-level FTA node (paper Section 3).
+
+LFTAs accept only Protocol input and are linked into the run-time
+system: the RTS hands each captured packet directly to every LFTA bound
+to that interface, with no intermediate channel.  An LFTA performs
+preliminary filtering, projection, and (optionally) partial aggregation
+over a small direct-mapped hash table, greatly reducing the data
+traffic to the HFTAs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.heartbeat import Punctuation
+from repro.core.query_node import QueryNode
+from repro.gsql.ast_nodes import Column
+from repro.gsql.codegen import DiscardTuple, ExprCompiler
+from repro.gsql.planner import LftaPlan
+from repro.gsql.semantic import AnalyzedQuery
+from repro.net.packet import CapturedPacket
+from repro.operators.aggregates import AggregateOps
+from repro.operators.base import apply_transforms, key_bound_fn, output_bound_transforms
+from repro.operators.lfta_table import DirectMappedTable
+
+DEFAULT_TABLE_SIZE = 4096
+
+
+class LftaNode(QueryNode):
+    """Filtering, Transformation, and Aggregation -- the low level."""
+
+    def __init__(
+        self,
+        plan: LftaPlan,
+        analyzed: AnalyzedQuery,
+        compiler: ExprCompiler,
+        table_size: int = DEFAULT_TABLE_SIZE,
+    ) -> None:
+        super().__init__(plan.name, plan.output_schema)
+        self.plan = plan
+        self.interface = plan.interface
+        self.protocol = plan.protocol
+        self.packets_seen = 0
+        self.sampled_out = 0
+        if plan.sample_rate is not None:
+            import random
+            self._sample_rate = plan.sample_rate
+            self._sample_rng = random.Random(hash(plan.name) & 0xFFFFFFFF)
+        else:
+            self._sample_rate = None
+            self._sample_rng = None
+        self._predicate = compiler.predicate_fn(plan.predicates, (None, None))
+        needed = self._needed_attr_indices(analyzed)
+        self._interpret = self.protocol.sparse_interpreter(needed)
+        self._clock_bounds = self.protocol.clock_bounds
+
+        if plan.mode == "projection":
+            self._project = compiler.tuple_fn(plan.project_exprs, (None, None))
+            self._transforms = output_bound_transforms(
+                plan.project_exprs, analyzed, plan.output_schema, (None, None),
+                functions=compiler.functions,
+            )
+            self.table: Optional[DirectMappedTable] = None
+        elif plan.mode == "partial_aggregation":
+            self._key_fn = compiler.tuple_fn(plan.group_exprs, (None, None))
+            arg_fns = [
+                compiler.scalar_fn(agg.arg, (None, None)) if agg.arg is not None else None
+                for agg in plan.aggregates
+            ]
+            self.aggregate_ops = AggregateOps(plan.aggregates, arg_fns)
+            self.table = DirectMappedTable(table_size)
+            self._window_index = plan.window_key_index
+            self._window_band = plan.window_key_band
+            self._high_water = None
+            self._key_bound = key_bound_fn(
+                plan.group_exprs, plan.window_key_index, analyzed, (None, None),
+                functions=compiler.functions,
+            )
+        else:
+            raise ValueError(f"unknown LFTA mode {plan.mode!r}")
+        self.mode = plan.mode
+
+    def _needed_attr_indices(self, analyzed: AnalyzedQuery) -> List[int]:
+        exprs = list(self.plan.predicates)
+        exprs.extend(self.plan.project_exprs)
+        exprs.extend(self.plan.group_exprs)
+        exprs.extend(agg.arg for agg in self.plan.aggregates if agg.arg is not None)
+        indices = set()
+        for expr in exprs:
+            for node in expr.walk():
+                if isinstance(node, Column):
+                    bound = analyzed.binding_of(node)
+                    if bound is not None:
+                        indices.add(bound.attr_index)
+        return sorted(indices)
+
+    #: the RTS may pass a shared, pre-parsed PacketView
+    accepts_view = True
+
+    # -- packet path (called by the RTS, no channel in between) -----------
+    def accept_packet(self, packet: CapturedPacket, view=None) -> None:
+        self.packets_seen += 1
+        for row in self._interpret(packet, view):
+            self.stats.tuples_in += 1
+            if (self._sample_rate is not None
+                    and self._sample_rng.random() >= self._sample_rate):
+                self.sampled_out += 1
+                continue
+            if not self._predicate(row):
+                self.stats.discarded += 1
+                continue
+            if self.mode == "projection":
+                out = self._project(row)
+                if out is None:
+                    self.stats.discarded += 1
+                else:
+                    self.emit(out)
+            else:
+                self._aggregate(row)
+
+    def _aggregate(self, row: tuple) -> None:
+        key = self._key_fn(row)
+        if key is None:
+            self.stats.discarded += 1
+            return
+        if self._window_index >= 0:
+            window_value = key[self._window_index]
+            if self._high_water is None or window_value > self._high_water:
+                self._high_water = window_value
+                self._flush_below(window_value - self._window_band)
+        state, ejected = self.table.upsert(key, self.aggregate_ops.new_state)
+        if ejected is not None:
+            self._emit_group(*ejected)
+        self.aggregate_ops.update(state, row)
+
+    def _flush_below(self, low_water) -> None:
+        """Close every group whose window key is below ``low_water``."""
+        index = self._window_index
+        closed = self.table.evict_if(lambda key: key[index] < low_water)
+        closed.sort(key=lambda entry: entry[0][index])
+        for key, state in closed:
+            self._emit_group(key, state)
+        if closed or self._high_water is not None:
+            self.emit_punctuation(Punctuation({index: low_water}))
+
+    def _emit_group(self, key: tuple, state: list) -> None:
+        self.emit(key + self.aggregate_ops.partials(state))
+
+    # -- heartbeats from the RTS -------------------------------------------
+    def on_heartbeat(self, stream_time: float) -> None:
+        """Translate an interface-time heartbeat into output punctuation."""
+        bounds = self._clock_bounds(stream_time)
+        if not bounds:
+            return
+        if self.mode == "projection":
+            out = apply_transforms(self._transforms, 0, bounds)
+            if out:
+                self.emit_punctuation(Punctuation(out))
+            return
+        if self._key_bound is None:
+            return
+        _source, slot, bound_fn = self._key_bound
+        if slot in bounds:
+            low_water = bound_fn(bounds[slot])
+            if self._window_index >= 0:
+                self._flush_below(low_water)
+
+    # -- end of stream --------------------------------------------------------
+    def flush(self) -> None:
+        if self.mode == "partial_aggregation" and self.table is not None:
+            index = self._window_index
+            groups = self.table.evict_all()
+            if index >= 0:
+                groups.sort(key=lambda entry: entry[0][index])
+            for key, state in groups:
+                self._emit_group(key, state)
+
+    # LFTAs have no channel inputs; the RTS drives them directly.
+    def on_tuple(self, row: tuple, input_index: int) -> None:
+        raise TypeError("LFTA nodes accept packets, not tuples")

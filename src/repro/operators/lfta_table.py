@@ -1,0 +1,99 @@
+"""The LFTA's direct-mapped aggregation hash table (paper Section 3).
+
+"An LFTA can perform aggregation, but it uses a small direct-mapped
+hash table.  Hash table collisions result in a tuple computed from the
+ejected group being written to the output stream.  Because of temporal
+locality, aggregation even with a small hash table is effective in
+early data reduction."
+
+The table is an array of slots; each group hashes to exactly one slot
+and a collision *ejects* the resident group as a partial aggregate.
+Benchmark E4 sweeps the table size against workload locality.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+
+class DirectMappedTable:
+    """A fixed-size direct-mapped map from group keys to states."""
+
+    def __init__(self, size: int = 4096) -> None:
+        if size <= 0:
+            raise ValueError("table size must be positive")
+        self.size = size
+        self._slots: List[Optional[Tuple[Any, Any]]] = [None] * size
+        self.occupied = 0
+        self.collisions = 0
+        self.lookups = 0
+
+    def find(self, key: Any) -> Optional[Any]:
+        """The state for ``key`` if resident, else None."""
+        self.lookups += 1
+        entry = self._slots[hash(key) % self.size]
+        if entry is not None and entry[0] == key:
+            return entry[1]
+        return None
+
+    def insert(self, key: Any, state: Any) -> Optional[Tuple[Any, Any]]:
+        """Install ``key``; returns the ejected ``(key, state)`` if any."""
+        index = hash(key) % self.size
+        ejected = self._slots[index]
+        if ejected is not None and ejected[0] == key:
+            self._slots[index] = (key, state)
+            return None
+        self._slots[index] = (key, state)
+        if ejected is None:
+            self.occupied += 1
+        else:
+            self.collisions += 1
+        return ejected
+
+    def upsert(self, key: Any, make_state: Callable[[], Any]
+               ) -> Tuple[Any, Optional[Tuple[Any, Any]]]:
+        """Find-or-create the state for ``key``.
+
+        Returns ``(state, ejected)`` where ``ejected`` is the group the
+        new key displaced (or None).
+        """
+        self.lookups += 1
+        index = hash(key) % self.size
+        entry = self._slots[index]
+        if entry is not None and entry[0] == key:
+            return entry[1], None
+        state = make_state()
+        self._slots[index] = (key, state)
+        if entry is None:
+            self.occupied += 1
+        else:
+            self.collisions += 1
+        return state, entry
+
+    def evict_all(self) -> List[Tuple[Any, Any]]:
+        """Remove and return every resident group (epoch flush)."""
+        groups = [entry for entry in self._slots if entry is not None]
+        self._slots = [None] * self.size
+        self.occupied = 0
+        return groups
+
+    def evict_if(self, should_evict: Callable[[Any], bool]) -> List[Tuple[Any, Any]]:
+        """Remove and return groups whose *key* satisfies the predicate."""
+        evicted = []
+        for index, entry in enumerate(self._slots):
+            if entry is not None and should_evict(entry[0]):
+                evicted.append(entry)
+                self._slots[index] = None
+                self.occupied -= 1
+        return evicted
+
+    def __len__(self) -> int:
+        return self.occupied
+
+    def __iter__(self) -> Iterator[Tuple[Any, Any]]:
+        return (entry for entry in self._slots if entry is not None)
+
+    @property
+    def collision_rate(self) -> float:
+        """Collisions per lookup; high values mean poor early reduction."""
+        return self.collisions / self.lookups if self.lookups else 0.0

@@ -1,0 +1,144 @@
+"""The order-preserving merge (union) operator (paper Section 2.2).
+
+"The merge operator allows us to combine streams from multiple sources
+into a single stream.  This operator is surprisingly important -- we
+implemented it before the join operator."  Optical links are simplex:
+seeing a full logical link means monitoring two interfaces and merging.
+
+The merge emits tuples in nondecreasing order of the merge attribute.
+An input with an empty buffer blocks emission until either a tuple or a
+punctuation raises its low-water mark past the candidate -- this is
+exactly the blocking problem of Section 3, and why the heartbeat
+mechanism exists.  When a buffer grows past a threshold while another
+input is silent, the node requests an on-demand heartbeat.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.core.heartbeat import Punctuation
+from repro.core.query_node import QueryNode
+from repro.gsql.planner import HftaPlan
+from repro.gsql.semantic import AnalyzedQuery
+
+BLOCK_SUSPECT_DEPTH = 1024
+
+
+class MergeNode(QueryNode):
+    """K-way merge preserving the ordering of the merge attribute."""
+
+    def __init__(self, plan: HftaPlan, analyzed: AnalyzedQuery,
+                 buffer_capacity: Optional[int] = None) -> None:
+        super().__init__(plan.name, plan.output_schema)
+        self.plan = plan
+        self._slots = [slot for (_, slot) in plan.merge_slots]
+        self._bands = []
+        for position, (_, slot) in enumerate(plan.merge_slots):
+            attribute = plan.input_schemas[position].attributes[slot]
+            if not attribute.ordering.is_increasing:
+                raise ValueError(
+                    f"merge column {attribute.name} must be increasing "
+                    "(decreasing merges are not implemented)"
+                )
+            self._bands.append(attribute.ordering.effective_band)
+        count = len(plan.inputs)
+        self._buffers: List[List[tuple]] = [[] for _ in range(count)]
+        self._low_water = [-math.inf] * count
+        self._done = [False] * count
+        self.buffer_capacity = buffer_capacity
+        self.dropped = 0
+        # Output slot of the merge attribute (schemas match; use input 0's).
+        self._out_slot = self._slots[0]
+
+    @property
+    def buffered(self) -> int:
+        return sum(len(buffer) for buffer in self._buffers)
+
+    def on_tuple(self, row: tuple, input_index: int) -> None:
+        buffer = self._buffers[input_index]
+        if self.buffer_capacity is not None and len(buffer) >= self.buffer_capacity:
+            # Merge buffer overflow -- the Section 3 failure mode when a
+            # bursty stream outruns a quiet one and no heartbeats arrive.
+            self.dropped += 1
+            return
+        buffer.append(row)
+        value = row[self._slots[input_index]]
+        advance = value - self._bands[input_index]
+        if advance > self._low_water[input_index]:
+            self._low_water[input_index] = advance
+        if (len(buffer) > BLOCK_SUSPECT_DEPTH
+                and any(not b and not d for b, d in zip(self._buffers, self._done))):
+            self.request_heartbeat()
+        self._drain()
+
+    def on_punctuation(self, punctuation: Punctuation, input_index: int) -> None:
+        bound = punctuation.bound_for(self._slots[input_index])
+        if bound is not None and bound > self._low_water[input_index]:
+            self._low_water[input_index] = bound
+            self._drain()
+            self._emit_floor_punctuation()
+
+    def _min_of(self, input_index: int):
+        """(value, position) of the smallest buffered tuple of one input."""
+        buffer = self._buffers[input_index]
+        slot = self._slots[input_index]
+        if self._bands[input_index] == 0:
+            # Monotone input: the head is the minimum.
+            return buffer[0][slot], 0
+        best_pos = 0
+        best = buffer[0][slot]
+        for position in range(1, len(buffer)):
+            value = buffer[position][slot]
+            if value < best:
+                best, best_pos = value, position
+        return best, best_pos
+
+    def _drain(self) -> None:
+        """Emit while the global minimum is certainly known."""
+        while True:
+            candidate_value = None
+            candidate_input = -1
+            candidate_pos = -1
+            floor = math.inf  # what silent inputs might still produce
+            for input_index, buffer in enumerate(self._buffers):
+                if buffer:
+                    value, position = self._min_of(input_index)
+                    if candidate_value is None or value < candidate_value:
+                        candidate_value = value
+                        candidate_input = input_index
+                        candidate_pos = position
+                elif not self._done[input_index]:
+                    floor = min(floor, self._low_water[input_index])
+            if candidate_value is None or candidate_value > floor:
+                return
+            row = self._buffers[candidate_input].pop(candidate_pos)
+            self.emit(row)
+        # unreachable
+
+    def _emit_floor_punctuation(self) -> None:
+        floor = math.inf
+        for input_index, buffer in enumerate(self._buffers):
+            if buffer:
+                value, _ = self._min_of(input_index)
+                floor = min(floor, value)
+            elif not self._done[input_index]:
+                floor = min(floor, self._low_water[input_index])
+        if not math.isinf(floor):
+            self.emit_punctuation(Punctuation({self._out_slot: floor}))
+
+    def on_flush(self, input_index: int) -> None:
+        self._done[input_index] = True
+        self._low_water[input_index] = math.inf
+        self._drain()
+        if all(self._done) and not self.flushed:
+            self.flushed = True
+            self.emit_flush()
+
+    def flush(self) -> None:
+        """Force out everything buffered, in merge order."""
+        for done in range(len(self._done)):
+            self._done[done] = True
+            self._low_water[done] = math.inf
+        self._drain()

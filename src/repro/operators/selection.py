@@ -1,0 +1,58 @@
+"""The HFTA selection/projection operator.
+
+Stateless: evaluates the residual predicates (the ones too expensive
+for the LFTA, e.g. regex matching) and builds the output tuple.
+Punctuation passes through, translated onto the output attributes that
+carry a monotone function of the promised input attribute.
+"""
+
+from __future__ import annotations
+
+from repro.core.heartbeat import Punctuation
+from repro.core.query_node import QueryNode
+from repro.gsql.codegen import ExprCompiler
+from repro.gsql.planner import HftaPlan
+from repro.gsql.semantic import AnalyzedQuery
+from repro.operators.base import apply_transforms, output_bound_transforms
+
+
+class SelectionNode(QueryNode):
+    """Selection and projection over one input stream."""
+
+    def __init__(self, plan: HftaPlan, analyzed: AnalyzedQuery,
+                 compiler: ExprCompiler) -> None:
+        super().__init__(plan.name, plan.output_schema)
+        self.plan = plan
+        slot_maps = tuple(plan.slot_maps)
+        if plan.sample_rate is not None:
+            import random
+            self._sample_rate = plan.sample_rate
+            self._sample_rng = random.Random(hash(plan.name) & 0xFFFFFFFF)
+        else:
+            self._sample_rate = None
+            self._sample_rng = None
+        self._predicate = compiler.predicate_fn(plan.predicates, slot_maps)
+        self._project = compiler.tuple_fn(plan.select_exprs, slot_maps)
+        self._transforms = output_bound_transforms(
+            plan.select_exprs, analyzed, plan.output_schema, slot_maps,
+            functions=compiler.functions,
+        )
+
+    def on_tuple(self, row: tuple, input_index: int) -> None:
+        if (self._sample_rate is not None
+                and self._sample_rng.random() >= self._sample_rate):
+            self.stats.discarded += 1
+            return
+        if not self._predicate(row):
+            self.stats.discarded += 1
+            return
+        out = self._project(row)
+        if out is None:
+            self.stats.discarded += 1
+            return
+        self.emit(out)
+
+    def on_punctuation(self, punctuation: Punctuation, input_index: int) -> None:
+        out = apply_transforms(self._transforms, 0, punctuation.bounds)
+        if out:
+            self.emit_punctuation(Punctuation(out))

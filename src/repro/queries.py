@@ -1,0 +1,161 @@
+"""A catalog of canned GSQL monitoring queries.
+
+"By working closely with network analysts, we developed a system which
+is fast and flexible enough to satisfy their expectations. ... they
+quickly appreciate the ease with which new monitoring tasks can be
+implemented."  These are the standard tasks, parameterized and ready to
+``Gigascope.add_query``:
+
+    from repro.queries import heavy_hitters
+    gs.add_query(heavy_hitters(bucket_seconds=60, top_threshold=1000))
+
+Each function returns GSQL text; parameters marked *runtime* become
+``$params`` changeable on the fly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def _named(name: Optional[str], default: str) -> str:
+    return f"DEFINE query_name {name or default};"
+
+
+def packet_counts(bucket_seconds: int = 60, protocol: str = "ip",
+                  name: Optional[str] = None) -> str:
+    """Packets and bytes per time bucket."""
+    return f"""
+        {_named(name, 'packet_counts')}
+        Select tb, count(*) as packets, sum(len) as bytes
+        From {protocol}
+        Group by time/{bucket_seconds} as tb
+    """
+
+
+def heavy_hitters(bucket_seconds: int = 60, top_threshold: int = 1000,
+                  protocol: str = "ip", name: Optional[str] = None) -> str:
+    """Destination hosts receiving more than *runtime* ``$threshold``
+    packets per bucket."""
+    return f"""
+        {_named(name, 'heavy_hitters')}
+        Select tb, destIP, count(*) as packets, sum(len) as bytes
+        From {protocol}
+        Group by time/{bucket_seconds} as tb, destIP
+        Having count(*) > $threshold
+    """, {"threshold": top_threshold}
+
+
+def port_mix(bucket_seconds: int = 60, name: Optional[str] = None) -> str:
+    """Traffic volume per destination port per bucket (TCP)."""
+    return f"""
+        {_named(name, 'port_mix')}
+        Select tb, destPort, count(*) as packets, sum(len) as bytes
+        From tcp
+        Group by time/{bucket_seconds} as tb, destPort
+    """
+
+
+def syn_fin_ratio(bucket_seconds: int = 10, name: Optional[str] = None) -> str:
+    """SYN and FIN counts per bucket; a growing gap signals SYN floods
+    or scans (compare the two output streams)."""
+    prefix = name or "synfin"
+    return f"""
+        DEFINE query_name {prefix}_syn;
+        Select tb, count(*) From tcp
+        Where tcpflags & 18 = 2
+        Group by time/{bucket_seconds} as tb;
+
+        DEFINE query_name {prefix}_fin;
+        Select tb, count(*) From tcp
+        Where tcpflags & 1 = 1
+        Group by time/{bucket_seconds} as tb
+    """
+
+
+def peer_traffic(prefix_table: str, bucket_seconds: int = 60,
+                 name: Optional[str] = None):
+    """Per-peer (longest-prefix matched) traffic -- the paper's Section
+    2.2 example.  ``prefix_table`` is a filename or inline table, passed
+    by handle at *runtime* via ``$peers``."""
+    return f"""
+        {_named(name, 'peer_traffic')}
+        Select peerid, tb, count(*) as packets, sum(len) as bytes
+        From ip
+        Group by time/{bucket_seconds} as tb,
+                 getlpmid(destIP, $peers) as peerid
+    """, {"peers": prefix_table}
+
+
+def http_fraction(bucket_seconds: int = 10, name: Optional[str] = None) -> str:
+    """The Section 4 pair: all port-80 packets vs genuine HTTP."""
+    prefix = name or "http"
+    return rf"""
+        DEFINE query_name {prefix}_port80;
+        Select tb, count(*) From tcp Where destPort = 80
+        Group by time/{bucket_seconds} as tb;
+
+        DEFINE query_name {prefix}_genuine;
+        Select tb, count(*) From tcp
+        Where destPort = 80 and str_match_regex(data, '^[^\n]*HTTP/1.')
+        Group by time/{bucket_seconds} as tb
+    """
+
+
+def ping_sweep_detector(bucket_seconds: int = 10, threshold: int = 100,
+                        name: Optional[str] = None):
+    """Sources echo-requesting many distinct hosts (ICMP sweeps)."""
+    return f"""
+        {_named(name, 'ping_sweep')}
+        Select tb, srcIP, count(*) as probes
+        From icmp Where icmp_type = 8
+        Group by time/{bucket_seconds} as tb, srcIP
+        Having count(*) > $threshold
+    """, {"threshold": threshold}
+
+
+def fragment_monitor(bucket_seconds: int = 60,
+                     name: Optional[str] = None) -> str:
+    """Fragmented-datagram volume (teardrop-era attack telemetry)."""
+    return f"""
+        {_named(name, 'fragments')}
+        Select tb, count(*) as fragments, sum(len) as bytes
+        From ip
+        Where frag_offset > 0 or more_fragments = 1
+        Group by time/{bucket_seconds} as tb
+    """
+
+
+def nxdomain_storm(bucket_seconds: int = 5, threshold: int = 100,
+                   name: Optional[str] = None):
+    """Resolvers emitting bursts of NXDOMAIN (random-subdomain attacks)."""
+    return f"""
+        {_named(name, 'nxdomain_storm')}
+        Select tb, srcIP, count(*) as nxdomains
+        From dns Where is_response = 1 and rcode = 3
+        Group by time/{bucket_seconds} as tb, srcIP
+        Having count(*) > $threshold
+    """, {"threshold": threshold}
+
+
+def dns_query_mix(bucket_seconds: int = 60,
+                  name: Optional[str] = None) -> str:
+    """Query volume per qtype per bucket."""
+    return f"""
+        {_named(name, 'dns_mix')}
+        Select tb, qtype, count(*) as queries
+        From dns Where is_response = 0
+        Group by time/{bucket_seconds} as tb, qtype
+    """
+
+
+def flow_volume_from_netflow(bucket_seconds: int = 60,
+                             name: Optional[str] = None) -> str:
+    """Flows/octets per bucket of flow *start* time over a Netflow feed
+    (banded-increasing handling via the order-preserving floor())."""
+    return f"""
+        {_named(name, 'flow_volume')}
+        Select tb, count(*) as flows, sum(octets) as octets
+        From netflow
+        Group by floor(time_start)/{bucket_seconds} as tb
+    """

@@ -1,0 +1,69 @@
+"""Operational reporting: a textual snapshot of a running Gigascope.
+
+Seven AT&T installations ran "three months nonstop"; operators of a
+long-running monitor need to see where tuples flow, where they are
+discarded, and which buffers are filling.  :func:`engine_report`
+renders exactly that from the live node/channel statistics.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.engine import Gigascope
+
+
+def _format_row(columns, widths) -> str:
+    return "  ".join(str(value).ljust(width)
+                     for value, width in zip(columns, widths))
+
+
+def engine_report(engine: Gigascope) -> str:
+    """A multi-section plain-text report of the engine's state."""
+    lines: List[str] = []
+    rts = engine.rts
+    lines.append("gigascope status")
+    lines.append(f"  stream time: {rts.stream_time:.3f} s"
+                 if rts.stream_time > float("-inf") else "  stream time: -")
+    lines.append(f"  packets fed: {rts.packets_fed}")
+    lines.append(f"  heartbeats sent: {rts.heartbeats_sent}")
+    lines.append(f"  started: {rts.started}")
+    lines.append("")
+
+    header = ("node", "in", "out", "discard", "drops", "extra")
+    rows = []
+    for name in sorted(rts.names()):
+        node = rts.node(name)
+        stats = node.stats
+        drops = sum(ch.stats.dropped for ch in node.subscribers)
+        extras = []
+        for attr in ("packets_seen", "dropped", "pairs_emitted",
+                     "groups_emitted", "open_groups", "buffered",
+                     "sessions_emitted", "reorder_peak", "sampled_out"):
+            value = getattr(node, attr, None)
+            if value:
+                extras.append(f"{attr}={value}")
+        table = getattr(node, "table", None)
+        if table is not None and table.collisions:
+            extras.append(f"collisions={table.collisions}")
+        rows.append((name, stats.tuples_in, stats.tuples_out,
+                     stats.discarded, drops, " ".join(extras)))
+    widths = [max(len(str(row[i])) for row in rows + [header])
+              for i in range(len(header))]
+    lines.append(_format_row(header, widths))
+    for row in rows:
+        lines.append(_format_row(row, widths))
+
+    # Channel depths: anything non-empty is either mid-pump or stuck.
+    pending = []
+    for name in sorted(rts.names()):
+        node = rts.node(name)
+        for channel in node.subscribers:
+            if len(channel):
+                pending.append(f"  {channel.name}: {len(channel)} queued "
+                               f"(max {channel.stats.max_depth})")
+    if pending:
+        lines.append("")
+        lines.append("channels with queued items:")
+        lines.extend(pending)
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""The virtual-time performance substrate.
+
+The paper's Section 4 experiment ran on a 733 MHz host with a Tigon
+gigabit NIC; this package replaces that testbed with a calibrated
+discrete-event model so the experiment's *shape* -- who wins, where the
+2% loss knee falls, where interrupt livelock sets in -- is reproducible
+on any machine:
+
+* :mod:`repro.sim.cost_model` -- per-operation costs (microseconds)
+* :mod:`repro.sim.host` -- the host CPU: interrupt context preempts
+  packet processing, producing livelock under overload
+* :mod:`repro.sim.disk` -- the dump-to-disk path with long,
+  unpredictable flush stalls
+* :mod:`repro.sim.capture` -- the four capture stacks of Section 4 and
+  the loss-knee search harness
+"""
+
+from repro.sim.cost_model import CostModel
+from repro.sim.host import HostModel
+from repro.sim.disk import DiskModel
+from repro.sim.capture import (
+    CaptureConfig,
+    CaptureResult,
+    CaptureSimulation,
+    find_loss_knee,
+)
+
+__all__ = [
+    "CostModel",
+    "HostModel",
+    "DiskModel",
+    "CaptureConfig",
+    "CaptureResult",
+    "CaptureSimulation",
+    "find_loss_knee",
+]

@@ -1,0 +1,76 @@
+"""Per-operation costs for the virtual-time capture simulation.
+
+All costs are in microseconds on the modeled host (a 733 MHz PIII-class
+machine, per Section 4).  The defaults are calibrated so that the four
+capture configurations reproduce the paper's knees:
+
+=====================  =======================  ==================
+configuration          paper (2% loss knee)     model target
+=====================  =======================  ==================
+dump to disk           180 Mbit/s               ~180 Mbit/s
+libpcap + discard      480 Mbit/s (livelock)    ~480 Mbit/s
+Gigascope, host LFTA   480 Mbit/s (livelock)    ~480 Mbit/s
+Gigascope, NIC LFTA    <2% at 610 Mbit/s        >=610 Mbit/s
+=====================  =======================  ==================
+
+The knees for options 2 and 3 coincide because the bottleneck there is
+*interrupt service*, not query processing -- exactly the paper's
+observation that the system died of interrupt livelock, and that an
+efficient stream database adds almost nothing on top of bare libpcap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CostModel:
+    """Microsecond costs for every operation the capture paths perform."""
+
+    # -- host interrupt path -------------------------------------------------
+    #: per-packet interrupt + kernel receive work (always paid, even for
+    #: packets later dropped: this is what produces livelock)
+    interrupt_us: float = 6.2
+    #: copying a received packet out of the kernel, per byte
+    copy_per_byte_us: float = 0.0016
+
+    # -- per-packet processing, by configuration ---------------------------
+    #: libpcap read + discard (option 2 of Section 4)
+    libpcap_read_us: float = 0.2
+    #: host-resident LFTA: evaluate the prefilter predicates (option 3)
+    lfta_filter_us: float = 0.1
+    #: LFTA direct-mapped hash update, per qualifying packet
+    lfta_update_us: float = 0.3
+    #: handing a tuple from the LFTA to an HFTA via shared memory
+    tuple_emit_us: float = 0.3
+    #: HFTA regex matching, per byte of payload scanned
+    regex_per_byte_us: float = 0.004
+    #: HFTA per-tuple overhead (scheduling, aggregation bookkeeping)
+    hfta_tuple_us: float = 0.5
+
+    # -- dump-to-disk path (option 1) ------------------------------------------
+    #: per-packet write-path overhead (filesystem, pcap record header)
+    disk_packet_us: float = 4.2
+    #: per byte written to the striped disk array
+    disk_per_byte_us: float = 0.006
+    #: the write path stalls this long ...
+    disk_stall_us: float = 24_000.0
+    #: ... every this many bytes (buffer cache flush); "long and
+    #: unpredictable delays throughout the system"
+    disk_stall_every_bytes: int = 4_000_000
+
+    # -- NIC (option 4) ------------------------------------------------------------
+    #: Tigon firmware cost per packet for BPF + snap length handling
+    nic_service_us: float = 1.2
+    #: Tigon firmware cost per packet when running LFTAs on the card
+    nic_lfta_us: float = 5.5
+    #: host-side cost per *tuple* delivered by the on-NIC LFTA (DMA'd
+    #: batches; no per-packet interrupt)
+    nic_tuple_host_us: float = 2.0
+
+    # -- structure --------------------------------------------------------------------
+    #: kernel receive ring, in packets
+    host_ring_slots: int = 2048
+    #: NIC wire-side ring, in packets (the Tigon has megabytes of SRAM)
+    nic_ring_slots: int = 4096

@@ -1,0 +1,47 @@
+"""The dump-to-disk capture path (option 1 of Section 4).
+
+"Option 1, dumping the data to disk, had by far the worst performance
+[...] Touching disk kills performance not because it is slow but
+because it generates long and unpredictable delays throughout the
+system."
+
+The model charges a per-packet and per-byte write cost, plus a long
+stall every time the write buffer fills -- during the stall the receive
+queue backs up and bursts of packets are lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DiskStats:
+    packets: int = 0
+    bytes_written: int = 0
+    stalls: int = 0
+
+
+class DiskModel:
+    """Per-packet service times for the pcap-dump write path."""
+
+    def __init__(self, packet_us: float, per_byte_us: float,
+                 stall_us: float, stall_every_bytes: int) -> None:
+        self.packet_us = packet_us
+        self.per_byte_us = per_byte_us
+        self.stall_us = stall_us
+        self.stall_every_bytes = stall_every_bytes
+        self.stats = DiskStats()
+        self._since_stall = 0
+
+    def write_cost_us(self, nbytes: int) -> float:
+        """Service time for writing one captured packet of ``nbytes``."""
+        self.stats.packets += 1
+        self.stats.bytes_written += nbytes
+        self._since_stall += nbytes
+        cost = self.packet_us + nbytes * self.per_byte_us
+        if self._since_stall >= self.stall_every_bytes:
+            self._since_stall -= self.stall_every_bytes
+            self.stats.stalls += 1
+            cost += self.stall_us
+        return cost

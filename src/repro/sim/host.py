@@ -1,0 +1,101 @@
+"""The host CPU model: interrupt context preempts packet processing.
+
+Every arriving packet costs interrupt service time *before* any drop
+decision is made -- the kernel must take the interrupt to learn the
+packet exists.  Deferred processing (libpcap read, LFTA evaluation,
+disk writes) runs in whatever CPU remains.  When the arrival rate
+approaches ``1 / interrupt_us`` the leftover goes to zero, the receive
+queue never drains, and goodput collapses: **interrupt livelock**,
+exactly the failure mode Section 4 reports at 480 Mbit/s.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque
+
+
+@dataclass
+class HostStats:
+    arrivals: int = 0
+    accepted: int = 0
+    dropped: int = 0
+    interrupt_us: float = 0.0
+    processing_us: float = 0.0
+
+
+class HostModel:
+    """Two-priority CPU: interrupts first, packet processing with leftover."""
+
+    def __init__(self, interrupt_us: float, ring_slots: int) -> None:
+        self.interrupt_us = interrupt_us
+        self.ring_slots = ring_slots
+        self.stats = HostStats()
+        self._last_us = 0.0
+        self._int_backlog = 0.0
+        self._queue: Deque[float] = deque()  # remaining service per queued packet
+        self._queued_work = 0.0
+
+    def _advance(self, now_us: float) -> None:
+        """Spend the CPU time between the last event and ``now_us``."""
+        available = now_us - self._last_us
+        if available <= 0:
+            return
+        self._last_us = now_us
+        # Interrupt context runs first.
+        spent = min(available, self._int_backlog)
+        self._int_backlog -= spent
+        self.stats.interrupt_us += spent
+        available -= spent
+        # Whatever is left drains the processing queue.
+        queue = self._queue
+        while available > 0 and queue:
+            head = queue[0]
+            if head <= available:
+                available -= head
+                self._queued_work -= head
+                self.stats.processing_us += head
+                queue.popleft()
+            else:
+                queue[0] = head - available
+                self._queued_work -= available
+                self.stats.processing_us += available
+                available = 0.0
+
+    def arrival(self, now_us: float, service_us: float) -> bool:
+        """One packet arrives; returns True if it entered the queue.
+
+        The interrupt cost is charged unconditionally; the drop (if any)
+        happens at the full receive queue, after the CPU already paid.
+        """
+        self._advance(now_us)
+        self.stats.arrivals += 1
+        self._int_backlog += self.interrupt_us
+        if len(self._queue) >= self.ring_slots:
+            self.stats.dropped += 1
+            return False
+        self._queue.append(service_us)
+        self._queued_work += service_us
+        self.stats.accepted += 1
+        return True
+
+    def work(self, now_us: float, service_us: float) -> None:
+        """Queue non-interrupt work not tied to a packet arrival (tuples)."""
+        self._advance(now_us)
+        self._queue.append(service_us)
+        self._queued_work += service_us
+
+    def drain(self, until_us: float) -> None:
+        """Let the host finish pending work up to ``until_us``."""
+        self._advance(until_us)
+
+    @property
+    def backlog_us(self) -> float:
+        return self._int_backlog + self._queued_work
+
+    @property
+    def loss_rate(self) -> float:
+        if not self.stats.arrivals:
+            return 0.0
+        return self.stats.dropped / self.stats.arrivals

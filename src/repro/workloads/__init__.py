@@ -1,0 +1,32 @@
+"""Synthetic traffic: the stand-in for the paper's live AT&T links.
+
+* :mod:`repro.workloads.generators` -- the Section 4 experiment mix
+  (60 Mbit/s of port-80 traffic, HTTP and tunneled, plus bursty
+  background) and generic packet-stream utilities
+* :mod:`repro.workloads.flows` -- Zipf flow workloads with tunable
+  temporal locality (for the LFTA hash-table experiment)
+* :mod:`repro.workloads.netflow_source` -- Netflow v5 export datagrams
+  synthesized from a flow population (banded start times)
+"""
+
+from repro.workloads.generators import (
+    PacketPool,
+    background_pool,
+    http_port80_pool,
+    merge_streams,
+    packet_stream,
+    section4_stream,
+)
+from repro.workloads.flows import ZipfFlowWorkload
+from repro.workloads.netflow_source import netflow_export_stream
+
+__all__ = [
+    "PacketPool",
+    "background_pool",
+    "http_port80_pool",
+    "merge_streams",
+    "packet_stream",
+    "section4_stream",
+    "ZipfFlowWorkload",
+    "netflow_export_stream",
+]

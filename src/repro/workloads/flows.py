@@ -1,0 +1,82 @@
+"""Zipf flow workloads with tunable temporal locality.
+
+"Because of temporal locality, aggregation even with a small hash table
+is effective in early data reduction" (Section 3).  Whether that holds
+depends on how concentrated the flow popularity distribution is; this
+workload draws packets from a population of 5-tuple flows whose
+popularity follows a Zipf law with parameter ``alpha``, with optional
+flow churn.  Benchmark E4 sweeps the LFTA table size against ``alpha``.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect
+from dataclasses import dataclass
+from itertools import accumulate
+from typing import Iterator, List, Tuple
+
+from repro.net.build import build_tcp_frame
+from repro.net.packet import CapturedPacket
+from repro.net.tcp import FLAG_ACK
+
+
+@dataclass
+class _Flow:
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    frame: bytes
+
+
+class ZipfFlowWorkload:
+    """Packets drawn from ``num_flows`` flows with Zipf(alpha) popularity."""
+
+    def __init__(self, num_flows: int = 10_000, alpha: float = 1.1,
+                 seed: int = 11, churn_per_packet: float = 0.0) -> None:
+        if num_flows <= 0:
+            raise ValueError("num_flows must be positive")
+        self.num_flows = num_flows
+        self.alpha = alpha
+        self.churn_per_packet = churn_per_packet
+        self._rng = random.Random(seed)
+        weights = [1.0 / (rank ** alpha) for rank in range(1, num_flows + 1)]
+        self._cumulative = list(accumulate(weights))
+        self._total = self._cumulative[-1]
+        self._flows: List[_Flow] = [self._new_flow() for _ in range(num_flows)]
+
+    def _new_flow(self) -> _Flow:
+        rng = self._rng
+        src = f"10.{rng.randrange(256)}.{rng.randrange(256)}.{rng.randrange(1, 255)}"
+        dst = f"192.168.{rng.randrange(256)}.{rng.randrange(1, 255)}"
+        sport = rng.randrange(1024, 65535)
+        dport = rng.choice((80, 443, 25, 53, 8080))
+        payload = bytes(64)
+        frame = build_tcp_frame(src, dst, sport, dport, payload=payload,
+                                flags=FLAG_ACK)
+        return _Flow(src, dst, sport, dport, frame)
+
+    def _pick(self) -> int:
+        """Sample a flow rank from the Zipf distribution."""
+        point = self._rng.random() * self._total
+        return bisect(self._cumulative, point)
+
+    def packets(self, count: int, pps: float = 100_000.0,
+                start: float = 0.0, interface: str = "eth0"
+                ) -> Iterator[CapturedPacket]:
+        """Yield ``count`` packets at ``pps`` packets/second."""
+        gap = 1.0 / pps
+        now = start
+        for _ in range(count):
+            rank = self._pick()
+            if (self.churn_per_packet
+                    and self._rng.random() < self.churn_per_packet):
+                self._flows[rank] = self._new_flow()
+            flow = self._flows[min(rank, self.num_flows - 1)]
+            yield CapturedPacket(timestamp=now, data=flow.frame,
+                                 interface=interface)
+            now += gap
+
+    def distinct_keys(self) -> int:
+        return self.num_flows

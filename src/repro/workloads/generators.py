@@ -1,0 +1,187 @@
+"""Packet-stream generators for the Section 4 experiment.
+
+"We generated 60 Mbit/sec of port 80 traffic, and additional background
+traffic to vary the data rates."  The query under test computes the
+fraction of port-80 traffic that is actually HTTP (port 80 is used to
+tunnel through firewalls), so the port-80 pool mixes genuine HTTP
+payloads (matching ``^[^\\n]*HTTP/1.*``) with binary tunnel traffic.
+
+For throughput, streams draw frames from a pre-built :class:`PacketPool`
+(building checksummed frames is expensive) and only the timestamps are
+fresh; this mirrors a hardware traffic generator replaying templates.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.net.build import build_tcp_frame, build_udp_frame
+from repro.net.packet import CapturedPacket
+from repro.net.tcp import FLAG_ACK, FLAG_PSH
+
+_HTTP_REQUESTS = [
+    b"GET /index.html HTTP/1.1\r\nHost: www.example.com\r\n"
+    b"User-Agent: Mozilla/4.0\r\nAccept: */*\r\n\r\n",
+    b"GET /images/logo.gif HTTP/1.0\r\nHost: portal.example.net\r\n\r\n",
+    b"POST /cgi-bin/form HTTP/1.1\r\nHost: www.example.org\r\n"
+    b"Content-Length: 42\r\n\r\n" + b"x" * 42,
+    b"HTTP/1.1 200 OK\r\nServer: Apache/1.3\r\nContent-Type: text/html\r\n"
+    b"Content-Length: 512\r\n\r\n" + b"<html>" + b"a" * 500 + b"</html>",
+    b"HTTP/1.0 304 Not Modified\r\nDate: Mon, 09 Jun 2003 10:00:00 GMT\r\n\r\n",
+]
+
+
+@dataclass
+class PacketPool:
+    """Pre-built frames with their wire sizes and mean size."""
+
+    frames: List[bytes]
+
+    @property
+    def mean_size(self) -> float:
+        return sum(len(frame) for frame in self.frames) / len(self.frames)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+
+def http_port80_pool(seed: int = 1, pool_size: int = 256,
+                     http_fraction: float = 0.7) -> PacketPool:
+    """Port-80 TCP frames: ``http_fraction`` genuine HTTP, rest tunneled."""
+    rng = random.Random(seed)
+    frames = []
+    for index in range(pool_size):
+        src = f"10.{rng.randrange(256)}.{rng.randrange(256)}.{rng.randrange(1, 255)}"
+        dst = f"192.168.{rng.randrange(4)}.{rng.randrange(1, 255)}"
+        if rng.random() < http_fraction:
+            payload = rng.choice(_HTTP_REQUESTS)
+        else:
+            # Tunneled traffic on port 80: binary, never matches the regex.
+            payload = bytes(rng.randrange(1, 256) for _ in range(rng.randrange(64, 700)))
+        frames.append(
+            build_tcp_frame(
+                src, dst, rng.randrange(1024, 65535), 80,
+                payload=payload, seq=rng.randrange(1 << 31),
+                flags=FLAG_ACK | FLAG_PSH, identification=index,
+            )
+        )
+    return PacketPool(frames)
+
+
+def background_pool(seed: int = 2, pool_size: int = 256) -> PacketPool:
+    """Non-port-80 mix: small ACKs, medium UDP, full-size TCP."""
+    rng = random.Random(seed)
+    frames = []
+    for index in range(pool_size):
+        src = f"172.16.{rng.randrange(256)}.{rng.randrange(1, 255)}"
+        dst = f"10.{rng.randrange(256)}.{rng.randrange(256)}.{rng.randrange(1, 255)}"
+        choice = rng.random()
+        if choice < 0.4:  # pure ACK
+            frames.append(
+                build_tcp_frame(src, dst, rng.randrange(1024, 65535),
+                                rng.choice((22, 25, 443, 8000)),
+                                flags=FLAG_ACK, identification=index)
+            )
+        elif choice < 0.7:  # medium UDP (DNS-ish, media)
+            payload = bytes(rng.randrange(256) for _ in range(rng.randrange(100, 576)))
+            frames.append(
+                build_udp_frame(src, dst, rng.randrange(1024, 65535),
+                                rng.choice((53, 123, 5004)),
+                                payload=payload, identification=index)
+            )
+        else:  # full-size TCP data
+            payload = bytes(rng.randrange(256) for _ in range(1400))
+            frames.append(
+                build_tcp_frame(src, dst, rng.randrange(1024, 65535),
+                                rng.choice((21, 119, 443, 6000)),
+                                payload=payload, flags=FLAG_ACK,
+                                identification=index)
+            )
+    return PacketPool(frames)
+
+
+def packet_stream(
+    pool: PacketPool,
+    rate_mbps: float,
+    duration_s: float,
+    start: float = 0.0,
+    interface: str = "eth0",
+    seed: int = 3,
+    bursty: bool = False,
+    burst_on_s: float = 0.08,
+    burst_off_s: float = 0.02,
+) -> Iterator[CapturedPacket]:
+    """Yield pool frames at ``rate_mbps`` for ``duration_s`` seconds.
+
+    With ``bursty`` the stream is ON/OFF (exponential periods averaging
+    ``burst_on_s``/``burst_off_s``) with the ON rate scaled so the long-
+    run average still meets ``rate_mbps`` -- "network traffic is
+    notoriously bursty in this manner".
+    """
+    if rate_mbps <= 0:
+        return
+    rng = random.Random(seed)
+    mean_size = pool.mean_size
+    pps = rate_mbps * 1e6 / 8.0 / mean_size
+    frames = pool.frames
+    count = len(frames)
+    now = start
+    end = start + duration_s
+    if not bursty:
+        gap = 1.0 / pps
+        index = rng.randrange(count)
+        while now < end:
+            yield CapturedPacket(timestamp=now, data=frames[index],
+                                 interface=interface)
+            index += 1
+            if index == count:
+                index = 0
+            # Small jitter so arrivals are not perfectly periodic.
+            now += gap * (0.5 + rng.random())
+        return
+    duty = burst_on_s / (burst_on_s + burst_off_s)
+    on_pps = pps / duty
+    on_gap = 1.0 / on_pps
+    index = rng.randrange(count)
+    while now < end:
+        burst_until = now + rng.expovariate(1.0 / burst_on_s)
+        while now < burst_until and now < end:
+            yield CapturedPacket(timestamp=now, data=frames[index],
+                                 interface=interface)
+            index += 1
+            if index == count:
+                index = 0
+            now += on_gap * (0.5 + rng.random())
+        now += rng.expovariate(1.0 / burst_off_s)
+
+
+def merge_streams(*streams: Iterable[CapturedPacket]) -> Iterator[CapturedPacket]:
+    """Merge packet streams into one, ordered by timestamp."""
+    return heapq.merge(*streams, key=lambda packet: packet.timestamp)
+
+
+def section4_stream(
+    background_mbps: float,
+    duration_s: float = 1.0,
+    port80_mbps: float = 60.0,
+    seed: int = 7,
+    interface: str = "eth0",
+    pools: Optional[Sequence[PacketPool]] = None,
+) -> Iterator[CapturedPacket]:
+    """The Section 4 mix: fixed port-80 load plus variable background."""
+    if pools is None:
+        pools = (http_port80_pool(seed), background_pool(seed + 1))
+    port80, background = pools
+    streams = [
+        packet_stream(port80, port80_mbps, duration_s, seed=seed + 2,
+                      interface=interface),
+    ]
+    if background_mbps > 0:
+        streams.append(
+            packet_stream(background, background_mbps, duration_s,
+                          seed=seed + 3, interface=interface, bursty=True)
+        )
+    return merge_streams(*streams)

@@ -1,0 +1,160 @@
+"""Tests for the ``gsq`` command-line tool."""
+
+import csv
+import io
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.net.pcap import write_pcap
+from tests.conftest import tcp_packet
+
+
+@pytest.fixture
+def trace(tmp_path):
+    packets = [
+        tcp_packet(ts=float(i), dport=80 if i % 2 else 443,
+                   payload=b"GET / HTTP/1.1\r\n" if i % 2 else b"x")
+        for i in range(20)
+    ]
+    path = tmp_path / "trace.pcap"
+    write_pcap(str(path), packets)
+    return str(path)
+
+
+def run_cli(args, capsys):
+    code = main(args)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestBasicRuns:
+    def test_inline_query_csv(self, trace, capsys):
+        code, out, _ = run_cli(
+            ["--pcap", trace,
+             "--query", "DEFINE query_name q; Select time, destPort "
+                        "From tcp Where destPort = 80"],
+            capsys)
+        assert code == 0
+        rows = list(csv.reader(io.StringIO(out.split("# q\n")[1])))
+        assert rows[0] == ["time", "destPort"]
+        assert len(rows) == 11  # header + 10 port-80 packets
+
+    def test_query_file_and_output_dir(self, trace, tmp_path, capsys):
+        qfile = tmp_path / "queries.gsql"
+        qfile.write_text("""
+            DEFINE query_name base;
+            Select time, destPort, len From tcp;
+
+            DEFINE query_name counts;
+            Select tb, count(*) From base Group by time/5 as tb
+        """)
+        out_dir = tmp_path / "out"
+        code, out, _ = run_cli(
+            ["--pcap", trace, "--query-file", str(qfile),
+             "--subscribe", "counts", "--output", str(out_dir)],
+            capsys)
+        assert code == 0
+        with open(out_dir / "counts.csv") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["tb", "cnt"]
+        assert sum(int(r[1]) for r in rows[1:]) == 20
+
+    def test_explain(self, capsys):
+        code, out, _ = run_cli(
+            ["--query", "DEFINE query_name q; Select time From tcp "
+                        "Where destPort = 80", "--explain"],
+            capsys)
+        assert code == 0
+        assert "LFTA" in out
+
+    def test_pretty_ip(self, trace, capsys):
+        code, out, _ = run_cli(
+            ["--pcap", trace, "--pretty-ip",
+             "--query", "DEFINE query_name q; Select destIP From tcp"],
+            capsys)
+        assert code == 0
+        assert "192.168.1.1" in out
+
+    def test_param(self, trace, capsys):
+        code, out, _ = run_cli(
+            ["--pcap", trace,
+             "--query", "DEFINE query_name q; Select time From tcp "
+                        "Where destPort = $port",
+             "--param", "q.port=443"],
+            capsys)
+        assert code == 0
+        body = out.split("# q\n")[1].strip().splitlines()
+        assert len(body) == 11  # header + 10 rows
+
+    def test_synthetic_source(self, capsys):
+        code, out, _ = run_cli(
+            ["--synthetic", "60x0.2",
+             "--query", "DEFINE query_name q; Select tb, count(*) "
+                        "From tcp Group by time/1 as tb"],
+            capsys)
+        assert code == 0
+        assert "# q" in out
+
+    def test_stats_flag(self, trace, capsys):
+        code, _out, err = run_cli(
+            ["--pcap", trace, "--stats",
+             "--query", "DEFINE query_name q; Select time From tcp"],
+            capsys)
+        assert code == 0
+        assert "node statistics" in err
+
+
+class TestErrors:
+    def test_bad_query_reports_error(self, trace, capsys):
+        code, _out, err = run_cli(
+            ["--pcap", trace, "--query", "Select FROM nothing"],
+            capsys)
+        assert code == 1
+        assert "query error" in err
+
+    def test_semantic_error_reported(self, trace, capsys):
+        code, _out, err = run_cli(
+            ["--pcap", trace,
+             "--query", "DEFINE query_name q; Select ghost From tcp"],
+            capsys)
+        assert code == 1
+        assert "query error" in err
+
+    def test_no_queries(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--pcap", "x.pcap"])
+
+    def test_bad_param_format(self, trace, capsys):
+        with pytest.raises(SystemExit):
+            main(["--pcap", trace, "--query", "Select time From tcp",
+                  "--param", "nonsense"])
+
+
+class TestMultiplePcaps:
+    def test_two_traces_two_interfaces(self, tmp_path, capsys):
+        east = [tcp_packet(ts=float(i), interface="x") for i in range(5)]
+        west = [tcp_packet(ts=i + 0.5, interface="x") for i in range(5)]
+        east_path = tmp_path / "east.pcap"
+        west_path = tmp_path / "west.pcap"
+        write_pcap(str(east_path), east)
+        write_pcap(str(west_path), west)
+        code, out, _ = run_cli(
+            [
+                "--pcap", f"{east_path}:eth0",
+                "--pcap", f"{west_path}:eth1",
+                "--query", """
+                    DEFINE query_name e0; Select time, destIP From eth0.tcp;
+                    DEFINE query_name e1; Select time, destIP From eth1.tcp;
+                    DEFINE query_name m;
+                    Merge e0.time : e1.time From e0, e1
+                """,
+                "--subscribe", "m",
+            ],
+            capsys)
+        assert code == 0
+        body = out.split("# m\n")[1].strip().splitlines()
+        assert len(body) == 11  # header + 10 merged rows
+        times = [int(line.split(",")[0]) for line in body[1:]]
+        assert times == sorted(times)

@@ -1,0 +1,79 @@
+"""Tests for channels and control tokens."""
+
+import pytest
+
+from repro.core.channels import Channel
+from repro.core.heartbeat import FLUSH, FlushToken, Punctuation
+
+
+class TestChannel:
+    def test_fifo_order(self):
+        channel = Channel()
+        for i in range(5):
+            channel.push((i,))
+        assert [channel.pop() for _ in range(5)] == [(i,) for i in range(5)]
+
+    def test_capacity_drops_newest_tuples(self):
+        channel = Channel(capacity=2)
+        assert channel.push((1,))
+        assert channel.push((2,))
+        assert not channel.push((3,))
+        assert channel.stats.dropped == 1
+        assert len(channel) == 2
+
+    def test_control_tokens_never_dropped(self):
+        channel = Channel(capacity=1)
+        channel.push((1,))
+        assert channel.push(Punctuation({0: 5}))
+        assert channel.push(FLUSH)
+        assert len(channel) == 3
+
+    def test_stats(self):
+        channel = Channel()
+        channel.push((1,))
+        channel.push((2,))
+        channel.pop()
+        assert channel.stats.pushed == 2
+        assert channel.stats.popped == 1
+        assert channel.stats.max_depth == 2
+
+    def test_drain(self):
+        channel = Channel()
+        channel.push((1,))
+        channel.push((2,))
+        assert channel.drain() == [(1,), (2,)]
+        assert len(channel) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Channel(capacity=0)
+
+    def test_bool_and_iter(self):
+        channel = Channel()
+        assert not channel
+        channel.push((1,))
+        assert channel
+        assert list(channel) == [(1,)]
+
+
+class TestPunctuation:
+    def test_bound_lookup(self):
+        punct = Punctuation({0: 5.0, 3: 9.0})
+        assert punct.bound_for(0) == 5.0
+        assert punct.bound_for(1) is None
+
+    def test_merged_with_takes_max(self):
+        a = Punctuation({0: 5.0, 1: 2.0})
+        b = Punctuation({0: 3.0, 2: 7.0})
+        merged = a.merged_with(b)
+        assert merged.bounds == {0: 5.0, 1: 2.0, 2: 7.0}
+
+    def test_truthiness(self):
+        assert not Punctuation({})
+        assert Punctuation({0: 1})
+
+
+class TestFlushToken:
+    def test_singleton(self):
+        assert FlushToken() is FLUSH
+        assert repr(FLUSH) == "FLUSH"

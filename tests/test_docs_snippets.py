@@ -1,0 +1,47 @@
+"""Docs must not rot: every ```sql block in the documentation parses,
+analyzes, and plans against the real front end."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro import Gigascope
+from repro.gsql.parser import parse_queries
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [ROOT / "README.md", ROOT / "docs" / "gsql_reference.md"]
+
+_FENCE = re.compile(r"```sql\n(.*?)```", re.DOTALL)
+
+
+def sql_blocks():
+    blocks = []
+    for path in DOC_FILES:
+        if not path.exists():
+            continue
+        for match in _FENCE.finditer(path.read_text()):
+            blocks.append((path.name, match.group(1)))
+    return blocks
+
+
+@pytest.mark.parametrize("source,block", sql_blocks(),
+                         ids=[f"{name}:{i}" for i, (name, _)
+                              in enumerate(sql_blocks())])
+def test_sql_block_compiles(source, block):
+    queries = parse_queries(block)
+    assert queries, f"empty sql block in {source}"
+    gs = Gigascope()
+    params = {
+        name: {"peers": "10.0.0.0/8 1", "minlen": 40, "port": 80}
+        for name in re.findall(r"query_name\s+(\w+)", block)
+    }
+    gs.add_queries(block, params=params)
+
+
+def test_docs_mention_every_experiment():
+    """EXPERIMENTS.md covers every benchmark module."""
+    experiments = (ROOT / "EXPERIMENTS.md").read_text()
+    for path in sorted((ROOT / "benchmarks").glob("test_e*.py")):
+        assert path.name in experiments or path.stem.split("_")[1] in \
+            experiments.lower(), f"{path.name} undocumented"

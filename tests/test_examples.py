@@ -1,0 +1,56 @@
+"""Smoke tests: the example scripts run and print what they promise."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SLOW = os.environ.get("RUN_SLOW_EXAMPLES") != "1"
+
+
+def run_example(name, timeout=180):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestFastExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "LFTA" in out
+        assert "received" in out
+        assert "NIC prefilter" in out
+
+    def test_bgp_monitor(self):
+        out = run_example("bgp_monitor.py")
+        assert "withdrawal storms" in out
+        assert "7018" in out
+
+
+@pytest.mark.skipif(SLOW, reason="set RUN_SLOW_EXAMPLES=1 to run")
+class TestSlowExamples:
+    def test_http_port80_analysis(self):
+        out = run_example("http_port80_analysis.py", timeout=600)
+        assert "HTTP fraction" in out
+
+    def test_link_merge_monitor(self):
+        out = run_example("link_merge_monitor.py", timeout=600)
+        assert "peer-AS" in out
+
+    def test_netflow_peering(self):
+        out = run_example("netflow_peering.py", timeout=600)
+        assert "banded_increasing" in out
+
+    def test_syn_flood_detector(self):
+        out = run_example("syn_flood_detector.py", timeout=600)
+        assert "ALERTS" in out
+
+    def test_capture_path_study(self):
+        out = run_example("capture_path_study.py", timeout=600)
+        assert "2%-loss knees" in out

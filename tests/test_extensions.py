@@ -1,0 +1,229 @@
+"""Tests for the paper's extension points implemented here:
+
+* ``SELECT *`` expansion
+* subqueries in the FROM clause (Section 2.2: "requires only an update
+  of the parser")
+* ``DEFINE sample p`` Bernoulli sampling (the research-directions
+  requirement that sampling be "under the control of the analyst")
+* the ``any`` interface wildcard (the research-directions stream-source
+  scaling problem)
+* the GSQL unparser round trip
+"""
+
+import pytest
+
+from repro import Gigascope
+from repro.gsql.parser import parse_query
+from repro.gsql.semantic import SemanticError, analyze
+from repro.gsql.unparse import query_to_gsql
+from tests.conftest import tcp_packet
+
+
+class TestSelectStar:
+    def test_expands_to_all_columns(self, registry, functions):
+        analyzed = analyze(parse_query("Select * From tcp Where destPort = 80"),
+                           registry, functions)
+        assert [c.name for c in analyzed.output_columns] == \
+            list(registry.get("tcp").names)
+
+    def test_star_runs_end_to_end(self):
+        gs = Gigascope()
+        gs.add_query("DEFINE query_name q; Select * From tcp")
+        sub = gs.subscribe("q")
+        gs.start()
+        gs.feed_packet(tcp_packet(ts=3.0, dport=80))
+        gs.pump()
+        (row,) = sub.poll()
+        schema = gs.schema_of("q")
+        assert row[schema.index_of("destPort")] == 80
+        assert row[schema.index_of("time")] == 3
+
+    def test_star_over_join_qualifies(self, registry, functions):
+        analyzed = analyze(
+            parse_query("Select * From eth0.tcp B, eth1.tcp C "
+                        "Where B.time = C.time"),
+            registry, functions)
+        # every column from both sides, deduped names
+        assert len(analyzed.output_columns) == 2 * len(registry.get("tcp"))
+
+
+class TestFromSubqueries:
+    def test_subquery_lifted_and_runs(self):
+        gs = Gigascope()
+        gs.add_query("""
+            DEFINE query_name agg;
+            Select tb, count(*)
+            From ( Select time, destPort From tcp Where destPort = 80 ) web
+            Group by time/10 as tb
+        """)
+        sub = gs.subscribe("agg")
+        gs.start()
+        for i in range(20):
+            gs.feed_packet(tcp_packet(ts=float(i), dport=80 if i % 2 else 443))
+        gs.flush()
+        rows = sub.poll()
+        assert sum(count for _tb, count in rows) == 10
+        # the inner query is registered as its own (subscribable) stream
+        assert any(name.startswith("_sub_agg") for name in gs.rts.names())
+
+    def test_named_subquery_keeps_its_name(self):
+        gs = Gigascope()
+        gs.add_query("""
+            DEFINE query_name outer_q;
+            Select time From ( DEFINE query_name inner_q;
+                               Select time, destPort From tcp ) i
+        """)
+        assert "inner_q" in gs.rts.names()
+
+    def test_nested_subqueries(self):
+        gs = Gigascope()
+        gs.add_query("""
+            DEFINE query_name top;
+            Select tb, count(*)
+            From ( Select time From
+                   ( Select time, destPort From tcp Where destPort = 80 ) a
+                 ) b
+            Group by time/10 as tb
+        """)
+        sub = gs.subscribe("top")
+        gs.start()
+        gs.feed_packet(tcp_packet(ts=1.0, dport=80))
+        gs.flush()
+        assert sub.poll() == [(0, 1)]
+
+    def test_analyze_rejects_unlifted_subquery(self, registry, functions):
+        query = parse_query("Select time From ( Select time From tcp ) s")
+        with pytest.raises(SemanticError):
+            analyze(query, registry, functions)
+
+
+class TestSampling:
+    def _run(self, sample_clause, count=4000):
+        gs = Gigascope()
+        gs.add_query(f"""
+            DEFINE {{ query_name q; {sample_clause} }}
+            Select time, destPort From tcp
+        """)
+        sub = gs.subscribe("q")
+        gs.start()
+        for i in range(count):
+            gs.feed_packet(tcp_packet(ts=i * 0.001))
+        gs.flush()
+        return len(sub.poll())
+
+    def test_sample_rate_roughly_respected(self):
+        kept = self._run("sample 0.25;")
+        assert 0.18 * 4000 < kept < 0.32 * 4000
+
+    def test_no_sampling_keeps_everything(self):
+        assert self._run("") == 4000
+
+    def test_sample_one_keeps_everything(self):
+        assert self._run("sample 1.0;") == 4000
+
+    def test_sampling_in_aggregation(self):
+        gs = Gigascope()
+        gs.add_query("""
+            DEFINE { query_name q; sample 0.5; }
+            Select tb, count(*) From tcp Group by time/10 as tb
+        """)
+        sub = gs.subscribe("q")
+        gs.start()
+        for i in range(2000):
+            gs.feed_packet(tcp_packet(ts=i * 0.001))
+        gs.flush()
+        total = sum(count for _tb, count in sub.poll())
+        assert 800 < total < 1200
+
+    def test_invalid_rate_rejected(self, registry, functions):
+        with pytest.raises(SemanticError):
+            analyze(parse_query("DEFINE { query_name q; sample 1.5; } "
+                                "Select time From tcp"),
+                    registry, functions)
+        with pytest.raises(SemanticError):
+            analyze(parse_query("DEFINE { query_name q; sample banana; } "
+                                "Select time From tcp"),
+                    registry, functions)
+
+    def test_sampling_merge_rejected(self, registry, functions, compile_plan):
+        _, base_plan, _ = compile_plan("DEFINE query_name s0; "
+                                       "Select time, destIP From tcp")
+        schema = base_plan.output_schema
+        with pytest.raises(SemanticError):
+            analyze(parse_query("DEFINE { query_name m; sample 0.5; } "
+                                "Merge s0.time : s1.time From s0, s1"),
+                    registry, functions,
+                    stream_resolver={"s0": schema, "s1": schema}.get)
+
+    def test_sampling_on_stream_source(self, compile_plan):
+        """Sampling works for HFTA-only queries too."""
+        gs = Gigascope()
+        gs.add_queries("""
+            DEFINE query_name base;
+            Select time, destPort From tcp;
+
+            DEFINE { query_name sampled; sample 0.5; }
+            Select time From base
+        """)
+        sub = gs.subscribe("sampled")
+        gs.start()
+        for i in range(2000):
+            gs.feed_packet(tcp_packet(ts=i * 0.001))
+        gs.flush()
+        kept = len(sub.poll())
+        assert 800 < kept < 1200
+
+
+class TestAnyInterface:
+    def test_wildcard_sees_all_interfaces(self):
+        gs = Gigascope()
+        gs.add_queries("""
+            DEFINE query_name everywhere;
+            Select time, destPort From any.tcp;
+
+            DEFINE query_name only0;
+            Select time, destPort From eth0.tcp
+        """)
+        all_sub = gs.subscribe("everywhere")
+        one_sub = gs.subscribe("only0")
+        gs.start()
+        gs.feed_packet(tcp_packet(ts=1.0, interface="eth0"))
+        gs.feed_packet(tcp_packet(ts=2.0, interface="eth1"))
+        gs.feed_packet(tcp_packet(ts=3.0, interface="eth7"))
+        gs.pump()
+        assert len(all_sub.poll()) == 3
+        assert len(one_sub.poll()) == 1
+
+
+class TestUnparser:
+    CASES = [
+        "Select destIP, destPort, time From eth0.tcp "
+        "Where ipversion = 4 and protocol = 6",
+        "DEFINE query_name q; Select tb, count(*) as cnt From tcp "
+        "Where destPort = 80 or destPort = 8080 "
+        "Group by time/60 as tb Having count(*) > 5",
+        "Select B.time From eth0.tcp B, eth1.tcp C "
+        "Where B.time >= C.time - 1 and B.time <= C.time + 1",
+        "Merge a.time : b.time From a, b",
+        "Select -len, not_a_keyword From s",
+        "Select getlpmid(destIP, 'x.tbl'), $p + 1 From tcp",
+        "Select (a + b) * c, a + b * c From s",
+        "Select * From tcp",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_round_trip(self, text):
+        first = parse_query(text)
+        rendered = query_to_gsql(first)
+        second = parse_query(rendered)
+        assert query_to_gsql(second) == rendered
+        # structural equality of the interesting parts
+        assert type(first) is type(second)
+        assert first.defines == second.defines
+
+    def test_precedence_preserved(self):
+        query = parse_query("Select (a + b) * c From s")
+        rendered = query_to_gsql(query)
+        assert "(a + b) * c" in rendered
+        again = parse_query(rendered)
+        assert query.select_items[0].expr == again.select_items[0].expr

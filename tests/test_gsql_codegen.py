@@ -1,0 +1,208 @@
+"""Tests for GSQL code generation (compiled and interpreted modes)."""
+
+import pytest
+
+from repro.gsql.codegen import CodegenError, DiscardTuple, ExprCompiler
+from repro.gsql.functions import builtin_functions
+from repro.gsql.parser import parse_query
+from repro.gsql.schema import builtin_registry
+from repro.gsql.semantic import analyze
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return builtin_registry()
+
+
+@pytest.fixture(scope="module")
+def functions():
+    return builtin_functions()
+
+
+def compile_query(text, registry, functions, params=None, mode="compiled"):
+    analyzed = analyze(parse_query(text), registry, functions)
+    return analyzed, ExprCompiler(analyzed, functions, params, mode)
+
+
+def tcp_row(registry, **overrides):
+    """A full-width tcp-protocol row with given field values."""
+    tcp = registry.get("tcp")
+    row = [0] * len(tcp)
+    row[tcp.index_of("data")] = b""
+    for name, value in overrides.items():
+        row[tcp.index_of(name)] = value
+    return tuple(row)
+
+
+@pytest.fixture(params=["compiled", "interpreted"])
+def mode(request):
+    return request.param
+
+
+class TestPredicates:
+    def test_simple_conjunction(self, registry, functions, mode):
+        analyzed, compiler = compile_query(
+            "Select time From tcp Where destPort = 80 and len > 100",
+            registry, functions, mode=mode)
+        predicate = compiler.predicate_fn(analyzed.where_conjuncts)
+        assert predicate(tcp_row(registry, destPort=80, len=200))
+        assert not predicate(tcp_row(registry, destPort=81, len=200))
+        assert not predicate(tcp_row(registry, destPort=80, len=50))
+
+    def test_empty_predicate_always_true(self, registry, functions, mode):
+        analyzed, compiler = compile_query("Select time From tcp",
+                                           registry, functions, mode=mode)
+        assert compiler.predicate_fn([])(tcp_row(registry))
+
+    def test_or_and_not(self, registry, functions, mode):
+        analyzed, compiler = compile_query(
+            "Select time From tcp Where destPort = 80 or not (len > 10)",
+            registry, functions, mode=mode)
+        predicate = compiler.predicate_fn(analyzed.where_conjuncts)
+        assert predicate(tcp_row(registry, destPort=80, len=100))
+        assert predicate(tcp_row(registry, destPort=5, len=5))
+        assert not predicate(tcp_row(registry, destPort=5, len=100))
+
+
+class TestProjection:
+    def test_tuple_builder(self, registry, functions, mode):
+        analyzed, compiler = compile_query(
+            "Select destIP, time/60, len * 8 From tcp",
+            registry, functions, mode=mode)
+        build = compiler.tuple_fn([c.expr for c in analyzed.output_columns])
+        row = tcp_row(registry, destIP=42, time=125, len=10)
+        assert build(row) == (42, 2, 80)
+
+    def test_integer_vs_float_division(self, registry, functions, mode):
+        analyzed, compiler = compile_query(
+            "Select time/60, timestamp/60 From tcp",
+            registry, functions, mode=mode)
+        build = compiler.tuple_fn([c.expr for c in analyzed.output_columns])
+        row = tcp_row(registry, time=90, timestamp=90.0)
+        time_bucket, timestamp_bucket = build(row)
+        assert time_bucket == 1  # integer division
+        assert timestamp_bucket == pytest.approx(1.5)  # float division
+
+
+class TestFunctions:
+    def test_scalar_function(self, registry, functions, mode):
+        analyzed, compiler = compile_query(
+            "Select getsubnet(destIP, 8) From tcp",
+            registry, functions, mode=mode)
+        build = compiler.tuple_fn([c.expr for c in analyzed.output_columns])
+        (subnet,) = build(tcp_row(registry, destIP=0x0A0B0C0D))
+        assert subnet == 0x0A000000
+
+    def test_partial_function_discards(self, registry, functions, mode):
+        table = "10.0.0.0/8 7018"
+        analyzed, compiler = compile_query(
+            f"Select getlpmid(destIP, '{table}') From tcp",
+            registry, functions, mode=mode)
+        build = compiler.tuple_fn([c.expr for c in analyzed.output_columns])
+        assert build(tcp_row(registry, destIP=0x0A000001)) == (7018,)
+        # no matching prefix -> "the tuple being processed is discarded"
+        assert build(tcp_row(registry, destIP=0x0B000001)) is None
+
+    def test_partial_function_in_predicate_is_false(self, registry, functions, mode):
+        analyzed, compiler = compile_query(
+            "Select time From tcp Where getlpmid(destIP, '10.0.0.0/8 1') = 1",
+            registry, functions, mode=mode)
+        predicate = compiler.predicate_fn(analyzed.where_conjuncts)
+        assert predicate(tcp_row(registry, destIP=0x0A000001))
+        assert not predicate(tcp_row(registry, destIP=0x0B000001))
+
+    def test_regex_handle_precompiled(self, registry, functions, mode):
+        analyzed, compiler = compile_query(
+            r"Select time From tcp Where str_match_regex(data, '^[^\n]*HTTP/1.')",
+            registry, functions, mode=mode)
+        predicate = compiler.predicate_fn(analyzed.where_conjuncts)
+        assert predicate(tcp_row(registry, data=b"GET / HTTP/1.1\r\n"))
+        assert not predicate(tcp_row(registry, data=b"\x00\x01binary"))
+        assert not predicate(tcp_row(registry, data=b"junk\nGET HTTP/1.1"))
+
+
+class TestParams:
+    def test_param_lookup(self, registry, functions, mode):
+        analyzed, compiler = compile_query(
+            "Select time From tcp Where destPort = $port",
+            registry, functions, params={"port": 80}, mode=mode)
+        predicate = compiler.predicate_fn(analyzed.where_conjuncts)
+        assert predicate(tcp_row(registry, destPort=80))
+        assert not predicate(tcp_row(registry, destPort=443))
+
+    def test_param_change_on_the_fly(self, registry, functions, mode):
+        analyzed, compiler = compile_query(
+            "Select time From tcp Where destPort = $port",
+            registry, functions, params={"port": 80}, mode=mode)
+        predicate = compiler.predicate_fn(analyzed.where_conjuncts)
+        assert predicate(tcp_row(registry, destPort=80))
+        compiler.params["port"] = 443
+        assert predicate(tcp_row(registry, destPort=443))
+        assert not predicate(tcp_row(registry, destPort=80))
+
+    def test_missing_param_rejected(self, registry, functions):
+        with pytest.raises(CodegenError):
+            compile_query("Select time From tcp Where destPort = $port",
+                          registry, functions, params={})
+
+    def test_handle_via_param(self, registry, functions, mode):
+        analyzed, compiler = compile_query(
+            "Select getlpmid(destIP, $tbl) From tcp",
+            registry, functions,
+            params={"tbl": "10.0.0.0/8 7018"}, mode=mode)
+        build = compiler.tuple_fn([c.expr for c in analyzed.output_columns])
+        assert build(tcp_row(registry, destIP=0x0A000001)) == (7018,)
+
+
+class TestPostAggregation:
+    def test_post_select_and_having(self, registry, functions, mode):
+        analyzed, compiler = compile_query(
+            "Select tb, count(*), sum(len) / count(*) From tcp "
+            "Group by time/60 as tb Having count(*) > 2",
+            registry, functions, mode=mode)
+        build = compiler.post_tuple_fn(
+            [c.expr for c in analyzed.output_columns])
+        having = compiler.post_predicate_fn(analyzed.having)
+        key, aggs = (7,), (10, 500)
+        assert build(key, aggs) == (7, 10, 50)
+        assert having(key, aggs)
+        assert not having((7,), (1, 500))
+
+    def test_no_having_always_true(self, registry, functions, mode):
+        analyzed, compiler = compile_query(
+            "Select tb, count(*) From tcp Group by time/60 as tb",
+            registry, functions, mode=mode)
+        assert compiler.post_predicate_fn(None)((1,), (2,))
+
+
+class TestCompiledSpecifics:
+    def test_generated_source_retained(self, registry, functions):
+        analyzed, compiler = compile_query(
+            "Select time From tcp Where destPort = 80",
+            registry, functions)
+        compiler.predicate_fn(analyzed.where_conjuncts)
+        assert any("def _g" in source for source in compiler.generated_sources)
+        assert any("== 80" in source for source in compiler.generated_sources)
+
+    def test_modes_agree(self, registry, functions):
+        """Compiled and interpreted evaluation are observationally equal."""
+        text = ("Select destIP, time/60, getsubnet(srcIP, 16) From tcp "
+                "Where destPort = 80 and len >= 40")
+        rows = [
+            tcp_row(registry, destIP=i * 7, srcIP=i * 131071, time=i * 30,
+                    destPort=80 if i % 2 else 443, len=30 + i)
+            for i in range(50)
+        ]
+        outputs = {}
+        for mode in ("compiled", "interpreted"):
+            analyzed, compiler = compile_query(text, registry, functions,
+                                               mode=mode)
+            predicate = compiler.predicate_fn(analyzed.where_conjuncts)
+            build = compiler.tuple_fn([c.expr for c in analyzed.output_columns])
+            outputs[mode] = [build(r) for r in rows if predicate(r)]
+        assert outputs["compiled"] == outputs["interpreted"]
+
+    def test_unknown_mode_rejected(self, registry, functions):
+        with pytest.raises(CodegenError):
+            compile_query("Select time From tcp", registry, functions,
+                          mode="jit")

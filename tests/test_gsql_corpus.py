@@ -1,0 +1,120 @@
+"""A corpus of realistic GSQL queries: every one must parse, analyze,
+plan, and instantiate, with the expected plan shape.
+
+Broad front-to-back coverage of the language surface, in the spirit of
+the paper's observation that analysts "soon start writing queries which
+make aggressive use of language features".
+"""
+
+import pytest
+
+from repro import Gigascope
+
+# (query text, expected plan shape: lfta count, has hfta, hfta kind)
+CORPUS = [
+    # -- plain selections -------------------------------------------------
+    ("Select time From tcp", 1, False, None),
+    ("Select * From udp Where destPort = 53", 1, False, None),
+    ("Select time, len * 8 as bits From ip Where ttl < 5", 1, False, None),
+    ("Select destIP, destPort, time From eth0.tcp "
+     "Where ipversion = 4 and protocol = 6", 1, False, None),
+    ("Select time From tcp Where destPort = 80 or destPort = 8080",
+     1, False, None),
+    ("Select getsubnet(srcIP, 24), time From tcp", 1, False, None),
+    ("Select time From tcp Where tcpflags & 2 = 2 and not (len > 1000)",
+     1, False, None),
+    ("Select time From icmp Where icmp_type = 8", 1, False, None),
+    ("Select time From tcp6 Where destPort = 443", 1, False, None),
+    ("Select time_end, octets From netflow Where octets > 10000",
+     1, False, None),
+    ("Select time, origin_as From bgp Where withdrawn > 0", 1, False, None),
+    # -- selections that split --------------------------------------------
+    ("Select time, srcIP From tcp "
+     "Where destPort = 80 and str_match_regex(data, 'HTTP')",
+     1, True, "selection"),
+    ("Select time From udp Where str_find_substr(data, 'admin')",
+     1, True, "selection"),
+    # -- aggregations -------------------------------------------------------
+    ("Select tb, count(*) From tcp Group by time/60 as tb",
+     1, True, "aggregation"),
+    ("Select tb, srcIP, count(*), sum(len), min(len), max(len), avg(len) "
+     "From tcp Group by time/10 as tb, srcIP", 1, True, "aggregation"),
+    ("Select tb, count(*) From tcp Group by time/60 as tb "
+     "Having count(*) > 100", 1, True, "aggregation"),
+    ("Select d, tb, sum(len) / count(*) as avg_size From tcp "
+     "Group by destPort as d, time/30 as tb", 1, True, "aggregation"),
+    ("Select tb, count(*) From netflow "
+     "Group by floor(time_start)/60 as tb", 1, True, "aggregation"),
+    ("Select peer, tb, count(*) From ip "
+     "Group by getlpmid(destIP, $peers) as peer, time/60 as tb",
+     1, True, "aggregation"),
+    ("Select tb, count(*) From tcp "
+     "Where destPort = 80 and str_match_regex(data, 'HTTP') "
+     "Group by time/60 as tb", 1, True, "aggregation"),
+    ("Select cnt From tcp Group by time/60 as tb, count(*) as cnt",
+     None, None, None),  # aggregate in group-by: rejected
+    # -- joins ----------------------------------------------------------------
+    ("Select B.time, B.srcIP, C.destIP From eth0.tcp B, eth1.tcp C "
+     "Where B.time = C.time", 2, True, "join"),
+    ("Select B.time From eth0.tcp B, eth1.tcp C "
+     "Where B.time >= C.time - 5 and B.time <= C.time + 5 "
+     "and B.destPort = C.destPort", 2, True, "join"),
+    ("DEFINE { join_output sorted; } "
+     "Select B.time From eth0.udp B, eth1.udp C "
+     "Where B.time >= C.time - 1 and B.time <= C.time + 1",
+     2, True, "join"),
+    # -- parameters & sampling ---------------------------------------------
+    ("Select time From tcp Where destPort = $port and len > $minlen",
+     1, False, None),
+    ("DEFINE { sample 0.5; } Select time From tcp", 1, False, None),
+    ("DEFINE { sample 0.1; } Select tb, count(*) From tcp "
+     "Group by time/60 as tb", 1, True, "aggregation"),
+    # -- wildcard interface -------------------------------------------------
+    ("Select time, destPort From any.tcp", 1, False, None),
+]
+
+PARAMS = {"port": 80, "minlen": 40, "peers": "10.0.0.0/8 1"}
+
+
+@pytest.mark.parametrize("text,lftas,has_hfta,kind", CORPUS,
+                         ids=[f"q{i:02d}" for i in range(len(CORPUS))])
+def test_corpus_query(text, lftas, has_hfta, kind):
+    gs = Gigascope()
+    if lftas is None:
+        with pytest.raises(Exception):
+            gs.add_query(text, params=PARAMS, name="q")
+        return
+    name = gs.add_query(text, params=PARAMS, name="q")
+    plan = gs.plan_of(name)
+    assert len(plan.lftas) == lftas
+    assert (plan.hfta is not None) == has_hfta
+    if kind:
+        assert plan.hfta.kind == kind
+    # Every corpus query must also survive codegen inspection.
+    assert isinstance(gs.generated_code(name), str)
+
+
+def test_corpus_composition_chain():
+    """A deep chain exercising most operators at once."""
+    gs = Gigascope()
+    gs.add_queries("""
+        DEFINE query_name raw0; Select time, destIP, len From eth0.tcp;
+        DEFINE query_name raw1; Select time, destIP, len From eth1.tcp;
+        DEFINE query_name link; Merge raw0.time : raw1.time From raw0, raw1;
+        DEFINE query_name volume;
+        Select tb, sum(len) as bytes From link Group by time/10 as tb;
+        DEFINE query_name alarms;
+        Select tb, bytes From volume Where bytes > 1000000
+    """)
+    from tests.conftest import tcp_packet
+    sub = gs.subscribe("alarms")
+    gs.start()
+    for i in range(50):
+        gs.feed_packet(tcp_packet(ts=i * 0.1,
+                                  interface="eth0" if i % 2 else "eth1",
+                                  payload=b"z" * 100))
+    gs.flush()
+    assert sub.poll() == []  # tiny volume: no alarms, but the chain ran
+    stats = gs.stats()
+    assert stats["link"]["tuples_out"] == 50
+    assert stats["volume"]["tuples_out"] >= 1

@@ -1,0 +1,126 @@
+"""Tests for the GSQL lexer."""
+
+import pytest
+
+from repro.gsql.lexer import (
+    EOF,
+    GSQLSyntaxError,
+    IDENT,
+    KEYWORD,
+    NUMBER,
+    OP,
+    PARAMREF,
+    STRING,
+    TokenStream,
+    tokenize,
+)
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)[:-1]]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("Select FROM where GROUP by")
+        assert all(t.kind == KEYWORD for t in tokens[:-1])
+
+    def test_identifiers(self):
+        tokens = tokenize("destIP tcp_dest0 _x")
+        assert all(t.kind == IDENT for t in tokens[:-1])
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 0x1F 1e3 2E-2")
+        values = [t.value for t in tokens[:-1]]
+        assert values == [42, 3.14, 31, 1000.0, 0.02]
+        assert [t.kind for t in tokens[:-1]] == [NUMBER] * 5
+
+    def test_integer_then_dot_not_float(self):
+        # "eth0.tcp" style: number only greedy when digits follow the dot
+        tokens = tokenize("x.y")
+        assert [t.kind for t in tokens[:-1]] == [IDENT, OP, IDENT]
+
+    def test_strings_single_and_double(self):
+        tokens = tokenize("'abc' \"def\"")
+        assert [t.value for t in tokens[:-1]] == ["abc", "def"]
+
+    def test_string_escapes(self):
+        (token, _eof) = tokenize(r"'a\n\t\'b'")
+        assert token.value == "a\n\t'b"
+
+    def test_regex_backslash_preserved(self):
+        # '^[^\n]*HTTP/1.*' -- the paper's pattern must survive lexing
+        (token, _eof) = tokenize(r"'^[^\n]*HTTP/1.*'")
+        assert token.value == "^[^\n]*HTTP/1.*"
+
+    def test_params(self):
+        tokens = tokenize("$port $min_len")
+        assert [t.kind for t in tokens[:-1]] == [PARAMREF] * 2
+        assert [t.value for t in tokens[:-1]] == ["port", "min_len"]
+
+    def test_operators(self):
+        assert texts("<= >= <> != << >> = < >") == [
+            "<=", ">=", "<>", "!=", "<<", ">>", "=", "<", ">"]
+
+    def test_eof_token(self):
+        tokens = tokenize("x")
+        assert tokens[-1].kind == EOF
+
+
+class TestComments:
+    def test_line_comments(self):
+        assert texts("a -- comment\nb // other\nc") == ["a", "b", "c"]
+
+    def test_block_comments(self):
+        assert texts("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_unterminated_block(self):
+        with pytest.raises(GSQLSyntaxError):
+            tokenize("a /* never closed")
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(GSQLSyntaxError):
+            tokenize("'oops")
+
+    def test_bad_character(self):
+        with pytest.raises(GSQLSyntaxError):
+            tokenize("a ? b")
+
+    def test_bare_dollar(self):
+        with pytest.raises(GSQLSyntaxError):
+            tokenize("$ x")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("ok\n  'bad")
+        except GSQLSyntaxError as error:
+            assert error.line == 2
+        else:
+            pytest.fail("expected GSQLSyntaxError")
+
+
+class TestTokenStream:
+    def test_accept_and_expect(self):
+        stream = TokenStream.from_text("select x")
+        assert stream.accept(KEYWORD, "SELECT")
+        assert stream.accept(KEYWORD, "FROM") is None
+        token = stream.expect(IDENT)
+        assert token.text == "x"
+        assert stream.at_end
+
+    def test_expect_raises_with_context(self):
+        stream = TokenStream.from_text("select")
+        stream.next()
+        with pytest.raises(GSQLSyntaxError):
+            stream.expect(IDENT)
+
+    def test_peek_ahead(self):
+        stream = TokenStream.from_text("a b c")
+        assert stream.peek(2).text == "c"
+        assert stream.peek(99).kind == EOF

@@ -1,0 +1,124 @@
+"""Tests for ordered-attribute properties and their algebra."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gsql.ordering import Ordering, OrderingKind
+
+
+class TestConstructors:
+    def test_kinds(self):
+        assert Ordering.increasing().kind == OrderingKind.INCREASING
+        assert Ordering.increasing(strict=True).kind == OrderingKind.STRICT_INCREASING
+        assert Ordering.decreasing().kind == OrderingKind.DECREASING
+        assert Ordering.nonrepeating().kind == OrderingKind.NONREPEATING
+        assert Ordering.banded(30).band == 30
+        assert Ordering.in_group("a", "b").group == ("a", "b")
+
+    def test_banded_rejects_negative(self):
+        import pytest
+        with pytest.raises(ValueError):
+            Ordering.banded(-1)
+
+    def test_str(self):
+        assert str(Ordering.banded(30.0)) == "banded_increasing(30.0)"
+        assert str(Ordering.in_group("srcIP", "destIP")) == \
+            "increasing_in_group(srcIP, destIP)"
+        assert str(Ordering.none()) == "none"
+
+
+class TestPredicates:
+    def test_is_increasing(self):
+        assert Ordering.increasing().is_increasing
+        assert Ordering.increasing(strict=True).is_increasing
+        assert Ordering.banded(5).is_increasing
+        assert not Ordering.decreasing().is_increasing
+        assert not Ordering.in_group("x").is_increasing
+
+    def test_usable_for_windows(self):
+        assert Ordering.increasing().usable_for_windows
+        assert Ordering.decreasing().usable_for_windows
+        assert Ordering.banded(1).usable_for_windows
+        assert not Ordering.nonrepeating().usable_for_windows
+        assert not Ordering.in_group("x").usable_for_windows
+        assert not Ordering.none().usable_for_windows
+
+    def test_effective_band(self):
+        assert Ordering.increasing().effective_band == 0
+        assert Ordering.banded(7.5).effective_band == 7.5
+
+
+class TestTransforms:
+    def test_weaken(self):
+        assert Ordering.increasing(strict=True).weaken_to_nonstrict() == \
+            Ordering.increasing()
+        assert Ordering.decreasing(strict=True).weaken_to_nonstrict() == \
+            Ordering.decreasing()
+        assert Ordering.banded(3).weaken_to_nonstrict() == Ordering.banded(3)
+
+    def test_reversed(self):
+        assert Ordering.increasing().reversed() == Ordering.decreasing()
+        assert Ordering.increasing(strict=True).reversed() == \
+            Ordering.decreasing(strict=True)
+        assert Ordering.nonrepeating().reversed() == Ordering.nonrepeating()
+        assert Ordering.banded(2).reversed() == Ordering.none()
+
+    def test_scaled(self):
+        assert Ordering.increasing().scaled(2) == Ordering.increasing()
+        assert Ordering.increasing().scaled(-1) == Ordering.decreasing()
+        assert Ordering.banded(10).scaled(0.5) == Ordering.banded(5)
+        assert Ordering.increasing().scaled(0) == Ordering.none()
+
+    def test_integer_division(self):
+        # time/60 stays increasing but loses strictness
+        strict = Ordering.increasing(strict=True)
+        assert strict.after_integer_division(60) == Ordering.increasing()
+        # banded(30)/60 -> banded(ceil(30/60)) = banded(1)
+        assert Ordering.banded(30).after_integer_division(60) == Ordering.banded(1)
+        # banded(120)/60 -> banded(2)
+        assert Ordering.banded(120).after_integer_division(60) == Ordering.banded(2)
+        # nonrepeating is destroyed by bucketing
+        assert Ordering.nonrepeating().after_integer_division(10) == Ordering.none()
+        assert Ordering.increasing().after_integer_division(0) == Ordering.none()
+
+    def test_merge_with(self):
+        inc = Ordering.increasing()
+        assert inc.merge_with(inc) == inc
+        assert inc.merge_with(Ordering.banded(5)) == Ordering.banded(5)
+        assert Ordering.banded(2).merge_with(Ordering.banded(7)) == Ordering.banded(7)
+        assert Ordering.decreasing().merge_with(Ordering.decreasing()) == \
+            Ordering.decreasing()
+        assert inc.merge_with(Ordering.decreasing()) == Ordering.none()
+        assert inc.merge_with(Ordering.none()) == Ordering.none()
+        # strictness is lost across a merge
+        assert Ordering.increasing(strict=True).merge_with(
+            Ordering.increasing(strict=True)) == Ordering.increasing()
+
+    def test_widened(self):
+        assert Ordering.increasing().widened(2) == Ordering.banded(2)
+        assert Ordering.banded(1).widened(2) == Ordering.banded(3)
+        assert Ordering.increasing().widened(0) == Ordering.increasing()
+        assert Ordering.none().widened(2) == Ordering.none()
+
+
+class TestSemanticFidelity:
+    """The properties must describe actual sequences faithfully."""
+
+    @given(st.lists(st.integers(0, 10_000), min_size=2, max_size=60))
+    def test_integer_division_preserves_nondecreasing(self, values):
+        values.sort()
+        buckets = [v // 60 for v in values]
+        assert all(a <= b for a, b in zip(buckets, buckets[1:]))
+
+    @given(st.lists(st.floats(0, 1000, allow_nan=False), min_size=2,
+                    max_size=60), st.floats(0.1, 50))
+    def test_banded_claim(self, values, band):
+        """A sequence within `band` of its high-water mark is banded."""
+        values.sort()
+        import random
+        rng = random.Random(0)
+        perturbed = [max(0.0, v - rng.random() * band) for v in values]
+        high = float("-inf")
+        for value in perturbed:
+            high = max(high, value)
+            assert value >= high - band - 1e-9

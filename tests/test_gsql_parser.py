@@ -1,0 +1,205 @@
+"""Tests for the GSQL parser."""
+
+import pytest
+
+from repro.gsql.ast_nodes import (
+    AggCall,
+    BinaryOp,
+    Column,
+    FuncCall,
+    Literal,
+    MergeQuery,
+    Param,
+    SelectQuery,
+    UnaryOp,
+)
+from repro.gsql.lexer import GSQLSyntaxError
+from repro.gsql.parser import parse_queries, parse_query
+
+
+class TestDefines:
+    def test_simple_define(self):
+        query = parse_query("DEFINE query_name q1; Select x From s")
+        assert query.defines["query_name"] == "q1"
+        assert query.name == "q1"
+
+    def test_paper_style_query_name(self):
+        # The paper writes "DEFINE query name tcpdest0;"
+        query = parse_query("DEFINE query name tcpdest0; Select x From s")
+        assert query.name == "tcpdest0"
+
+    def test_braced_define_block(self):
+        query = parse_query(
+            "DEFINE { query_name q2; visibility external; } Select x From s"
+        )
+        assert query.defines == {"query_name": "q2", "visibility": "external"}
+
+    def test_no_define(self):
+        query = parse_query("Select x From s")
+        assert query.name is None
+
+
+class TestSelect:
+    def test_full_clause_set(self):
+        query = parse_query("""
+            Select tb, peerid, count(*) as cnt
+            From eth0.tcp
+            Where protocol = 6 and destPort = 80
+            Group by time/60 as tb, getlpmid(destIP, 'p.tbl') as peerid
+            Having count(*) > 10
+        """)
+        assert isinstance(query, SelectQuery)
+        assert len(query.select_items) == 3
+        assert query.select_items[2].alias == "cnt"
+        assert query.sources[0].interface == "eth0"
+        assert query.sources[0].name == "tcp"
+        assert len(query.group_by) == 2
+        assert query.group_by[0].alias == "tb"
+        assert query.having is not None
+
+    def test_source_alias(self):
+        query = parse_query("Select B.x From eth0.tcp B")
+        assert query.sources[0].alias == "B"
+        assert query.sources[0].binding == "B"
+
+    def test_bare_protocol_source(self):
+        query = parse_query("Select x From tcp")
+        assert query.sources[0].interface is None
+
+    def test_two_sources(self):
+        query = parse_query("Select B.ts From s1 B, s2 C Where B.ts = C.ts")
+        assert len(query.sources) == 2
+
+    def test_expression_precedence(self):
+        query = parse_query("Select a + b * c From s")
+        expr = query.select_items[0].expr
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+    def test_and_or_precedence(self):
+        query = parse_query("Select x From s Where a = 1 or b = 2 and c = 3")
+        where = query.where
+        assert where.op == "OR"
+        assert where.right.op == "AND"
+
+    def test_not(self):
+        query = parse_query("Select x From s Where not a = 1")
+        assert isinstance(query.where, UnaryOp)
+        assert query.where.op == "NOT"
+
+    def test_unary_minus(self):
+        query = parse_query("Select -x From s")
+        expr = query.select_items[0].expr
+        assert isinstance(expr, UnaryOp) and expr.op == "-"
+
+    def test_count_star(self):
+        query = parse_query("Select count(*) From s Group by x")
+        expr = query.select_items[0].expr
+        assert isinstance(expr, AggCall) and expr.is_count_star
+
+    def test_aggregates_with_args(self):
+        query = parse_query("Select sum(len), min(ts), max(ts), avg(len) From s Group by x")
+        names = [item.expr.name for item in query.select_items]
+        assert names == ["SUM", "MIN", "MAX", "AVG"]
+
+    def test_function_call(self):
+        query = parse_query("Select getlpmid(destIP, 'x.tbl') From s")
+        expr = query.select_items[0].expr
+        assert isinstance(expr, FuncCall)
+        assert expr.name == "getlpmid"
+        assert isinstance(expr.args[1], Literal)
+
+    def test_zero_arg_function(self):
+        query = parse_query("Select now() From s")
+        assert query.select_items[0].expr == FuncCall("now", ())
+
+    def test_params(self):
+        query = parse_query("Select x From s Where port = $port")
+        assert query.where.right == Param("port")
+
+    def test_qualified_columns(self):
+        query = parse_query("Select B.destIP From tcp B")
+        assert query.select_items[0].expr == Column("destIP", table="B")
+
+    def test_comparison_aliases(self):
+        q1 = parse_query("Select x From s Where a != 1")
+        q2 = parse_query("Select x From s Where a <> 1")
+        assert q1.where.op == q2.where.op == "<>"
+
+    def test_parenthesized(self):
+        query = parse_query("Select (a + b) / 2 From s")
+        expr = query.select_items[0].expr
+        assert expr.op == "/"
+
+
+class TestMerge:
+    def test_paper_example(self):
+        query = parse_query("""
+            DEFINE query_name tcpdest;
+            Merge tcpdest0.time : tcpdest1.time
+            From tcpdest0, tcpdest1
+        """)
+        assert isinstance(query, MergeQuery)
+        assert query.name == "tcpdest"
+        assert [c.table for c in query.columns] == ["tcpdest0", "tcpdest1"]
+        assert [s.name for s in query.sources] == ["tcpdest0", "tcpdest1"]
+
+    def test_three_way_merge(self):
+        query = parse_query("Merge a.ts : b.ts : c.ts From a, b, c")
+        assert len(query.sources) == 3
+
+    def test_arity_mismatch(self):
+        with pytest.raises(GSQLSyntaxError):
+            parse_query("Merge a.ts : b.ts From a, b, c")
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(GSQLSyntaxError):
+            parse_query("Select x From s extra stuff ; ;")
+
+    def test_missing_from(self):
+        with pytest.raises(GSQLSyntaxError):
+            parse_query("Select x Where a = 1")
+
+    def test_empty_input(self):
+        with pytest.raises(GSQLSyntaxError):
+            parse_query("")
+
+    def test_group_without_by(self):
+        with pytest.raises(GSQLSyntaxError):
+            parse_query("Select x From s Group x")
+
+
+class TestBatch:
+    def test_parse_queries(self):
+        batch = parse_queries("""
+            DEFINE query_name a; Select x From s;
+            DEFINE query_name b; Select y From a
+        """)
+        assert [q.name for q in batch] == ["a", "b"]
+
+
+class TestInLists:
+    def test_in_desugars_to_or_chain(self):
+        query = parse_query("Select x From s Where p IN (80, 443, 8080)")
+        where = query.where
+        assert where.op == "OR"
+        assert where.right == BinaryOp("=", Column("p"), Literal(8080))
+
+    def test_single_element_in(self):
+        query = parse_query("Select x From s Where p IN (80)")
+        assert query.where == BinaryOp("=", Column("p"), Literal(80))
+
+    def test_not_in(self):
+        query = parse_query("Select x From s Where p NOT IN (1, 2)")
+        assert isinstance(query.where, UnaryOp)
+        assert query.where.op == "NOT"
+
+    def test_in_combines_with_and(self):
+        query = parse_query("Select x From s Where a = 1 and p IN (2, 3)")
+        assert query.where.op == "AND"
+
+    def test_in_requires_parenthesized_list(self):
+        with pytest.raises(GSQLSyntaxError):
+            parse_query("Select x From s Where p IN 80")

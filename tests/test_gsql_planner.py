@@ -1,0 +1,218 @@
+"""Tests for the LFTA/HFTA split planner."""
+
+import pytest
+
+from repro.gsql.functions import builtin_functions
+from repro.gsql.parser import parse_query
+from repro.gsql.planner import (
+    PlanError,
+    SNAPLEN_FULL,
+    SNAPLEN_HEADERS,
+    plan_query,
+)
+from repro.gsql.schema import builtin_registry
+from repro.gsql.semantic import analyze
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return builtin_registry()
+
+
+@pytest.fixture(scope="module")
+def functions():
+    return builtin_functions()
+
+
+def plan(text, registry, functions, streams=None):
+    analyzed = analyze(parse_query(text), registry, functions,
+                       stream_resolver=(streams or {}).get)
+    return plan_query(analyzed, functions)
+
+
+class TestSelectionPlans:
+    def test_simple_selection_is_lfta_only(self, registry, functions):
+        result = plan(
+            "DEFINE query_name q; Select destIP, time From tcp "
+            "Where destPort = 80", registry, functions)
+        assert result.is_lfta_only
+        assert len(result.lftas) == 1
+        assert result.lftas[0].name == "q"
+        assert result.lftas[0].mode == "projection"
+
+    def test_expensive_predicate_splits(self, registry, functions):
+        result = plan(
+            "DEFINE query_name q; Select time, srcIP From tcp "
+            "Where destPort = 80 and str_match_regex(data, 'HTTP/1')",
+            registry, functions)
+        assert not result.is_lfta_only
+        lfta = result.lftas[0]
+        # "Regular expression finding is too expensive for an LFTA, so the
+        # filter query was split into an LFTA which filters TCP packets on
+        # port 80, and an HFTA part which performs the regular expression
+        # matching."
+        assert len(lfta.predicates) == 1
+        assert result.hfta.kind == "selection"
+        assert len(result.hfta.predicates) == 1
+        # LFTA has a mangled name, both streams visible
+        assert lfta.name.startswith("_fta_q")
+
+    def test_lfta_safe_function_stays_down(self, registry, functions):
+        result = plan(
+            "DEFINE query_name q; Select time From tcp "
+            "Where getlpmid(destIP, $t) > 0", registry, functions)
+        assert result.is_lfta_only
+
+    def test_stream_source_is_hfta_only(self, registry, functions):
+        base = plan("DEFINE query_name b; Select time, destIP From tcp",
+                    registry, functions)
+        streams = {"b": base.output_schema}
+        result = plan("DEFINE query_name q; Select time From b",
+                      registry, functions, streams)
+        assert not result.lftas
+        assert result.hfta.kind == "selection"
+        assert result.hfta.inputs == ["b"]
+
+
+class TestCaptureHints:
+    def test_pushdown_of_simple_comparisons(self, registry, functions):
+        result = plan(
+            "DEFINE query_name q; Select time From tcp "
+            "Where destPort = 80 and protocol = 6 and len > 100",
+            registry, functions)
+        pushed = result.lftas[0].hints.pushed
+        fields = {p.field_name for p in pushed}
+        # len is not a BPF-testable field; the others are
+        assert fields == {"destport", "protocol"}
+
+    def test_reversed_literal_comparison(self, registry, functions):
+        result = plan(
+            "DEFINE query_name q; Select time From tcp Where 80 = destPort",
+            registry, functions)
+        (pushed,) = result.lftas[0].hints.pushed
+        assert pushed.field_name == "destport" and pushed.op == "="
+
+    def test_snaplen_headers_when_no_payload(self, registry, functions):
+        result = plan("DEFINE query_name q; Select time, destIP From tcp",
+                      registry, functions)
+        assert result.lftas[0].hints.snaplen == SNAPLEN_HEADERS
+
+    def test_snaplen_full_when_payload_touched(self, registry, functions):
+        result = plan(
+            "DEFINE query_name q; Select time From tcp "
+            "Where str_find_substr(data, 'x')", registry, functions)
+        assert result.lftas[0].hints.snaplen == SNAPLEN_FULL
+
+
+class TestAggregationPlans:
+    def test_two_level_split(self, registry, functions):
+        result = plan(
+            "DEFINE query_name q; Select tb, count(*), sum(len) From tcp "
+            "Where destPort = 80 Group by time/60 as tb",
+            registry, functions)
+        lfta = result.lftas[0]
+        assert lfta.mode == "partial_aggregation"
+        assert lfta.window_key_index == 0
+        # LFTA output: key + one partial slot per aggregate
+        assert lfta.output_schema.names == ("tb", "p_count0", "p_sum1")
+        hfta = result.hfta
+        assert hfta.kind == "aggregation"
+        assert hfta.final_from_partials
+
+    def test_avg_needs_two_partial_slots(self, registry, functions):
+        result = plan(
+            "DEFINE query_name q; Select tb, avg(len) From tcp "
+            "Group by time/60 as tb", registry, functions)
+        schema = result.lftas[0].output_schema
+        assert len(schema) == 3  # tb, avg_sum, avg_cnt
+
+    def test_expensive_group_expr_forces_full_hfta_agg(self, registry, functions):
+        result = plan(
+            "DEFINE query_name q; Select k, count(*) From tcp "
+            "Group by str_find_substr(data, 'HTTP') as k, time/60 as tb",
+            registry, functions)
+        lfta = result.lftas[0]
+        assert lfta.mode == "projection"
+        hfta = result.hfta
+        assert hfta.kind == "aggregation"
+        assert not hfta.final_from_partials
+        assert hfta.slot_maps[0] is not None
+
+    def test_expensive_where_stays_up(self, registry, functions):
+        result = plan(
+            "DEFINE query_name q; Select tb, count(*) From tcp "
+            "Where destPort = 80 and str_match_regex(data, 'HTTP') "
+            "Group by time/60 as tb", registry, functions)
+        assert result.lftas[0].mode == "projection"
+        assert len(result.lftas[0].predicates) == 1  # the port filter
+        assert len(result.hfta.predicates) == 1  # the regex
+
+    def test_aggregation_over_stream(self, registry, functions):
+        base = plan("DEFINE query_name b; Select time, len From tcp",
+                    registry, functions)
+        streams = {"b": base.output_schema}
+        result = plan(
+            "DEFINE query_name q; Select tb, count(*) From b "
+            "Group by time/60 as tb", registry, functions, streams)
+        assert not result.lftas
+        assert result.hfta.kind == "aggregation"
+        assert not result.hfta.final_from_partials
+
+
+class TestJoinPlans:
+    def test_join_of_two_protocols(self, registry, functions):
+        result = plan(
+            "DEFINE query_name q; Select B.time, B.srcIP, C.srcIP "
+            "From eth0.tcp B, eth1.tcp C "
+            "Where B.time = C.time and B.destPort = 80",
+            registry, functions)
+        assert len(result.lftas) == 2
+        assert result.lftas[0].interface == "eth0"
+        assert result.lftas[1].interface == "eth1"
+        # the single-source port filter went down to B's LFTA
+        assert len(result.lftas[0].predicates) == 1
+        assert len(result.lftas[1].predicates) == 0
+        hfta = result.hfta
+        assert hfta.kind == "join"
+        assert hfta.join_slots is not None
+        (left_input, left_slot), (right_input, right_slot) = hfta.join_slots
+        assert left_input == 0 and right_input == 1
+        # window columns flow through the LFTA projections
+        assert hfta.input_schemas[0].attributes[left_slot].name == "time"
+
+    def test_join_protocol_with_stream(self, registry, functions):
+        base = plan("DEFINE query_name b; Select time, destIP From tcp",
+                    registry, functions)
+        streams = {"b": base.output_schema}
+        result = plan(
+            "DEFINE query_name q; Select B.time From eth1.tcp B, b S "
+            "Where B.time = S.time", registry, functions, streams)
+        assert len(result.lftas) == 1
+        assert result.hfta.inputs[1] == "b"
+        assert result.hfta.slot_maps[1] is None
+
+
+class TestMergePlans:
+    def test_merge_of_streams(self, registry, functions):
+        base = plan("DEFINE query_name s0; Select time, destIP From tcp",
+                    registry, functions)
+        streams = {"s0": base.output_schema, "s1": base.output_schema}
+        result = plan("DEFINE query_name m; Merge s0.time : s1.time From s0, s1",
+                      registry, functions, streams)
+        assert result.hfta.kind == "merge"
+        assert result.hfta.merge_slots == [(0, 0), (1, 0)]
+
+    def test_merge_of_protocols_rejected(self, registry, functions):
+        with pytest.raises(PlanError):
+            plan("Merge B.time : C.time From eth0.tcp B, eth1.tcp C",
+                 registry, functions)
+
+
+class TestDescribe:
+    def test_describe_mentions_structure(self, registry, functions):
+        result = plan(
+            "DEFINE query_name q; Select tb, count(*) From tcp "
+            "Group by time/60 as tb", registry, functions)
+        text = result.describe()
+        assert "LFTA" in text and "HFTA" in text
+        assert "partial_aggregation" in text

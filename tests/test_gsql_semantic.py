@@ -1,0 +1,325 @@
+"""Tests for GSQL semantic analysis."""
+
+import pytest
+
+from repro.gsql.functions import builtin_functions
+from repro.gsql.ordering import Ordering, OrderingKind
+from repro.gsql.parser import parse_query
+from repro.gsql.schema import builtin_registry
+from repro.gsql.semantic import AggRef, AnalyzedQuery, KeyRef, SemanticError, analyze
+from repro.gsql.types import BOOL, FLOAT, IP, STRING, UINT, ULLONG
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return builtin_registry()
+
+
+@pytest.fixture(scope="module")
+def functions():
+    return builtin_functions()
+
+
+def run(text, registry, functions, streams=None) -> AnalyzedQuery:
+    return analyze(parse_query(text), registry, functions,
+                   stream_resolver=(streams or {}).get)
+
+
+class TestClassification:
+    def test_selection(self, registry, functions):
+        analyzed = run("Select destIP From tcp", registry, functions)
+        assert analyzed.kind == "selection"
+
+    def test_aggregation_by_group(self, registry, functions):
+        analyzed = run("Select tb From tcp Group by time/60 as tb",
+                       registry, functions)
+        assert analyzed.kind == "aggregation"
+
+    def test_aggregation_by_aggregate(self, registry, functions):
+        analyzed = run("Select count(*) From tcp", registry, functions)
+        assert analyzed.kind == "aggregation"
+        assert analyzed.window_key_index == -1
+        assert analyzed.warnings  # no ordered group key -> flush-only
+
+    def test_join(self, registry, functions):
+        analyzed = run(
+            "Select B.time From eth0.tcp B, eth1.tcp C Where B.time = C.time",
+            registry, functions)
+        assert analyzed.kind == "join"
+
+    def test_three_way_join_rejected(self, registry, functions):
+        with pytest.raises(SemanticError):
+            run("Select a.time From eth0.tcp a, eth1.tcp b, eth2.tcp c",
+                registry, functions)
+
+    def test_merge(self, registry, functions):
+        base = run("DEFINE query_name s0; Select time, destIP From tcp",
+                   registry, functions)
+        streams = {"s0": base.output_schema, "s1": base.output_schema}
+        analyzed = run("Merge s0.time : s1.time From s0, s1",
+                       registry, functions, streams)
+        assert analyzed.kind == "merge"
+
+
+class TestBinding:
+    def test_unknown_source(self, registry, functions):
+        with pytest.raises(SemanticError):
+            run("Select x From nosuchthing", registry, functions)
+
+    def test_interface_on_stream_rejected(self, registry, functions):
+        with pytest.raises(SemanticError):
+            run("Select x From eth0.nosuchproto", registry, functions)
+
+    def test_unknown_column(self, registry, functions):
+        with pytest.raises(SemanticError):
+            run("Select nocolumn From tcp", registry, functions)
+
+    def test_ambiguous_column(self, registry, functions):
+        with pytest.raises(SemanticError):
+            run("Select time From eth0.tcp B, eth1.tcp C Where B.time = C.time",
+                registry, functions)
+
+    def test_qualified_disambiguation(self, registry, functions):
+        analyzed = run(
+            "Select B.time From eth0.tcp B, eth1.tcp C Where B.time = C.time",
+            registry, functions)
+        assert analyzed.output_columns[0].name == "time"
+
+    def test_duplicate_bindings_rejected(self, registry, functions):
+        with pytest.raises(SemanticError):
+            run("Select B.time From eth0.tcp B, eth1.tcp B Where B.time = B.time",
+                registry, functions)
+
+
+class TestTyping:
+    def test_output_types(self, registry, functions):
+        analyzed = run(
+            "Select destIP, time/60, timestamp, data From tcp",
+            registry, functions)
+        types = [c.gsql_type for c in analyzed.output_columns]
+        assert types == [IP, UINT, FLOAT, STRING]
+
+    def test_aggregate_types(self, registry, functions):
+        analyzed = run(
+            "Select count(*), sum(len), avg(len), min(time), max(timestamp) "
+            "From tcp Group by time/60 as tb",
+            registry, functions)
+        types = [c.gsql_type for c in analyzed.output_columns]
+        assert types == [ULLONG, ULLONG, FLOAT, UINT, FLOAT]
+
+    def test_comparison_type_mismatch(self, registry, functions):
+        with pytest.raises(SemanticError):
+            run("Select time From tcp Where data = 5", registry, functions)
+
+    def test_arithmetic_on_string_rejected(self, registry, functions):
+        with pytest.raises(SemanticError):
+            run("Select data + 1 From tcp", registry, functions)
+
+    def test_where_must_be_boolean(self, registry, functions):
+        with pytest.raises(SemanticError):
+            run("Select time From tcp Where len + 1", registry, functions)
+
+    def test_function_arity_checked(self, registry, functions):
+        with pytest.raises(SemanticError):
+            run("Select getlpmid(destIP) From tcp", registry, functions)
+
+    def test_function_arg_type_checked(self, registry, functions):
+        with pytest.raises(SemanticError):
+            run("Select str_len(time) From tcp", registry, functions)
+
+    def test_handle_param_must_be_literal(self, registry, functions):
+        with pytest.raises(SemanticError):
+            run("Select getlpmid(destIP, data) From tcp", registry, functions)
+
+    def test_handle_accepts_query_param(self, registry, functions):
+        analyzed = run("Select getlpmid(destIP, $table) From tcp",
+                       registry, functions)
+        assert analyzed.params == ["table"]
+
+    def test_unknown_function(self, registry, functions):
+        from repro.gsql.functions import FunctionError
+        with pytest.raises(FunctionError):
+            run("Select nosuchfn(time) From tcp", registry, functions)
+
+
+class TestAggregationRewrite:
+    def test_select_by_alias_and_expr(self, registry, functions):
+        analyzed = run(
+            "Select tb, time/60, count(*) From tcp Group by time/60 as tb",
+            registry, functions)
+        assert analyzed.output_columns[0].expr == KeyRef(0)
+        assert analyzed.output_columns[1].expr == KeyRef(0)
+        assert analyzed.output_columns[2].expr == AggRef(0)
+
+    def test_aggregates_deduplicated(self, registry, functions):
+        analyzed = run(
+            "Select count(*), count(*), sum(len) From tcp Group by time/60 as tb",
+            registry, functions)
+        assert len(analyzed.aggregates) == 2
+
+    def test_expression_over_aggregates(self, registry, functions):
+        analyzed = run(
+            "Select sum(len) / count(*) From tcp Group by time/60 as tb",
+            registry, functions)
+        expr = analyzed.output_columns[0].expr
+        assert expr.left == AggRef(0)
+        assert expr.right == AggRef(1)
+
+    def test_raw_column_rejected(self, registry, functions):
+        with pytest.raises(SemanticError):
+            run("Select destIP, count(*) From tcp Group by time/60 as tb",
+                registry, functions)
+
+    def test_having_rewritten(self, registry, functions):
+        analyzed = run(
+            "Select tb, count(*) From tcp Group by time/60 as tb "
+            "Having count(*) > 5",
+            registry, functions)
+        assert analyzed.having is not None
+        assert analyzed.having.left == AggRef(0)
+
+    def test_window_key_found(self, registry, functions):
+        analyzed = run(
+            "Select peer, tb, count(*) From tcp "
+            "Group by getsubnet(destIP, 8) as peer, time/60 as tb",
+            registry, functions)
+        assert analyzed.window_key_index == 1  # tb is the ordered key
+        assert analyzed.group_orderings[0].kind == OrderingKind.NONE
+
+
+class TestJoinWindows:
+    def test_equality_window(self, registry, functions):
+        analyzed = run(
+            "Select B.time From eth0.tcp B, eth1.tcp C Where B.time = C.time",
+            registry, functions)
+        window = analyzed.join_window
+        assert (window.low, window.high) == (0, 0)
+        assert window.is_equality
+
+    def test_band_window(self, registry, functions):
+        analyzed = run(
+            "Select B.time From eth0.tcp B, eth1.tcp C "
+            "Where B.time >= C.time - 1 and B.time <= C.time + 1",
+            registry, functions)
+        window = analyzed.join_window
+        assert (window.low, window.high) == (-1, 1)
+        assert window.width == 2
+
+    def test_reversed_band_window(self, registry, functions):
+        analyzed = run(
+            "Select B.time From eth0.tcp B, eth1.tcp C "
+            "Where C.time >= B.time - 2 and C.time <= B.time + 3",
+            registry, functions)
+        window = analyzed.join_window
+        # C - B in [-2, 3]  =>  B - C in [-3, 2]
+        assert (window.low, window.high) == (-3, 2)
+
+    def test_no_window_rejected(self, registry, functions):
+        with pytest.raises(SemanticError):
+            run("Select B.time From eth0.tcp B, eth1.tcp C "
+                "Where B.destPort = C.destPort",
+                registry, functions)
+
+    def test_half_window_rejected(self, registry, functions):
+        with pytest.raises(SemanticError):
+            run("Select B.time From eth0.tcp B, eth1.tcp C "
+                "Where B.time >= C.time - 1",
+                registry, functions)
+
+    def test_unordered_equality_not_a_window(self, registry, functions):
+        # destPort = destPort is an equality but not on ordered attrs
+        with pytest.raises(SemanticError):
+            run("Select B.time From eth0.tcp B, eth1.tcp C "
+                "Where B.destPort = C.destPort and B.len = C.len",
+                registry, functions)
+
+
+class TestOrderingImputation:
+    def test_projection_preserves(self, registry, functions):
+        analyzed = run("Select time, destPort From tcp", registry, functions)
+        assert analyzed.output_columns[0].ordering.is_increasing
+        assert analyzed.output_columns[1].ordering.kind == OrderingKind.NONE
+
+    def test_bucketing_weakens_strictness(self, registry, functions):
+        analyzed = run("Select time/60 From tcp", registry, functions)
+        assert analyzed.output_columns[0].ordering == Ordering.increasing()
+
+    def test_banded_input_bucketed(self, registry, functions):
+        # time_start is FLOAT so /60 is float division: the band scales.
+        analyzed = run("Select time_start/60 From netflow", registry, functions)
+        assert analyzed.output_columns[0].ordering == Ordering.banded(0.5)
+
+    def test_negation_reverses(self, registry, functions):
+        analyzed = run("Select 0 - time From tcp", registry, functions)
+        assert analyzed.output_columns[0].ordering == Ordering.decreasing()
+
+    def test_group_key_ordering_in_output(self, registry, functions):
+        analyzed = run("Select tb, count(*) From tcp Group by time/60 as tb",
+                       registry, functions)
+        assert analyzed.output_columns[0].ordering.is_increasing
+        assert analyzed.output_columns[1].ordering.kind == OrderingKind.NONE
+
+    def test_equality_join_keeps_monotone(self, registry, functions):
+        analyzed = run(
+            "Select B.time From eth0.tcp B, eth1.tcp C Where B.time = C.time",
+            registry, functions)
+        assert analyzed.output_columns[0].ordering == Ordering.increasing()
+
+    def test_band_join_output_banded(self, registry, functions):
+        analyzed = run(
+            "Select B.time From eth0.tcp B, eth1.tcp C "
+            "Where B.time >= C.time - 1 and B.time <= C.time + 1",
+            registry, functions)
+        # The paper: "B.ts might be ... banded-increasing(2) depending on
+        # the choice of join algorithm"
+        assert analyzed.output_columns[0].ordering == Ordering.banded(2)
+
+
+class TestMergeAnalysis:
+    def _streams(self, registry, functions):
+        base = run("Select time, destIP From tcp", registry, functions)
+        return {"s0": base.output_schema, "s1": base.output_schema}
+
+    def test_merge_ordering(self, registry, functions):
+        streams = self._streams(registry, functions)
+        analyzed = run("Merge s0.time : s1.time From s0, s1",
+                       registry, functions, streams)
+        time_col = analyzed.output_columns[0]
+        assert time_col.ordering == Ordering.increasing()
+
+    def test_merge_column_must_be_ordered(self, registry, functions):
+        streams = self._streams(registry, functions)
+        with pytest.raises(SemanticError):
+            run("Merge s0.destIP : s1.destIP From s0, s1",
+                registry, functions, streams)
+
+    def test_merge_schema_mismatch(self, registry, functions):
+        base = run("Select time, destIP From tcp", registry, functions)
+        other = run("Select time From tcp", registry, functions)
+        streams = {"s0": base.output_schema, "s2": other.output_schema}
+        with pytest.raises(SemanticError):
+            run("Merge s0.time : s2.time From s0, s2",
+                registry, functions, streams)
+
+    def test_merge_wrong_qualifier(self, registry, functions):
+        streams = self._streams(registry, functions)
+        with pytest.raises(SemanticError):
+            run("Merge s1.time : s0.time From s0, s1",
+                registry, functions, streams)
+
+
+class TestOutputNaming:
+    def test_default_and_alias_names(self, registry, functions):
+        analyzed = run(
+            "Select destIP, sum(len) as nbytes, count(*) From tcp "
+            "Group by destIP, time/60 as tb Having count(*) > 0",
+            registry, functions)
+        names = [c.name for c in analyzed.output_columns]
+        assert names[0] == "destIP"
+        assert names[1] == "nbytes"
+        assert names[2] == "cnt"
+
+    def test_name_collisions_deduped(self, registry, functions):
+        analyzed = run("Select time, time From tcp", registry, functions)
+        names = [c.name for c in analyzed.output_columns]
+        assert len(set(n.lower() for n in names)) == 2

@@ -1,0 +1,138 @@
+"""Tests for the join algorithm choice (banded vs sorted output).
+
+Section 2.1: "B.ts might be monotonically increasing or
+banded-increasing(2) depending on the choice of join algorithm
+(monotonically increasing requires more buffer space)."
+"""
+
+import pytest
+
+from repro import Gigascope
+from repro.gsql.ordering import Ordering
+from repro.gsql.parser import parse_query
+from repro.gsql.semantic import SemanticError, analyze
+from tests.conftest import tcp_packet
+
+BAND_WHERE = "B.time >= C.time - 2 and B.time <= C.time + 2"
+
+
+def run_join(define=""):
+    gs = Gigascope(heartbeat_interval=1.0)
+    gs.add_query(f"""
+        DEFINE {{ query_name j; {define} }}
+        Select B.time, B.srcIP, C.srcIP
+        From eth0.tcp B, eth1.tcp C
+        Where {BAND_WHERE}
+    """)
+    sub = gs.subscribe("j")
+    gs.start()
+    for i in range(120):
+        ts = i * 0.5
+        interface = "eth0" if i % 2 else "eth1"
+        gs.feed_packet(tcp_packet(ts=ts, sport=i, interface=interface))
+    gs.flush()
+    return gs, [r[0] for r in sub.poll()]
+
+
+class TestImputation:
+    def test_banded_default(self, registry, functions):
+        analyzed = analyze(parse_query(
+            f"Select B.time From eth0.tcp B, eth1.tcp C Where {BAND_WHERE}"),
+            registry, functions)
+        assert analyzed.output_columns[0].ordering == Ordering.banded(4)
+        assert not analyzed.join_sorted_output
+
+    def test_sorted_imputes_monotone(self, registry, functions):
+        analyzed = analyze(parse_query(
+            "DEFINE { query_name j; join_output sorted; } "
+            f"Select B.time From eth0.tcp B, eth1.tcp C Where {BAND_WHERE}"),
+            registry, functions)
+        assert analyzed.output_columns[0].ordering == Ordering.increasing()
+        assert analyzed.join_sorted_output
+
+    def test_sorted_requires_window_column(self, registry, functions):
+        with pytest.raises(SemanticError):
+            analyze(parse_query(
+                "DEFINE { query_name j; join_output sorted; } "
+                f"Select B.srcIP From eth0.tcp B, eth1.tcp C Where {BAND_WHERE}"),
+                registry, functions)
+
+    def test_bad_algorithm_rejected(self, registry, functions):
+        with pytest.raises(SemanticError):
+            analyze(parse_query(
+                "DEFINE { query_name j; join_output quantum; } "
+                f"Select B.time From eth0.tcp B, eth1.tcp C Where {BAND_WHERE}"),
+                registry, functions)
+
+    def test_equality_join_ignores_choice(self, registry, functions):
+        analyzed = analyze(parse_query(
+            "DEFINE { query_name j; join_output sorted; } "
+            "Select B.time From eth0.tcp B, eth1.tcp C "
+            "Where B.time = C.time"),
+            registry, functions)
+        # equality is already monotone; no reorder machinery needed
+        assert not analyzed.join_sorted_output
+
+
+class TestRuntime:
+    def test_banded_output_not_sorted_but_banded(self):
+        _, times = run_join()
+        assert times != sorted(times)
+        high = float("-inf")
+        for value in times:
+            high = max(high, value)
+            assert value >= high - 4
+
+    def test_sorted_output_fully_sorted(self):
+        gs, times = run_join("join_output sorted;")
+        assert times == sorted(times)
+        node = gs.rts.node("j")
+        # the monotone guarantee cost buffer space
+        assert node.reorder_peak > 0
+
+    def test_same_multiset_of_results(self):
+        _, banded = run_join()
+        _, sorted_out = run_join("join_output sorted;")
+        assert sorted(banded) == sorted(sorted_out)
+
+    def test_downstream_merge_accepts_sorted_join(self):
+        """The point of the choice: a sorted join output can feed an
+        operator that requires monotone input (merge)."""
+        gs = Gigascope(heartbeat_interval=1.0)
+        gs.add_queries(f"""
+            DEFINE query_name other;
+            Select time From eth2.tcp;
+
+            DEFINE {{ query_name j; join_output sorted; }}
+            Select B.time From eth0.tcp B, eth1.tcp C
+            Where {BAND_WHERE};
+
+            DEFINE query_name m;
+            Merge j.time : other.time From j, other
+        """)
+        sub = gs.subscribe("m")
+        gs.start()
+        for i in range(60):
+            ts = i * 0.5
+            gs.feed_packet(tcp_packet(ts=ts, interface=f"eth{i % 3}"))
+        gs.flush()
+        times = [r[0] for r in sub.poll()]
+        assert times == sorted(times)
+        assert times  # produced output
+
+    def test_banded_join_rejected_by_merge(self):
+        """Without the sorted algorithm the same composition fails at
+        analysis time: a banded(4) column is usable for windows, but
+        arbitrary (non-window-usable) outputs are not."""
+        gs = Gigascope()
+        with pytest.raises(SemanticError):
+            gs.add_queries("""
+                DEFINE query_name other; Select srcIP, time From eth2.tcp;
+
+                DEFINE query_name bad;
+                Select B.srcIP, B.time From eth0.tcp B, eth1.tcp C
+                Where B.time = C.time;
+
+                DEFINE query_name m2;
+                Merge bad.srcIP : other.srcIP From bad, other
+            """)

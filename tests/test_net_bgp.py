@@ -1,0 +1,53 @@
+"""Tests for the simplified BGP UPDATE encoding."""
+
+import pytest
+
+from repro.net.bgp import BGPUpdate
+from repro.net.packet import ip_to_int
+
+
+class TestRoundTrip:
+    def test_full_update(self):
+        update = BGPUpdate(
+            announced=[(ip_to_int("10.0.0.0"), 8), (ip_to_int("192.168.4.0"), 24)],
+            withdrawn=[(ip_to_int("172.16.0.0"), 12)],
+            as_path=[7018, 1239, 3356],
+        )
+        parsed = BGPUpdate.parse(update.pack())
+        assert parsed.announced == update.announced
+        assert parsed.withdrawn == update.withdrawn
+        assert parsed.as_path == [7018, 1239, 3356]
+        assert parsed.origin_as == 3356
+
+    def test_empty_update(self):
+        parsed = BGPUpdate.parse(BGPUpdate().pack())
+        assert parsed.announced == []
+        assert parsed.withdrawn == []
+        assert parsed.origin_as == 0
+
+    def test_default_route_prefix(self):
+        update = BGPUpdate(announced=[(0, 0)], as_path=[100])
+        parsed = BGPUpdate.parse(update.pack())
+        assert parsed.announced == [(0, 0)]
+
+
+class TestErrors:
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            BGPUpdate.parse(b"\xff" * 10)
+
+    def test_bad_marker(self):
+        blob = bytearray(BGPUpdate(as_path=[1]).pack())
+        blob[0] = 0x00
+        with pytest.raises(ValueError):
+            BGPUpdate.parse(bytes(blob))
+
+    def test_wrong_message_type(self):
+        blob = bytearray(BGPUpdate().pack())
+        blob[18] = 1  # OPEN
+        with pytest.raises(ValueError):
+            BGPUpdate.parse(bytes(blob))
+
+    def test_bad_prefix_length_rejected_on_pack(self):
+        with pytest.raises(ValueError):
+            BGPUpdate(announced=[(0, 40)]).pack()

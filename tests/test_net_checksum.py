@@ -1,0 +1,48 @@
+"""Tests for the Internet checksum (RFC 1071)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.checksum import internet_checksum, pseudo_header, verify_checksum
+
+
+class TestInternetChecksum:
+    def test_known_vector(self):
+        # Classic RFC 1071 example: 0x0001 0xf203 0xf4f5 0xf6f7 -> ~0xddf2
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == (~0xDDF2) & 0xFFFF
+
+    def test_zero_data(self):
+        assert internet_checksum(b"\x00\x00") == 0xFFFF
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_verify_with_embedded_checksum(self):
+        data = bytearray(b"\x45\x00\x00\x28\xab\xcd\x00\x00\x40\x06\x00\x00"
+                         b"\x0a\x00\x00\x01\x0a\x00\x00\x02")
+        checksum = internet_checksum(bytes(data))
+        data[10] = checksum >> 8
+        data[11] = checksum & 0xFF
+        assert verify_checksum(bytes(data))
+
+    @given(st.binary(min_size=0, max_size=200))
+    def test_checksum_fits_sixteen_bits(self, data):
+        assert 0 <= internet_checksum(data) <= 0xFFFF
+
+    @given(st.binary(min_size=2, max_size=128).filter(lambda b: len(b) % 2 == 0))
+    def test_inserting_checksum_verifies(self, data):
+        checksum = internet_checksum(data)
+        patched = data + bytes([checksum >> 8, checksum & 0xFF])
+        assert verify_checksum(patched)
+
+
+class TestPseudoHeader:
+    def test_layout(self):
+        pseudo = pseudo_header(0x0A000001, 0x0A000002, 6, 20)
+        assert len(pseudo) == 12
+        assert pseudo[:4] == bytes([10, 0, 0, 1])
+        assert pseudo[4:8] == bytes([10, 0, 0, 2])
+        assert pseudo[8] == 0
+        assert pseudo[9] == 6
+        assert int.from_bytes(pseudo[10:12], "big") == 20

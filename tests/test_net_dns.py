@@ -1,0 +1,127 @@
+"""Tests for the DNS parser and the dns Protocol."""
+
+import pytest
+
+from repro import Gigascope
+from repro.gsql.schema import builtin_registry
+from repro.net.build import build_udp_frame, capture
+from repro.net.dns import (
+    DNSMessage,
+    QTYPE_A,
+    QTYPE_AAAA,
+    RCODE_NXDOMAIN,
+    build_query,
+    build_response,
+    decode_name,
+    encode_name,
+)
+
+
+class TestNames:
+    def test_encode_decode_round_trip(self):
+        for name in ("www.example.com", "a.b.c.d.e", "example"):
+            wire = encode_name(name)
+            decoded, offset = decode_name(wire, 0)
+            assert decoded == name
+            assert offset == len(wire)
+
+    def test_root_name(self):
+        assert decode_name(b"\x00", 0) == ("", 1)
+
+    def test_compression_pointer(self):
+        # "example.com" at 0; a pointered "www.<ptr0>" after it
+        base = encode_name("example.com")
+        pointered = b"\x03www" + bytes([0xC0, 0x00])
+        blob = base + pointered
+        name, offset = decode_name(blob, len(base))
+        assert name == "www.example.com"
+        assert offset == len(blob)
+
+    def test_pointer_loop_detected(self):
+        blob = bytes([0xC0, 0x00])
+        with pytest.raises(ValueError):
+            decode_name(blob, 0)
+
+    def test_label_too_long(self):
+        with pytest.raises(ValueError):
+            encode_name("x" * 64 + ".com")
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            decode_name(b"\x05ab", 0)
+
+
+class TestMessages:
+    def test_query_round_trip(self):
+        wire = build_query(0x1234, "portal.example.net", QTYPE_AAAA)
+        message = DNSMessage.parse(wire)
+        assert message.txid == 0x1234
+        assert not message.is_response
+        assert message.recursion_desired
+        assert message.qname == "portal.example.net"
+        assert message.qtype == QTYPE_AAAA
+
+    def test_response_with_rcode(self):
+        wire = build_response(7, "missing.example.com",
+                              rcode=RCODE_NXDOMAIN)
+        message = DNSMessage.parse(wire)
+        assert message.is_response
+        assert message.rcode == RCODE_NXDOMAIN
+        assert message.answers == 0
+
+    def test_truncated_header(self):
+        with pytest.raises(ValueError):
+            DNSMessage.parse(b"\x00" * 5)
+
+
+def dns_packet(ts, payload, sport=5353, dport=53, src="10.0.0.1",
+               dst="10.0.0.53"):
+    return capture(build_udp_frame(src, dst, sport, dport, payload=payload), ts)
+
+
+class TestDnsProtocol:
+    def test_interprets_queries(self):
+        dns = builtin_registry().get("dns")
+        packet = dns_packet(5.0, build_query(1, "www.example.com"))
+        (row,) = dns.interpret(packet)
+        assert row[dns.index_of("qname")] == b"www.example.com"
+        assert row[dns.index_of("is_response")] == 0
+        assert row[dns.index_of("time")] == 5
+
+    def test_ignores_non_port53(self):
+        dns = builtin_registry().get("dns")
+        packet = dns_packet(0.0, build_query(1, "x.com"), sport=1000,
+                            dport=2000)
+        assert dns.interpret(packet) == []
+
+    def test_nxdomain_storm_query(self):
+        """The catalog-style NXDOMAIN detector, end to end."""
+        gs = Gigascope()
+        gs.add_query("""
+            DEFINE query_name nx_storm;
+            Select tb, srcIP, count(*)
+            From dns Where is_response = 1 and rcode = 3
+            Group by time/5 as tb, srcIP
+            Having count(*) > 20
+        """)
+        sub = gs.subscribe("nx_storm")
+        gs.start()
+        # normal resolution chatter
+        for i in range(30):
+            gs.feed_packet(dns_packet(i * 0.1, build_query(i, "ok.com")))
+            gs.feed_packet(dns_packet(i * 0.1 + 0.01,
+                                      build_response(i, "ok.com"),
+                                      sport=53, dport=5353,
+                                      src="10.0.0.53", dst="10.0.0.1"))
+        # a burst of NXDOMAINs from one resolver (random-subdomain attack)
+        for i in range(40):
+            gs.feed_packet(dns_packet(10.0 + i * 0.05,
+                                      build_response(500 + i, "bad.evil",
+                                                     rcode=3),
+                                      sport=53, dport=5353,
+                                      src="10.0.0.53", dst="10.9.9.9"))
+        gs.flush()
+        alerts = sub.poll()
+        assert alerts
+        from repro.net.packet import ip_to_int
+        assert all(src == ip_to_int("10.0.0.53") for _tb, src, _c in alerts)

@@ -1,0 +1,181 @@
+"""Tests for Ethernet/IPv4/TCP/UDP header parse + build."""
+
+import pytest
+
+from repro.net.checksum import internet_checksum, pseudo_header, verify_checksum
+from repro.net.ethernet import ETHERTYPE_IPV4, EthernetHeader
+from repro.net.ip import (
+    FLAG_DF,
+    FLAG_MF,
+    IPv4Header,
+    PROTO_TCP,
+    PROTO_UDP,
+    build_ipv4_packet,
+    fragment_ipv4,
+)
+from repro.net.packet import ip_to_int
+from repro.net.tcp import FLAG_ACK, FLAG_SYN, TCPHeader
+from repro.net.udp import UDPHeader
+
+
+class TestEthernet:
+    def test_round_trip(self):
+        header = EthernetHeader(dst="aa:bb:cc:dd:ee:ff", src="01:02:03:04:05:06",
+                                ethertype=ETHERTYPE_IPV4)
+        parsed = EthernetHeader.parse(header.pack())
+        assert parsed == header
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            EthernetHeader.parse(b"\x00" * 10)
+
+    def test_parse_at_offset(self):
+        frame = b"\xff" * 4 + EthernetHeader().pack()
+        parsed = EthernetHeader.parse(frame, 4)
+        assert parsed.ethertype == ETHERTYPE_IPV4
+
+
+class TestIPv4:
+    def _header(self, **kw):
+        defaults = dict(src=ip_to_int("10.0.0.1"), dst=ip_to_int("10.0.0.2"),
+                        protocol=PROTO_TCP, ttl=61, identification=777)
+        defaults.update(kw)
+        return IPv4Header(**defaults)
+
+    def test_round_trip(self):
+        header = self._header()
+        wire = header.pack(payload_len=100)
+        parsed = IPv4Header.parse(wire)
+        assert parsed.src == header.src
+        assert parsed.dst == header.dst
+        assert parsed.ttl == 61
+        assert parsed.identification == 777
+        assert parsed.total_length == 120
+
+    def test_checksum_is_valid(self):
+        wire = self._header().pack(payload_len=0)
+        assert verify_checksum(wire)
+
+    def test_options_padded_and_parsed(self):
+        header = self._header(options=b"\x94\x04\x00")  # 3 bytes -> padded to 4
+        wire = header.pack(payload_len=0)
+        parsed = IPv4Header.parse(wire)
+        assert parsed.header_len == 24
+        assert parsed.options[:3] == b"\x94\x04\x00"
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            IPv4Header.parse(b"\x45\x00" * 5)
+
+    def test_bad_ihl_raises(self):
+        wire = bytearray(self._header().pack(payload_len=0))
+        wire[0] = 0x41  # IHL=1 (4 bytes) is illegal
+        with pytest.raises(ValueError):
+            IPv4Header.parse(bytes(wire))
+
+    def test_fragment_flags(self):
+        header = self._header(flags=FLAG_MF, fragment_offset=8)
+        assert header.is_fragment
+        assert header.more_fragments
+        plain = self._header()
+        assert not plain.is_fragment
+
+    def test_pack_requires_length(self):
+        with pytest.raises(ValueError):
+            self._header().pack()
+
+    def test_fragmentation_covers_payload(self):
+        payload = bytes(range(256)) * 10  # 2560 bytes
+        header = self._header()
+        fragments = fragment_ipv4(header, payload, mtu=576)
+        assert len(fragments) > 1
+        reassembled = {}
+        for wire in fragments:
+            parsed = IPv4Header.parse(wire)
+            data = wire[parsed.header_len:]
+            reassembled[parsed.fragment_offset * 8] = data
+            # data length is a multiple of 8 except possibly the last
+            if parsed.more_fragments:
+                assert len(data) % 8 == 0
+        body = b"".join(reassembled[k] for k in sorted(reassembled))
+        assert body == payload
+        last = IPv4Header.parse(fragments[-1])
+        assert not last.more_fragments
+        first = IPv4Header.parse(fragments[0])
+        assert first.more_fragments
+        assert first.fragment_offset == 0
+
+    def test_fragmentation_respects_df(self):
+        header = self._header(flags=FLAG_DF)
+        with pytest.raises(ValueError):
+            fragment_ipv4(header, bytes(5000), mtu=1500)
+
+    def test_no_fragmentation_when_fits(self):
+        header = self._header()
+        fragments = fragment_ipv4(header, b"x" * 100, mtu=1500)
+        assert len(fragments) == 1
+        assert not IPv4Header.parse(fragments[0]).is_fragment
+
+
+class TestTCP:
+    def test_round_trip(self):
+        header = TCPHeader(src_port=1234, dst_port=80, seq=42, ack=99,
+                           flags=FLAG_SYN | FLAG_ACK, window=1024)
+        src, dst = ip_to_int("1.2.3.4"), ip_to_int("5.6.7.8")
+        wire = header.pack(src, dst, b"hello")
+        parsed = TCPHeader.parse(wire)
+        assert parsed.src_port == 1234
+        assert parsed.dst_port == 80
+        assert parsed.seq == 42
+        assert parsed.ack == 99
+        assert parsed.syn and parsed.ack_flag and not parsed.fin
+
+    def test_checksum_covers_pseudo_header(self):
+        src, dst = ip_to_int("1.2.3.4"), ip_to_int("5.6.7.8")
+        payload = b"payload"
+        wire = TCPHeader(src_port=1, dst_port=2).pack(src, dst, payload)
+        segment = wire + payload
+        pseudo = pseudo_header(src, dst, PROTO_TCP, len(segment))
+        assert internet_checksum(pseudo + segment) == 0
+
+    def test_options_round_trip(self):
+        header = TCPHeader(src_port=1, dst_port=2, options=b"\x02\x04\x05\xb4")
+        parsed = TCPHeader.parse(header.pack())
+        assert parsed.options == b"\x02\x04\x05\xb4"
+        assert parsed.header_len == 24
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            TCPHeader.parse(b"\x00" * 10)
+
+
+class TestUDP:
+    def test_round_trip(self):
+        src, dst = ip_to_int("9.9.9.9"), ip_to_int("8.8.8.8")
+        header = UDPHeader(src_port=53, dst_port=4000)
+        wire = header.pack(src, dst, b"dns!")
+        parsed = UDPHeader.parse(wire)
+        assert parsed.src_port == 53
+        assert parsed.dst_port == 4000
+        assert parsed.length == 12
+
+    def test_checksum_covers_pseudo_header(self):
+        src, dst = ip_to_int("9.9.9.9"), ip_to_int("8.8.8.8")
+        payload = b"x" * 13
+        wire = UDPHeader(src_port=1, dst_port=2).pack(src, dst, payload)
+        datagram = wire + payload
+        pseudo = pseudo_header(src, dst, PROTO_UDP, len(datagram))
+        assert internet_checksum(pseudo + datagram) == 0
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            UDPHeader.parse(b"\x00" * 7)
+
+
+class TestBuildIPv4Packet:
+    def test_total_length_fixed_up(self):
+        header = IPv4Header(src=1, dst=2, protocol=PROTO_UDP)
+        wire = build_ipv4_packet(header, b"abcde")
+        parsed = IPv4Header.parse(wire)
+        assert parsed.total_length == 25
+        assert wire[parsed.header_len:] == b"abcde"

@@ -1,0 +1,155 @@
+"""Tests for the IPv6 substrate and the tcp6/udp6 protocols."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import Gigascope
+from repro.gsql.schema import PacketView, builtin_registry
+from repro.net.build import build_tcp6_frame, build_udp6_frame, capture
+from repro.net.checksum import internet_checksum
+from repro.net.ipv6 import (
+    IPv6Header,
+    int_to_ip6,
+    ip6_to_int,
+    pseudo_header_v6,
+    skip_extension_headers,
+)
+
+
+class TestAddressText:
+    def test_known_values(self):
+        assert ip6_to_int("::1") == 1
+        assert ip6_to_int("::") == 0
+        assert ip6_to_int("2001:db8::1") == 0x20010DB8000000000000000000000001
+        assert ip6_to_int("fe80:0:0:0:0:0:0:9") == (0xFE80 << 112) | 9
+
+    def test_render(self):
+        assert int_to_ip6(1) == "::1"
+        assert int_to_ip6(0) == "::"
+        assert int_to_ip6(0x20010DB8000000000000000000000001) == "2001:db8::1"
+
+    def test_round_trip_samples(self):
+        for text in ("2001:db8::8:800:200c:417a", "ff01::101", "::ffff:0:0"):
+            assert ip6_to_int(int_to_ip6(ip6_to_int(text))) == ip6_to_int(text)
+
+    @given(st.integers(0, (1 << 128) - 1))
+    def test_round_trip_property(self, value):
+        assert ip6_to_int(int_to_ip6(value)) == value
+
+    def test_rejects_bad_text(self):
+        for bad in ("1::2::3", "1:2:3", "::10000", "2001:db8::1::"):
+            with pytest.raises(ValueError):
+                ip6_to_int(bad)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_ip6(1 << 128)
+
+
+class TestHeader:
+    def test_round_trip(self):
+        header = IPv6Header(src=ip6_to_int("2001:db8::1"),
+                            dst=ip6_to_int("2001:db8::2"),
+                            next_header=6, hop_limit=61, flow_label=0x12345)
+        parsed = IPv6Header.parse(header.pack(payload_len=20))
+        assert parsed.src == header.src
+        assert parsed.dst == header.dst
+        assert parsed.hop_limit == 61
+        assert parsed.flow_label == 0x12345
+        assert parsed.payload_length == 20
+        assert parsed.version == 6
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            IPv6Header.parse(b"\x60" + b"\x00" * 20)
+
+    def test_extension_header_skipping(self):
+        # hop-by-hop (0) of 8 bytes, then TCP (6)
+        ext = bytes([6, 0]) + b"\x00" * 6
+        protocol, offset = skip_extension_headers(ext, 0, 0)
+        assert protocol == 6
+        assert offset == 8
+
+
+class TestFrames:
+    def test_tcp6_checksum_valid(self):
+        src = ip6_to_int("2001:db8::1")
+        dst = ip6_to_int("2001:db8::2")
+        frame = build_tcp6_frame(src, dst, 1234, 80, payload=b"hello")
+        segment = frame[14 + 40:]
+        pseudo = pseudo_header_v6(src, dst, 6, len(segment))
+        assert internet_checksum(pseudo + segment) == 0
+
+    def test_udp6_checksum_valid(self):
+        src = ip6_to_int("fe80::1")
+        dst = ip6_to_int("fe80::2")
+        frame = build_udp6_frame(src, dst, 53, 5353, payload=b"q")
+        datagram = frame[14 + 40:]
+        pseudo = pseudo_header_v6(src, dst, 17, len(datagram))
+        assert internet_checksum(pseudo + datagram) == 0
+
+    def test_packet_view(self):
+        frame = build_tcp6_frame("2001:db8::9", "2001:db8::a", 5, 443,
+                                 payload=b"tls")
+        view = PacketView(capture(frame, 1.0))
+        assert view.ip is None
+        assert view.ip6 is not None
+        assert view.ip6.src == ip6_to_int("2001:db8::9")
+        assert view.tcp.dst_port == 443
+        assert view.payload == b"tls"
+
+
+class TestProtocols:
+    def test_tcp6_interpret(self):
+        registry = builtin_registry()
+        tcp6 = registry.get("tcp6")
+        frame = build_tcp6_frame("2001:db8::1", "2001:db8::2", 9999, 80,
+                                 payload=b"GET /")
+        (row,) = tcp6.interpret(capture(frame, 7.0))
+        assert row[tcp6.index_of("time")] == 7
+        assert row[tcp6.index_of("destPort")] == 80
+        assert row[tcp6.index_of("srcIP6")] == ip6_to_int("2001:db8::1")
+
+    def test_tcp6_rejects_v4(self):
+        from tests.conftest import tcp_packet
+        registry = builtin_registry()
+        assert registry.get("tcp6").interpret(tcp_packet()) == []
+
+    def test_tcp_rejects_v6(self):
+        registry = builtin_registry()
+        frame = build_tcp6_frame("::1", "::2", 1, 80)
+        assert registry.get("tcp").interpret(capture(frame, 0.0)) == []
+
+    def test_end_to_end_query(self):
+        gs = Gigascope()
+        gs.add_query("""
+            DEFINE query_name v6web;
+            Select tb, count(*) From tcp6 Where destPort = 80
+            Group by time/10 as tb
+        """)
+        sub = gs.subscribe("v6web")
+        gs.start()
+        for i in range(10):
+            frame = build_tcp6_frame("2001:db8::5", "2001:db8::6",
+                                     40000 + i, 80 if i % 2 else 443)
+            gs.feed_packet(capture(frame, float(i)))
+        gs.flush()
+        rows = sub.poll()
+        assert sum(count for _tb, count in rows) == 5
+
+    def test_mixed_v4_v6_interfaces(self):
+        """One wire carrying both families: each protocol sees its own."""
+        from tests.conftest import tcp_packet
+        gs = Gigascope()
+        gs.add_queries("""
+            DEFINE query_name v4; Select time From tcp;
+            DEFINE query_name v6; Select time From tcp6
+        """)
+        s4, s6 = gs.subscribe("v4"), gs.subscribe("v6")
+        gs.start()
+        gs.feed_packet(tcp_packet(ts=1.0))
+        gs.feed_packet(capture(build_tcp6_frame("::1", "::2", 1, 2), 2.0))
+        gs.pump()
+        assert len(s4.poll()) == 1
+        assert len(s6.poll()) == 1

@@ -1,0 +1,134 @@
+"""Tests for the longest-prefix-match trie behind getlpmid."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.lpm import PrefixTable, parse_prefix
+from repro.net.packet import int_to_ip, ip_to_int
+
+
+class TestParsePrefix:
+    def test_masks_host_bits(self):
+        network, length = parse_prefix("10.1.2.3/16")
+        assert length == 16
+        assert network == ip_to_int("10.1.0.0")
+
+    def test_bare_address_is_slash_32(self):
+        network, length = parse_prefix("1.2.3.4")
+        assert (network, length) == (ip_to_int("1.2.3.4"), 32)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            parse_prefix("10.0.0.0/33")
+
+
+class TestLookup:
+    def test_longest_match_wins(self):
+        table = PrefixTable()
+        table.add("10.0.0.0/8", "big")
+        table.add("10.1.0.0/16", "medium")
+        table.add("10.1.2.0/24", "small")
+        assert table.lookup("10.1.2.3") == "small"
+        assert table.lookup("10.1.9.9") == "medium"
+        assert table.lookup("10.9.9.9") == "big"
+        assert table.lookup("11.0.0.1") is None
+
+    def test_default_route(self):
+        table = PrefixTable()
+        table.add("0.0.0.0/0", "default")
+        table.add("192.168.0.0/16", "private")
+        assert table.lookup("8.8.8.8") == "default"
+        assert table.lookup("192.168.3.4") == "private"
+
+    def test_exact_host_route(self):
+        table = PrefixTable()
+        table.add("1.2.3.4/32", 42)
+        assert table.lookup("1.2.3.4") == 42
+        assert table.lookup("1.2.3.5") is None
+
+    def test_replacement(self):
+        table = PrefixTable()
+        table.add("10.0.0.0/8", 1)
+        table.add("10.0.0.0/8", 2)
+        assert len(table) == 1
+        assert table.lookup("10.5.5.5") == 2
+
+    def test_contains(self):
+        table = PrefixTable()
+        table.add("10.0.0.0/8", 1)
+        assert "10.1.1.1" in table
+        assert "11.1.1.1" not in table
+
+    def test_integer_addresses_accepted(self):
+        table = PrefixTable()
+        table.add("10.0.0.0/8", 7)
+        assert table.lookup(ip_to_int("10.200.1.1")) == 7
+
+
+class TestFromLines:
+    def test_parses_comments_and_values(self):
+        table = PrefixTable.from_lines([
+            "# AT&T peers",
+            "10.0.0.0/8   7018",
+            "12.0.0.0/8   7019  # another",
+            "",
+            "192.168.0.0/16 lab",
+        ])
+        assert table.lookup("10.1.1.1") == 7018
+        assert table.lookup("12.0.0.1") == 7019
+        assert table.lookup("192.168.1.1") == "lab"
+
+    def test_rejects_bad_lines(self):
+        with pytest.raises(ValueError):
+            PrefixTable.from_lines(["10.0.0.0/8"])
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "peers.tbl"
+        path.write_text("10.0.0.0/8 1\n12.0.0.0/8 2\n")
+        table = PrefixTable.from_file(str(path))
+        assert table.lookup("12.1.2.3") == 2
+
+
+def _brute_force(prefixes, address):
+    """Reference LPM: scan all prefixes, keep the longest match."""
+    best = None
+    best_len = -1
+    for (network, length), value in prefixes:
+        if length == 0:
+            mask = 0
+        else:
+            mask = ~((1 << (32 - length)) - 1) & 0xFFFFFFFF
+        if (address & mask) == network and length > best_len:
+            best, best_len = value, length
+    return best
+
+
+@st.composite
+def _prefix_sets(draw):
+    count = draw(st.integers(min_value=1, max_value=30))
+    prefixes = []
+    for index in range(count):
+        length = draw(st.integers(min_value=0, max_value=32))
+        raw = draw(st.integers(min_value=0, max_value=0xFFFFFFFF))
+        if length == 0:
+            network = 0
+        else:
+            network = raw & (~((1 << (32 - length)) - 1) & 0xFFFFFFFF)
+        prefixes.append(((network, length), index))
+    return prefixes
+
+
+class TestPropertyVsBruteForce:
+    @given(_prefix_sets(), st.lists(st.integers(0, 0xFFFFFFFF), min_size=1,
+                                    max_size=20))
+    def test_matches_reference(self, prefixes, addresses):
+        table = PrefixTable()
+        deduped = {}
+        for prefix, value in prefixes:
+            deduped[prefix] = value  # replacement semantics
+        for prefix, value in deduped.items():
+            table.add(prefix, value)
+        reference_set = list(deduped.items())
+        for address in addresses:
+            assert table.lookup(address) == _brute_force(reference_set, address)

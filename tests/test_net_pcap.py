@@ -1,0 +1,101 @@
+"""Tests for the pcap capture-file reader/writer."""
+
+import io
+import struct
+
+import pytest
+
+from repro.net.packet import CapturedPacket
+from repro.net.pcap import (
+    MAGIC_USEC,
+    PcapError,
+    PcapReader,
+    PcapWriter,
+    read_pcap,
+    write_pcap,
+)
+
+
+def _packets(n=5):
+    return [
+        CapturedPacket(timestamp=1_000_000.0 + i * 0.25,
+                       data=bytes([i]) * (20 + i))
+        for i in range(n)
+    ]
+
+
+class TestRoundTrip:
+    def test_memory_round_trip(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer, snaplen=65535)
+        packets = _packets()
+        for packet in packets:
+            writer.write(packet)
+        assert writer.packets_written == len(packets)
+        buffer.seek(0)
+        read = list(PcapReader(buffer))
+        assert len(read) == len(packets)
+        for original, loaded in zip(packets, read):
+            assert loaded.data == original.data
+            assert loaded.orig_len == original.orig_len
+            assert abs(loaded.timestamp - original.timestamp) < 1e-5
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.pcap")
+        packets = _packets(8)
+        assert write_pcap(path, packets) == 8
+        loaded = read_pcap(path)
+        assert [p.data for p in loaded] == [p.data for p in packets]
+
+    def test_snaplen_truncates_records(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer, snaplen=10)
+        writer.write(CapturedPacket(timestamp=0.0, data=b"z" * 100))
+        buffer.seek(0)
+        (record,) = list(PcapReader(buffer))
+        assert record.caplen == 10
+        assert record.orig_len == 100
+        assert record.truncated
+
+
+class TestBigEndian:
+    def test_reads_big_endian_files(self):
+        header = struct.pack(">IHHiIII", MAGIC_USEC, 2, 4, 0, 0, 65535, 1)
+        record = struct.pack(">IIII", 7, 500_000, 3, 3) + b"abc"
+        reader = PcapReader(io.BytesIO(header + record))
+        (packet,) = list(reader)
+        assert packet.data == b"abc"
+        assert abs(packet.timestamp - 7.5) < 1e-6
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(PcapError):
+            PcapReader(io.BytesIO(b"\x00" * 24))
+
+    def test_truncated_global_header(self):
+        with pytest.raises(PcapError):
+            PcapReader(io.BytesIO(b"\xd4\xc3\xb2\xa1"))
+
+    def test_truncated_record_header(self):
+        buffer = io.BytesIO()
+        PcapWriter(buffer).write(CapturedPacket(timestamp=0.0, data=b"xy"))
+        blob = buffer.getvalue()[:-10]  # cut into the record
+        reader = PcapReader(io.BytesIO(blob))
+        with pytest.raises(PcapError):
+            list(reader)
+
+    def test_truncated_record_body(self):
+        buffer = io.BytesIO()
+        PcapWriter(buffer).write(CapturedPacket(timestamp=0.0, data=b"x" * 40))
+        blob = buffer.getvalue()[:-5]
+        with pytest.raises(PcapError):
+            list(PcapReader(io.BytesIO(blob)))
+
+    def test_microsecond_rollover(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write(CapturedPacket(timestamp=1.9999996, data=b"a"))
+        buffer.seek(0)
+        (packet,) = list(PcapReader(buffer))
+        assert abs(packet.timestamp - 2.0) < 1e-5

@@ -1,0 +1,147 @@
+"""Tests for the pcapng capture-file format."""
+
+import io
+import struct
+
+import pytest
+
+from repro.net.packet import CapturedPacket
+from repro.net.pcapng import (
+    BYTE_ORDER_MAGIC,
+    EPB_TYPE,
+    IDB_TYPE,
+    PcapngError,
+    PcapngReader,
+    PcapngWriter,
+    SHB_TYPE,
+    read_pcapng,
+    write_pcapng,
+)
+
+
+def _packets():
+    return [
+        CapturedPacket(timestamp=1_000.5 + i, data=bytes([i]) * (30 + i),
+                       interface="eth0" if i % 2 else "eth1")
+        for i in range(6)
+    ]
+
+
+class TestRoundTrip:
+    def test_memory_round_trip(self):
+        buffer = io.BytesIO()
+        writer = PcapngWriter(buffer)
+        packets = _packets()
+        for packet in packets:
+            writer.write(packet)
+        buffer.seek(0)
+        loaded = list(PcapngReader(buffer))
+        assert len(loaded) == len(packets)
+        for original, back in zip(packets, loaded):
+            assert back.data == original.data
+            assert back.interface == original.interface
+            assert abs(back.timestamp - original.timestamp) < 1e-5
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.pcapng")
+        packets = _packets()
+        assert write_pcapng(path, packets) == len(packets)
+        loaded = read_pcapng(path)
+        assert [p.data for p in loaded] == [p.data for p in packets]
+
+    def test_interfaces_preserved(self):
+        buffer = io.BytesIO()
+        writer = PcapngWriter(buffer)
+        for packet in _packets():
+            writer.write(packet)
+        buffer.seek(0)
+        names = {p.interface for p in PcapngReader(buffer)}
+        assert names == {"eth0", "eth1"}
+
+    def test_snaplen(self):
+        buffer = io.BytesIO()
+        writer = PcapngWriter(buffer, snaplen=16)
+        writer.write(CapturedPacket(timestamp=0.0, data=b"z" * 100))
+        buffer.seek(0)
+        (packet,) = list(PcapngReader(buffer))
+        assert packet.caplen == 16
+        assert packet.orig_len == 100
+
+
+class TestBigEndianAndSkipping:
+    def _big_endian_file(self):
+        out = io.BytesIO()
+
+        def block(block_type, body, endian=">"):
+            total = 12 + len(body)
+            out.write(struct.pack(endian + "II", block_type, total))
+            out.write(body)
+            out.write(struct.pack(endian + "I", total))
+
+        block(SHB_TYPE, struct.pack(">IHHq", BYTE_ORDER_MAGIC, 1, 0, -1))
+        block(IDB_TYPE, struct.pack(">HHI", 1, 0, 65535))
+        # an unknown block type that must be skipped
+        block(0x0BAD, b"\x00" * 8)
+        data = b"abcd"
+        ticks = 5_250_000  # 5.25 s at microsecond resolution
+        block(EPB_TYPE, struct.pack(">IIIII", 0, 0, ticks, 4, 4) + data)
+        out.seek(0)
+        return out
+
+    def test_reads_big_endian_and_skips_unknown(self):
+        (packet,) = list(PcapngReader(self._big_endian_file()))
+        assert packet.data == b"abcd"
+        assert abs(packet.timestamp - 5.25) < 1e-9
+
+
+class TestErrors:
+    def test_not_starting_with_shb(self):
+        out = io.BytesIO(struct.pack("<II", EPB_TYPE, 32) + b"\x00" * 24)
+        with pytest.raises(PcapngError):
+            list(PcapngReader(out))
+
+    def test_bad_byte_order_magic(self):
+        out = io.BytesIO(struct.pack("<III", SHB_TYPE, 28, 0xDEADBEEF)
+                         + b"\x00" * 16)
+        with pytest.raises(PcapngError):
+            list(PcapngReader(out))
+
+    def test_truncated_block(self):
+        buffer = io.BytesIO()
+        writer = PcapngWriter(buffer)
+        writer.write(CapturedPacket(timestamp=0.0, data=b"abcdef"))
+        blob = buffer.getvalue()[:-6]
+        with pytest.raises(PcapngError):
+            list(PcapngReader(io.BytesIO(blob)))
+
+    def test_epb_for_unknown_interface(self):
+        out = io.BytesIO()
+        body = struct.pack("<IHHq", BYTE_ORDER_MAGIC, 1, 0, -1)
+        out.write(struct.pack("<II", SHB_TYPE, 12 + len(body)))
+        out.write(body)
+        out.write(struct.pack("<I", 12 + len(body)))
+        epb = struct.pack("<IIIII", 3, 0, 0, 0, 0)
+        out.write(struct.pack("<II", EPB_TYPE, 12 + len(epb)))
+        out.write(epb)
+        out.write(struct.pack("<I", 12 + len(epb)))
+        out.seek(0)
+        with pytest.raises(PcapngError):
+            list(PcapngReader(out))
+
+
+class TestCliIntegration:
+    def test_engine_reads_pcapng_stream(self, tmp_path):
+        """Feeding a pcapng trace through the engine end to end."""
+        from repro import Gigascope
+        from tests.conftest import tcp_packet
+        packets = [tcp_packet(ts=float(i), dport=80) for i in range(10)]
+        path = str(tmp_path / "t.pcapng")
+        write_pcapng(path, packets)
+        gs = Gigascope()
+        gs.add_query("DEFINE query_name q; Select time From tcp "
+                     "Where destPort = 80")
+        sub = gs.subscribe("q")
+        gs.start()
+        gs.feed(read_pcapng(path))
+        gs.flush()
+        assert len(sub.poll()) == 10

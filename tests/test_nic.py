@@ -1,0 +1,141 @@
+"""Tests for the simulated NIC, BPF prefilter, and on-NIC RTS."""
+
+import pytest
+
+from repro.gsql.codegen import ExprCompiler
+from repro.gsql.planner import PushedPredicate
+from repro.gsql.schema import PacketView
+from repro.nic.bpf import BpfProgram, compile_pushed_predicates
+from repro.nic.nic import Nic
+from repro.nic.nic_rts import NicRts
+from repro.operators.lfta import LftaNode
+from tests.conftest import tcp_packet, udp_packet
+
+
+class TestBpf:
+    def test_port_and_protocol_tests(self):
+        program = compile_pushed_predicates([
+            PushedPredicate("destport", "=", 80),
+            PushedPredicate("protocol", "=", 6),
+        ])
+        assert program.matches(tcp_packet(dport=80).data)
+        assert not program.matches(tcp_packet(dport=443).data)
+        assert not program.matches(udp_packet(dport=80).data)
+        assert program.evaluated == 3
+        assert program.matched == 1
+
+    def test_ip_address_tests(self):
+        from repro.net.packet import ip_to_int
+        program = compile_pushed_predicates([
+            PushedPredicate("srcip", "=", ip_to_int("10.0.0.1")),
+        ])
+        assert program.matches(tcp_packet(src="10.0.0.1").data)
+        assert not program.matches(tcp_packet(src="10.0.0.2").data)
+
+    def test_range_operators(self):
+        program = compile_pushed_predicates([
+            PushedPredicate("destport", "<=", 1023),
+        ])
+        assert program.matches(tcp_packet(dport=80).data)
+        assert not program.matches(tcp_packet(dport=8080).data)
+
+    def test_non_ip_rejected(self):
+        program = compile_pushed_predicates([])
+        assert not program.matches(b"\x00" * 60)  # ethertype 0
+
+    def test_truncated_frame_fails_field_tests(self):
+        program = compile_pushed_predicates([
+            PushedPredicate("destport", "=", 80),
+        ])
+        assert not program.matches(tcp_packet(dport=80).data[:20])
+
+    def test_consistency_with_packet_view(self):
+        """The NIC's raw-offset extraction must agree with full parsing."""
+        program = compile_pushed_predicates([
+            PushedPredicate("destport", "=", 80),
+            PushedPredicate("ipversion", "=", 4),
+        ])
+        for dport in (80, 443, 8080):
+            packet = tcp_packet(dport=dport, payload=b"xyz")
+            view = PacketView(packet)
+            expected = view.tcp is not None and view.tcp.dst_port == 80
+            assert program.matches(packet.data) == expected
+
+
+class TestNicQueueing:
+    def test_fast_nic_accepts_everything(self):
+        nic = Nic(service_us=1.0, ring_slots=8)
+        for i in range(100):
+            nic.receive(tcp_packet(ts=i * 0.001), now_us=i * 1000.0)
+        assert nic.stats.ring_dropped == 0
+        assert nic.stats.delivered_packets == 100
+
+    def test_slow_nic_drops_on_ring_overflow(self):
+        nic = Nic(service_us=1000.0, ring_slots=8)
+        for i in range(100):
+            nic.receive(tcp_packet(ts=i * 1e-6), now_us=float(i))
+        assert nic.stats.ring_dropped > 0
+        assert nic.loss_rate > 0.5
+
+    def test_bpf_filter_counts(self):
+        program = compile_pushed_predicates([PushedPredicate("destport", "=", 80)])
+        nic = Nic(service_us=1.0, ring_slots=64, bpf=program)
+        nic.receive(tcp_packet(dport=80), 0.0)
+        nic.receive(tcp_packet(dport=443), 10.0)
+        assert nic.stats.filtered == 1
+        assert nic.stats.delivered_packets == 1
+
+    def test_snaplen_truncation(self):
+        nic = Nic(service_us=1.0, snaplen=60)
+        nic.receive(tcp_packet(payload=b"z" * 500), 0.0)
+        ((_, delivered),) = nic.take_deliveries()
+        assert delivered.caplen == 60
+        assert delivered.orig_len > 500
+
+
+class TestOnNicLfta:
+    def _nic_with_lfta(self, compile_plan):
+        analyzed, plan, compiler = compile_plan(
+            "DEFINE query_name q; Select time, destPort From tcp "
+            "Where destPort = 80")
+        lfta = LftaNode(plan.lftas[0], analyzed, compiler)
+        rts = NicRts([lfta])
+        return Nic(service_us=1.0, ring_slots=64, rts=rts), lfta
+
+    def test_tuples_delivered_not_packets(self, compile_plan):
+        nic, _ = self._nic_with_lfta(compile_plan)
+        nic.receive(tcp_packet(ts=1.0, dport=80), 0.0)
+        nic.receive(tcp_packet(ts=2.0, dport=443), 10.0)
+        assert nic.stats.delivered_tuples == 1
+        assert nic.stats.delivered_packets == 0
+        ((_, rows),) = nic.take_deliveries()
+        assert rows == [(1, 80)]
+
+    def test_nic_results_match_host_lfta(self, compile_plan):
+        """Running the LFTA on the card is semantically transparent."""
+        nic, _ = self._nic_with_lfta(compile_plan)
+        analyzed, plan, compiler = compile_plan(
+            "DEFINE query_name q2; Select time, destPort From tcp "
+            "Where destPort = 80")
+        host_lfta = LftaNode(plan.lftas[0], analyzed, compiler)
+        tap = host_lfta.subscribe()
+        packets = [tcp_packet(ts=float(i), dport=80 if i % 3 else 22)
+                   for i in range(30)]
+        for i, packet in enumerate(packets):
+            nic.receive(packet, i * 10.0)
+            host_lfta.accept_packet(packet)
+        nic_rows = [row for _, batch in nic.take_deliveries() for row in batch]
+        host_rows = [item for item in tap.drain() if type(item) is tuple]
+        assert nic_rows == host_rows
+
+    def test_rts_heartbeat_and_flush(self, compile_plan):
+        analyzed, plan, compiler = compile_plan(
+            "DEFINE query_name agg; Select tb, count(*) From tcp "
+            "Group by time/10 as tb")
+        lfta = LftaNode(plan.lftas[0], analyzed, compiler)
+        rts = NicRts([lfta])
+        nic = Nic(service_us=1.0, rts=rts)
+        nic.receive(tcp_packet(ts=1.0), 0.0)
+        assert rts.heartbeat(50.0) == [(0, 1)]
+        nic.receive(tcp_packet(ts=60.0), 100.0)
+        assert rts.flush() == [(6, 1)]

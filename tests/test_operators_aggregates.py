@@ -1,0 +1,100 @@
+"""Tests for the aggregate state machinery (sub/super-aggregate split)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gsql.ast_nodes import AggCall, Column
+from repro.operators.aggregates import AggregateOps, partial_layout
+
+
+def make_ops(*names):
+    """AggregateOps over rows that are (value,) 1-tuples."""
+    aggregates = [
+        AggCall(name, None if name == "COUNT" else Column("v"))
+        for name in names
+    ]
+    arg_fns = [None if name == "COUNT" else (lambda row: row[0])
+               for name in names]
+    return AggregateOps(aggregates, arg_fns)
+
+
+class TestLayout:
+    def test_avg_takes_two_slots(self):
+        aggregates = [AggCall("COUNT", None), AggCall("AVG", Column("v")),
+                      AggCall("SUM", Column("v"))]
+        assert partial_layout(aggregates) == [1, 2, 1]
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            AggregateOps([AggCall("COUNT", None)], [])
+
+
+class TestDirectAccumulation:
+    def test_all_aggregates(self):
+        ops = make_ops("COUNT", "SUM", "MIN", "MAX", "AVG")
+        state = ops.new_state()
+        for value in (5, 1, 9, 3):
+            ops.update(state, (value,))
+        assert ops.final_values(state) == (4, 18, 1, 9, 4.5)
+
+    def test_avg_of_nothing_is_zero(self):
+        ops = make_ops("AVG")
+        assert ops.final_values(ops.new_state()) == (0.0,)
+
+    def test_min_max_single_value(self):
+        ops = make_ops("MIN", "MAX")
+        state = ops.new_state()
+        ops.update(state, (7,))
+        assert ops.final_values(state) == (7, 7)
+
+
+class TestPartialCombine:
+    def test_partials_round_trip(self):
+        ops = make_ops("COUNT", "SUM", "MIN", "MAX", "AVG")
+        state = ops.new_state()
+        for value in (2, 8, 4):
+            ops.update(state, (value,))
+        partials = ops.partials(state)
+        assert len(partials) == ops.partial_width == 6
+        combined = ops.new_state()
+        ops.combine(combined, partials)
+        assert ops.final_values(combined) == ops.final_values(state)
+
+    def test_combining_two_partials(self):
+        ops = make_ops("COUNT", "SUM", "MIN", "MAX", "AVG")
+        left, right = ops.new_state(), ops.new_state()
+        for value in (1, 2, 3):
+            ops.update(left, (value,))
+        for value in (10, 20):
+            ops.update(right, (value,))
+        total = ops.new_state()
+        ops.combine(total, ops.partials(left))
+        ops.combine(total, ops.partials(right))
+        assert ops.final_values(total) == (5, 36, 1, 20, 7.2)
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=60),
+           st.data())
+    def test_any_split_equals_direct(self, values, data):
+        """Splitting the stream at arbitrary points (LFTA evictions) and
+        recombining (HFTA) must equal direct aggregation -- the core
+        correctness property of the aggregate query splitting."""
+        ops = make_ops("COUNT", "SUM", "MIN", "MAX", "AVG")
+        direct = ops.new_state()
+        for value in values:
+            ops.update(direct, (value,))
+
+        combined = ops.new_state()
+        cursor = 0
+        while cursor < len(values):
+            size = data.draw(st.integers(1, len(values) - cursor))
+            chunk = ops.new_state()
+            for value in values[cursor:cursor + size]:
+                ops.update(chunk, (value,))
+            ops.combine(combined, ops.partials(chunk))
+            cursor += size
+
+        direct_final = ops.final_values(direct)
+        combined_final = ops.final_values(combined)
+        assert direct_final[:4] == combined_final[:4]
+        assert direct_final[4] == pytest.approx(combined_final[4])

@@ -1,0 +1,108 @@
+"""Tests for the IP defragmentation user node."""
+
+import pytest
+
+from repro.gsql.schema import builtin_registry
+from repro.net.build import capture
+from repro.net.ethernet import ETHERTYPE_IPV4, EthernetHeader
+from repro.net.ip import IPv4Header, PROTO_UDP, fragment_ipv4
+from repro.net.packet import CapturedPacket, ip_to_int
+from repro.net.udp import UDPHeader
+from repro.operators.defrag import DefragNode
+from tests.conftest import udp_packet
+
+
+def fragmented_udp(payload_len=3000, mtu=600, ident=42, ts=1.0):
+    """Build a UDP datagram and fragment it; returns captured fragments."""
+    src, dst = ip_to_int("10.0.0.1"), ip_to_int("10.0.0.2")
+    udp = UDPHeader(src_port=5000, dst_port=6000)
+    payload = bytes(range(256)) * (payload_len // 256 + 1)
+    payload = payload[:payload_len]
+    datagram = udp.pack(src, dst, payload) + payload
+    ip = IPv4Header(src=src, dst=dst, protocol=PROTO_UDP, identification=ident)
+    eth = EthernetHeader(ethertype=ETHERTYPE_IPV4).pack()
+    wires = fragment_ipv4(ip, datagram, mtu)
+    return [capture(eth + wire, ts + i * 0.001)
+            for i, wire in enumerate(wires)], payload
+
+
+@pytest.fixture
+def node():
+    registry = builtin_registry()
+    return DefragNode("defrag0", registry.get("udp"))
+
+
+def rows_of(tap):
+    return [item for item in tap.drain() if type(item) is tuple]
+
+
+class TestReassembly:
+    def test_in_order_fragments(self, node):
+        tap = node.subscribe()
+        fragments, payload = fragmented_udp()
+        assert len(fragments) > 2
+        for packet in fragments:
+            node.accept_packet(packet)
+        rows = rows_of(tap)
+        assert len(rows) == 1
+        schema = node.protocol
+        assert rows[0][schema.index_of("data")] == payload
+        assert node.datagrams_reassembled == 1
+        assert node.fragments_seen == len(fragments)
+
+    def test_out_of_order_fragments(self, node):
+        tap = node.subscribe()
+        fragments, payload = fragmented_udp()
+        reordered = list(reversed(fragments))
+        for packet in reordered:
+            node.accept_packet(packet)
+        rows = rows_of(tap)
+        assert len(rows) == 1
+        assert rows[0][node.protocol.index_of("data")] == payload
+
+    def test_unfragmented_passes_through(self, node):
+        tap = node.subscribe()
+        node.accept_packet(udp_packet(ts=1.0, payload=b"small"))
+        rows = rows_of(tap)
+        assert len(rows) == 1
+        assert rows[0][node.protocol.index_of("data")] == b"small"
+
+    def test_interleaved_datagrams(self, node):
+        tap = node.subscribe()
+        frag_a, payload_a = fragmented_udp(ident=1)
+        frag_b, payload_b = fragmented_udp(ident=2)
+        for pair in zip(frag_a, frag_b):
+            for packet in pair:
+                node.accept_packet(packet)
+        rows = rows_of(tap)
+        assert len(rows) == 2
+        payloads = {row[node.protocol.index_of("data")] for row in rows}
+        assert payloads == {payload_a, payload_b}
+
+    def test_incomplete_never_emits(self, node):
+        tap = node.subscribe()
+        fragments, _ = fragmented_udp()
+        for packet in fragments[:-1]:  # hold back the last fragment
+            node.accept_packet(packet)
+        assert rows_of(tap) == []
+        assert node.datagrams_reassembled == 0
+
+    def test_timeout_discards_stale_state(self, node):
+        tap = node.subscribe()
+        fragments, _ = fragmented_udp(ts=1.0)
+        node.accept_packet(fragments[0])
+        node.on_heartbeat(100.0)  # way past the 30 s timeout
+        assert node.timed_out == 1
+        # the late fragments no longer complete anything
+        for packet in fragments[1:]:
+            node.accept_packet(packet)
+        assert rows_of(tap) == []
+
+    def test_non_ip_ignored(self, node):
+        tap = node.subscribe()
+        node.accept_packet(CapturedPacket(timestamp=0.0, data=b"\x00" * 60))
+        assert rows_of(tap) == []
+
+    def test_rejects_tuple_input(self, node):
+        with pytest.raises(TypeError):
+            node.on_tuple((1,), 0)

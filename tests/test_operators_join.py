@@ -1,0 +1,137 @@
+"""Tests for the two-stream window join."""
+
+import random
+
+import pytest
+
+from repro.core.heartbeat import FLUSH, Punctuation
+from repro.operators.join import JoinNode
+
+
+def make_join(compile_plan, text, streams):
+    analyzed, plan, compiler = compile_plan(text, streams=streams)
+    node = JoinNode(plan.hfta, analyzed, compiler)
+    tap = node.subscribe()
+    return node, tap
+
+
+def rows_of(tap):
+    return [item for item in tap.drain() if type(item) is tuple]
+
+
+def two_streams(compile_plan):
+    _, plan_a, _ = compile_plan("DEFINE query_name sa; "
+                                "Select time, destPort From tcp")
+    _, plan_b, _ = compile_plan("DEFINE query_name sb; "
+                                "Select time, destPort From tcp")
+    return {"sa": plan_a.output_schema, "sb": plan_b.output_schema}
+
+
+EQ = ("DEFINE query_name j; Select A.time, A.destPort, B.destPort "
+      "From sa A, sb B Where A.time = B.time")
+BAND = ("DEFINE query_name j; Select A.time, A.destPort, B.destPort "
+        "From sa A, sb B "
+        "Where A.time >= B.time - 1 and A.time <= B.time + 1")
+
+
+class TestEqualityJoin:
+    def test_matching_pairs(self, compile_plan):
+        node, tap = make_join(compile_plan, EQ, two_streams(compile_plan))
+        node.dispatch((1, 80), 0)
+        node.dispatch((1, 443), 1)
+        node.dispatch((2, 80), 1)
+        node.dispatch((2, 25), 0)
+        rows = rows_of(tap)
+        assert sorted(rows) == [(1, 80, 443), (2, 25, 80)]
+        assert node.pairs_emitted == 2
+
+    def test_no_cross_window_pairs(self, compile_plan):
+        node, tap = make_join(compile_plan, EQ, two_streams(compile_plan))
+        node.dispatch((1, 80), 0)
+        node.dispatch((5, 443), 1)
+        assert rows_of(tap) == []
+
+    def test_buffers_purged_as_time_advances(self, compile_plan):
+        node, tap = make_join(compile_plan, EQ, two_streams(compile_plan))
+        for t in range(100):
+            node.dispatch((t, 80), 0)
+            node.dispatch((t, 90), 1)
+        # window is [0,0]: only current-timestamp tuples stay buffered
+        assert node.buffered <= 4
+
+    def test_residual_predicate(self, compile_plan):
+        streams = two_streams(compile_plan)
+        node, tap = make_join(
+            compile_plan,
+            "DEFINE query_name j; Select A.time From sa A, sb B "
+            "Where A.time = B.time and A.destPort = B.destPort",
+            streams)
+        node.dispatch((1, 80), 0)
+        node.dispatch((1, 81), 1)  # same time, different port
+        node.dispatch((2, 80), 0)
+        node.dispatch((2, 80), 1)
+        assert rows_of(tap) == [(2,)]
+
+
+class TestBandJoin:
+    def test_band_matching(self, compile_plan):
+        node, tap = make_join(compile_plan, BAND, two_streams(compile_plan))
+        node.dispatch((5, 1), 0)
+        node.dispatch((4, 2), 1)  # A - B = 1 -> in window
+        node.dispatch((6, 3), 1)  # A - B = -1 -> in window
+        node.dispatch((7, 4), 1)  # A - B = -2 -> out
+        rows = rows_of(tap)
+        assert sorted(rows) == [(5, 1, 2), (5, 1, 3)]
+
+    def test_against_brute_force(self, compile_plan):
+        rng = random.Random(9)
+        left = sorted(rng.randrange(100) for _ in range(60))
+        right = sorted(rng.randrange(100) for _ in range(60))
+        expected = sorted(
+            (a, i, j)
+            for i, a in enumerate(left)
+            for j, b in enumerate(right)
+            if -1 <= a - b <= 1
+        )
+        node, tap = make_join(compile_plan, BAND, two_streams(compile_plan))
+        # interleave by timestamp, tagging each side with its index
+        events = [((a, i), 0) for i, a in enumerate(left)] + \
+                 [((b, j), 1) for j, b in enumerate(right)]
+        events.sort(key=lambda e: e[0][0])
+        for row, side in events:
+            node.dispatch(row, side)
+        node.dispatch(FLUSH, 0)
+        node.dispatch(FLUSH, 1)
+        got = sorted(rows_of(tap))
+        assert got == expected
+
+
+class TestPunctuationAndFlush:
+    def test_punctuation_purges(self, compile_plan):
+        node, tap = make_join(compile_plan, BAND, two_streams(compile_plan))
+        for t in range(10):
+            node.dispatch((t, 0), 0)
+        assert len(node._buffers[0]) == 10
+        # Right side promises time >= 50: left tuples below 49 can't join.
+        node.dispatch(Punctuation({0: 50}), 1)
+        assert len(node._buffers[0]) == 0
+
+    def test_output_punctuation_emitted(self, compile_plan):
+        node, tap = make_join(compile_plan, EQ, two_streams(compile_plan))
+        node.dispatch((10, 1), 0)
+        node.dispatch(Punctuation({0: 10}), 1)
+        puncts = [i for i in tap.drain() if isinstance(i, Punctuation)]
+        assert puncts
+        assert puncts[-1].bound_for(0) == 10
+
+    def test_flush_both_sides_forwards_flush(self, compile_plan):
+        node, tap = make_join(compile_plan, EQ, two_streams(compile_plan))
+        node.dispatch((1, 80), 0)
+        node.dispatch(FLUSH, 0)
+        # One side done: remaining side can still probe its buffer.
+        node.dispatch((1, 443), 1)
+        rows = rows_of(tap)
+        assert rows == [(1, 80, 443)]
+        node.dispatch(FLUSH, 1)
+        assert any(item is FLUSH for item in tap.drain())
+        assert node.buffered == 0

@@ -1,0 +1,158 @@
+"""Tests for the LFTA node: filtering, projection, partial aggregation."""
+
+import pytest
+
+from repro.core.heartbeat import Punctuation
+from repro.operators.lfta import LftaNode
+from tests.conftest import tcp_packet, udp_packet
+
+
+def make_lfta(compile_plan, text, table_size=4096, **kw):
+    analyzed, plan, compiler = compile_plan(text, **kw)
+    lfta = LftaNode(plan.lftas[0], analyzed, compiler, table_size=table_size)
+    tap = lfta.subscribe()
+    return lfta, tap
+
+
+def rows_of(tap):
+    return [item for item in tap.drain() if type(item) is tuple]
+
+
+def puncts_of(tap):
+    return [item for item in tap.drain() if isinstance(item, Punctuation)]
+
+
+class TestProjectionMode:
+    def test_filters_and_projects(self, compile_plan):
+        lfta, tap = make_lfta(
+            compile_plan,
+            "DEFINE query_name q; Select destIP, time From tcp "
+            "Where destPort = 80")
+        lfta.accept_packet(tcp_packet(ts=10.0, dport=80))
+        lfta.accept_packet(tcp_packet(ts=11.0, dport=443))
+        lfta.accept_packet(udp_packet(ts=12.0))  # not tcp at all
+        rows = rows_of(tap)
+        assert len(rows) == 1
+        assert rows[0][1] == 10
+        assert lfta.stats.discarded == 1  # the 443 packet
+        assert lfta.packets_seen == 3
+
+    def test_heartbeat_emits_punctuation(self, compile_plan):
+        lfta, tap = make_lfta(
+            compile_plan,
+            "DEFINE query_name q; Select destIP, time From tcp")
+        lfta.on_heartbeat(99.5)
+        (punct,) = puncts_of(tap)
+        # output slot 1 is `time`; bound is int(99.5)
+        assert punct.bound_for(1) == 99
+
+    def test_punctuation_transform_through_bucketing(self, compile_plan):
+        lfta, tap = make_lfta(
+            compile_plan,
+            "DEFINE query_name q; Select time/60, destIP From tcp")
+        lfta.on_heartbeat(120.0)
+        (punct,) = puncts_of(tap)
+        assert punct.bound_for(0) == 2
+
+    def test_no_punctuation_for_unordered_outputs(self, compile_plan):
+        lfta, tap = make_lfta(
+            compile_plan,
+            "DEFINE query_name q; Select destIP, destPort From tcp")
+        lfta.on_heartbeat(10.0)
+        assert puncts_of(tap) == []
+
+
+class TestPartialAggregationMode:
+    QUERY = ("DEFINE query_name q; Select tb, count(*), sum(len) From tcp "
+             "Group by time/60 as tb")
+
+    def test_epoch_advance_flushes(self, compile_plan):
+        lfta, tap = make_lfta(compile_plan, self.QUERY)
+        for i in range(5):
+            lfta.accept_packet(tcp_packet(ts=10.0 + i))
+        assert rows_of(tap) == []  # epoch still open
+        lfta.accept_packet(tcp_packet(ts=70.0))  # next bucket
+        rows = rows_of(tap)
+        assert len(rows) == 1
+        key_tb, count, total_len = rows[0]
+        assert key_tb == 0
+        assert count == 5
+
+    def test_flush_emits_punctuation(self, compile_plan):
+        lfta, tap = make_lfta(compile_plan, self.QUERY)
+        lfta.accept_packet(tcp_packet(ts=10.0))
+        lfta.accept_packet(tcp_packet(ts=70.0))
+        puncts = [i for i in tap.drain() if isinstance(i, Punctuation)]
+        assert puncts and puncts[-1].bound_for(0) == 1
+
+    def test_collision_ejects_partial(self, compile_plan):
+        lfta, tap = make_lfta(
+            compile_plan,
+            "DEFINE query_name q; Select d, tb, count(*) From tcp "
+            "Group by destPort as d, time/60 as tb",
+            table_size=1)
+        lfta.accept_packet(tcp_packet(ts=1.0, dport=80))
+        lfta.accept_packet(tcp_packet(ts=2.0, dport=443))  # ejects port 80
+        rows = rows_of(tap)
+        assert len(rows) == 1
+        assert rows[0][0] == 80 and rows[0][2] == 1
+
+    def test_same_group_multiple_partials_sum_correctly(self, compile_plan):
+        lfta, tap = make_lfta(
+            compile_plan,
+            "DEFINE query_name q; Select d, tb, count(*) From tcp "
+            "Group by destPort as d, time/60 as tb",
+            table_size=1)
+        # Alternate between two colliding groups: many ejections.
+        for i in range(10):
+            lfta.accept_packet(tcp_packet(ts=1.0 + i * 0.1,
+                                          dport=80 if i % 2 else 443))
+        lfta.flush()
+        totals = {}
+        for port, _tb, count in rows_of(tap):
+            totals[port] = totals.get(port, 0) + count
+        assert totals == {80: 5, 443: 5}
+
+    def test_heartbeat_flushes_closed_epochs(self, compile_plan):
+        lfta, tap = make_lfta(compile_plan, self.QUERY)
+        lfta.accept_packet(tcp_packet(ts=10.0))
+        assert rows_of(tap) == []
+        lfta.on_heartbeat(130.0)  # bucket 2 >= bucket 0 closed
+        rows = rows_of(tap)
+        assert len(rows) == 1 and rows[0][1] == 1
+
+    def test_end_of_stream_flush(self, compile_plan):
+        lfta, tap = make_lfta(compile_plan, self.QUERY)
+        lfta.accept_packet(tcp_packet(ts=5.0))
+        lfta.flush()
+        assert len(rows_of(tap)) == 1
+
+    def test_flush_sorted_by_window_key(self, compile_plan):
+        lfta, tap = make_lfta(compile_plan, self.QUERY)
+        for ts in (10.0, 70.0, 130.0):
+            lfta.accept_packet(tcp_packet(ts=ts))
+        lfta.flush()
+        buckets = [row[0] for row in rows_of(tap)]
+        assert buckets == sorted(buckets)
+
+    def test_partial_function_in_group_discards(self, compile_plan):
+        lfta, tap = make_lfta(
+            compile_plan,
+            "DEFINE query_name q; Select peer, tb, count(*) From tcp "
+            "Group by getlpmid(destIP, '192.168.0.0/16 5') as peer, "
+            "time/60 as tb")
+        lfta.accept_packet(tcp_packet(ts=1.0, dst="192.168.1.1"))
+        lfta.accept_packet(tcp_packet(ts=2.0, dst="10.0.0.1"))  # no match
+        lfta.flush()
+        rows = rows_of(tap)
+        assert len(rows) == 1
+        assert rows[0][0] == 5 and rows[0][2] == 1
+        assert lfta.stats.discarded == 1
+
+
+class TestLftaRejectsTupleInput:
+    def test_on_tuple_raises(self, compile_plan):
+        lfta, _ = make_lfta(
+            compile_plan, "DEFINE query_name q; Select time From tcp")
+        with pytest.raises(TypeError):
+            lfta.on_tuple((1,), 0)

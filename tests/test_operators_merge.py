@@ -1,0 +1,136 @@
+"""Tests for the order-preserving merge operator."""
+
+import random
+
+import pytest
+
+from repro.core.heartbeat import FLUSH, Punctuation
+from repro.gsql.planner import HftaPlan
+from repro.operators.merge import MergeNode
+
+
+def make_merge(compile_plan, streams=None, capacity=None, nway=2):
+    _, base_plan, _ = compile_plan("DEFINE query_name s0; "
+                                   "Select time, destPort From tcp")
+    schema = base_plan.output_schema
+    names = [f"s{i}" for i in range(nway)]
+    stream_map = {name: schema for name in names}
+    columns = " : ".join(f"{name}.time" for name in names)
+    text = (f"DEFINE query_name m; Merge {columns} "
+            f"From {', '.join(names)}")
+    analyzed, plan, compiler = compile_plan(text, streams=stream_map)
+    node = MergeNode(plan.hfta, analyzed, buffer_capacity=capacity)
+    tap = node.subscribe()
+    return node, tap
+
+
+def rows_of(tap):
+    return [item for item in tap.drain() if type(item) is tuple]
+
+
+class TestOrderPreservation:
+    def test_interleaves_in_time_order(self, compile_plan):
+        node, tap = make_merge(compile_plan)
+        node.dispatch((1, 80), 0)
+        node.dispatch((2, 81), 1)
+        node.dispatch((3, 82), 0)
+        node.dispatch((4, 83), 1)
+        # Nothing can be emitted beyond what both inputs have covered:
+        # after these arrivals input 0 has seen up to 3, input 1 up to 4.
+        rows = rows_of(tap)
+        times = [r[0] for r in rows]
+        assert times == sorted(times)
+
+    def test_random_streams_fully_ordered(self, compile_plan):
+        rng = random.Random(4)
+        node, tap = make_merge(compile_plan)
+        streams = [sorted(rng.randrange(1000) for _ in range(100)),
+                   sorted(rng.randrange(1000) for _ in range(100))]
+        events = [(t, 0) for t in streams[0]] + [(t, 1) for t in streams[1]]
+        rng.shuffle(events)
+        # deliver each input's tuples in its own order
+        cursors = [0, 0]
+        for t, side in sorted(events, key=lambda e: (e[1], e[0])):
+            pass
+        for side, values in enumerate(streams):
+            for t in values:
+                node.dispatch((t, side), side)
+        node.dispatch(FLUSH, 0)
+        node.dispatch(FLUSH, 1)
+        rows = rows_of(tap)
+        assert len(rows) == 200
+        times = [r[0] for r in rows]
+        assert times == sorted(times)
+
+    def test_blocks_on_silent_input(self, compile_plan):
+        """Without tokens, a quiet input holds everything back (Section 3)."""
+        node, tap = make_merge(compile_plan)
+        for t in range(20):
+            node.dispatch((t, 80), 0)
+        assert rows_of(tap) == []  # input 1 is silent: merge must wait
+        assert node.buffered == 20
+
+    def test_punctuation_unblocks(self, compile_plan):
+        node, tap = make_merge(compile_plan)
+        for t in range(20):
+            node.dispatch((t, 80), 0)
+        node.dispatch(Punctuation({0: 15}), 1)  # input 1 promises >= 15
+        rows = rows_of(tap)
+        # values up to and including 15 are safe: future input-1 tuples
+        # are >= 15, so output stays nondecreasing
+        assert [r[0] for r in rows] == list(range(16))
+        assert node.buffered == 4
+
+    def test_flush_of_one_input_unblocks(self, compile_plan):
+        node, tap = make_merge(compile_plan)
+        for t in range(5):
+            node.dispatch((t, 80), 0)
+        node.dispatch(FLUSH, 1)
+        assert len(rows_of(tap)) == 5
+
+    def test_three_way_merge(self, compile_plan):
+        node, tap = make_merge(compile_plan, nway=3)
+        node.dispatch((3, 0), 0)
+        node.dispatch((1, 1), 1)
+        node.dispatch((2, 2), 2)
+        for side in range(3):
+            node.dispatch(FLUSH, side)
+        assert [r[0] for r in rows_of(tap)] == [1, 2, 3]
+
+
+class TestOverflow:
+    def test_bounded_buffers_drop(self, compile_plan):
+        """The Section 3 failure: bursty input vs quiet input overflows."""
+        node, tap = make_merge(compile_plan, capacity=100)
+        for t in range(500):
+            node.dispatch((t, 80), 0)
+        assert node.dropped == 400
+        assert node.buffered == 100
+
+    def test_no_drops_with_punctuation(self, compile_plan):
+        node, tap = make_merge(compile_plan, capacity=100)
+        for t in range(500):
+            node.dispatch((t, 80), 0)
+            if t % 50 == 0:
+                node.dispatch(Punctuation({0: t}), 1)
+        node.dispatch(Punctuation({0: 500}), 1)
+        assert node.dropped == 0
+        assert len(rows_of(tap)) == 500
+
+
+class TestFinalFlush:
+    def test_all_inputs_flushed_forwards_flush(self, compile_plan):
+        node, tap = make_merge(compile_plan)
+        node.dispatch((1, 80), 0)
+        node.dispatch(FLUSH, 0)
+        node.dispatch(FLUSH, 1)
+        items = tap.drain()
+        assert any(item is FLUSH for item in items)
+        assert [i for i in items if type(i) is tuple] == [(1, 80)]
+
+    def test_emits_floor_punctuation(self, compile_plan):
+        node, tap = make_merge(compile_plan)
+        node.dispatch(Punctuation({0: 10}), 0)
+        node.dispatch(Punctuation({0: 7}), 1)
+        puncts = [i for i in tap.drain() if isinstance(i, Punctuation)]
+        assert puncts and puncts[-1].bound_for(0) == 7

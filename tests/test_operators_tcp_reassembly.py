@@ -1,0 +1,107 @@
+"""Tests for TCP stream reassembly."""
+
+import pytest
+
+from repro.net.tcp import FLAG_ACK, FLAG_FIN, FLAG_SYN
+from repro.operators.tcp_reassembly import TcpReassemblyNode
+from tests.conftest import tcp_packet
+
+
+@pytest.fixture
+def node():
+    return TcpReassemblyNode("tcpre0")
+
+
+def rows_of(tap):
+    return [item for item in tap.drain() if type(item) is tuple]
+
+
+def segment(ts, seq, payload, flags=FLAG_ACK, sport=1000, dport=80):
+    return tcp_packet(ts=ts, sport=sport, dport=dport, payload=payload,
+                      seq=seq, flags=flags)
+
+
+DATA_SLOT = 6
+OFFSET_SLOT = 5
+
+
+class TestInOrder:
+    def test_contiguous_stream(self, node):
+        tap = node.subscribe()
+        node.accept_packet(segment(0.0, 100, b"", flags=FLAG_SYN))
+        node.accept_packet(segment(0.1, 101, b"hello "))
+        node.accept_packet(segment(0.2, 107, b"world"))
+        rows = rows_of(tap)
+        assert [r[DATA_SLOT] for r in rows] == [b"hello ", b"world"]
+        assert [r[OFFSET_SLOT] for r in rows] == [0, 6]
+
+    def test_flow_key_in_output(self, node):
+        tap = node.subscribe()
+        node.accept_packet(segment(0.0, 100, b"", flags=FLAG_SYN))
+        node.accept_packet(segment(0.1, 101, b"x"))
+        (row,) = rows_of(tap)
+        assert row[3] == 1000 and row[4] == 80  # ports
+
+
+class TestOutOfOrder:
+    def test_gap_then_fill(self, node):
+        tap = node.subscribe()
+        node.accept_packet(segment(0.0, 100, b"", flags=FLAG_SYN))
+        node.accept_packet(segment(0.1, 107, b"world"))  # future segment
+        assert rows_of(tap) == []
+        node.accept_packet(segment(0.2, 101, b"hello "))
+        rows = rows_of(tap)
+        # the fill stitches the buffered continuation into one chunk
+        assert [r[DATA_SLOT] for r in rows] == [b"hello world"]
+
+    def test_retransmission_dropped(self, node):
+        tap = node.subscribe()
+        node.accept_packet(segment(0.0, 100, b"", flags=FLAG_SYN))
+        node.accept_packet(segment(0.1, 101, b"abc"))
+        node.accept_packet(segment(0.2, 101, b"abc"))  # retransmit
+        rows = rows_of(tap)
+        assert len(rows) == 1
+        assert node.segments_dropped == 1
+
+    def test_out_of_order_buffer_bounded(self):
+        node = TcpReassemblyNode("t", max_out_of_order=2)
+        tap = node.subscribe()
+        node.accept_packet(segment(0.0, 100, b"", flags=FLAG_SYN))
+        for i in range(5):
+            node.accept_packet(segment(0.1, 200 + 10 * i, b"x"))
+        assert node.segments_dropped == 3
+
+
+class TestLifecycle:
+    def test_fin_closes_flow(self, node):
+        tap = node.subscribe()
+        node.accept_packet(segment(0.0, 100, b"", flags=FLAG_SYN))
+        node.accept_packet(segment(0.1, 101, b"bye", flags=FLAG_ACK | FLAG_FIN))
+        rows = rows_of(tap)
+        assert [r[DATA_SLOT] for r in rows] == [b"bye"]
+        # A new SYN with the same 4-tuple starts at offset 0 again.
+        node.accept_packet(segment(1.0, 500, b"", flags=FLAG_SYN))
+        node.accept_packet(segment(1.1, 501, b"again"))
+        (row,) = rows_of(tap)
+        assert row[OFFSET_SLOT] == 0
+
+    def test_midstream_pickup(self, node):
+        tap = node.subscribe()
+        # No SYN seen: adopt the first data segment as the stream start.
+        node.accept_packet(segment(0.0, 7777, b"mid"))
+        (row,) = rows_of(tap)
+        assert row[DATA_SLOT] == b"mid"
+        assert row[OFFSET_SLOT] == 0
+
+    def test_two_flows_independent(self, node):
+        tap = node.subscribe()
+        node.accept_packet(segment(0.0, 100, b"", flags=FLAG_SYN, sport=1))
+        node.accept_packet(segment(0.0, 900, b"", flags=FLAG_SYN, sport=2))
+        node.accept_packet(segment(0.1, 101, b"one", sport=1))
+        node.accept_packet(segment(0.1, 901, b"two", sport=2))
+        rows = rows_of(tap)
+        assert {r[DATA_SLOT] for r in rows} == {b"one", b"two"}
+
+    def test_rejects_tuple_input(self, node):
+        with pytest.raises(TypeError):
+            node.on_tuple((1,), 0)

@@ -1,0 +1,118 @@
+"""Tests for order-preserving functions (floor) in ordering imputation."""
+
+import pytest
+
+from repro import Gigascope
+from repro.gsql.functions import FunctionSpec, builtin_functions
+from repro.gsql.ordering import Ordering, OrderingKind
+from repro.gsql.parser import parse_query
+from repro.gsql.schema import builtin_registry
+from repro.gsql.semantic import analyze
+from repro.gsql.types import FLOAT, UINT
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return builtin_registry()
+
+
+@pytest.fixture(scope="module")
+def functions():
+    return builtin_functions()
+
+
+class TestImputation:
+    def test_floor_preserves_increasing(self, registry, functions):
+        analyzed = analyze(parse_query("Select floor(timestamp) From tcp"),
+                           registry, functions)
+        assert analyzed.output_columns[0].ordering == Ordering.increasing()
+
+    def test_floor_of_banded_widens_band(self, registry, functions):
+        analyzed = analyze(
+            parse_query("Select floor(time_start) From netflow"),
+            registry, functions)
+        # banded(30) through a monotone step function: banded(31)
+        assert analyzed.output_columns[0].ordering == Ordering.banded(31)
+
+    def test_floor_then_bucket_is_window_key(self, registry, functions):
+        analyzed = analyze(
+            parse_query("Select tb, count(*) From netflow "
+                        "Group by floor(time_start)/60 as tb"),
+            registry, functions)
+        assert analyzed.window_key_index == 0
+        assert analyzed.group_orderings[0] == Ordering.banded(1)
+
+    def test_non_order_preserving_function_gives_none(self, registry,
+                                                      functions):
+        analyzed = analyze(parse_query("Select str_len(data) From tcp"),
+                           registry, functions)
+        assert analyzed.output_columns[0].ordering.kind == OrderingKind.NONE
+
+    def test_floor_of_unordered_gives_none(self, registry, functions):
+        analyzed = analyze(parse_query("Select floor(timestamp * 0) From tcp"),
+                           registry, functions)
+        assert analyzed.output_columns[0].ordering.kind == OrderingKind.NONE
+
+    def test_custom_order_preserving_function(self, registry):
+        functions = builtin_functions()
+        functions.register(FunctionSpec(
+            name="halve", implementation=lambda x: x // 2,
+            arg_types=(UINT,), return_type=UINT, order_preserving=True))
+        analyzed = analyze(parse_query("Select halve(time) From tcp"),
+                           registry, functions)
+        assert analyzed.output_columns[0].ordering == Ordering.increasing()
+
+
+class TestRuntime:
+    def test_floor_bucketing_flushes_incrementally(self):
+        """A floor()-keyed aggregation must emit groups as time passes,
+        not only at flush -- proving the punctuation/window machinery
+        sees through the function."""
+        from tests.conftest import tcp_packet
+        gs = Gigascope(heartbeat_interval=None)
+        gs.add_query("""
+            DEFINE query_name q;
+            Select tb, count(*) From tcp
+            Group by floor(timestamp)/10 as tb
+        """)
+        sub = gs.subscribe("q")
+        gs.start()
+        for i in range(100):
+            gs.feed_packet(tcp_packet(ts=i * 0.5))
+        gs.pump()
+        live_rows = sub.poll()
+        assert len(live_rows) >= 3  # buckets 0..3 closed before the end
+        gs.flush()
+        total = live_rows + sub.poll()
+        assert sum(count for _tb, count in total) == 100
+        buckets = [tb for tb, _count in total]
+        assert buckets == sorted(buckets)
+        assert len(buckets) == len(set(buckets))
+
+    def test_floor_heartbeat_punctuation(self, compile_plan):
+        """Heartbeats translate through floor() into key bounds."""
+        from repro.operators.lfta import LftaNode
+        from repro.core.heartbeat import Punctuation
+        analyzed, plan, compiler = compile_plan(
+            "DEFINE query_name q; Select tb, count(*) From tcp "
+            "Group by floor(timestamp)/10 as tb")
+        lfta = LftaNode(plan.lftas[0], analyzed, compiler)
+        tap = lfta.subscribe()
+        from tests.conftest import tcp_packet
+        lfta.accept_packet(tcp_packet(ts=1.0))
+        lfta.on_heartbeat(55.0)
+        items = tap.drain()
+        rows = [i for i in items if type(i) is tuple]
+        puncts = [i for i in items if isinstance(i, Punctuation)]
+        assert rows == [(0, 1)]
+        assert puncts and puncts[-1].bound_for(0) == 5
+
+    def test_floor_value_semantics(self):
+        from tests.conftest import tcp_packet
+        gs = Gigascope()
+        gs.add_query("DEFINE query_name q; Select floor(timestamp) From tcp")
+        sub = gs.subscribe("q")
+        gs.start()
+        gs.feed_packet(tcp_packet(ts=7.9))
+        gs.pump()
+        assert sub.poll() == [(7,)]

@@ -1,0 +1,136 @@
+"""Tests for the canned-query catalog: every entry compiles and runs."""
+
+import pytest
+
+from repro import Gigascope
+from repro.queries import (
+    flow_volume_from_netflow,
+    fragment_monitor,
+    heavy_hitters,
+    http_fraction,
+    packet_counts,
+    peer_traffic,
+    ping_sweep_detector,
+    port_mix,
+    syn_fin_ratio,
+)
+from tests.conftest import tcp_packet, udp_packet
+
+
+def add(gs, entry):
+    """Add a catalog entry (text, or (text, params))."""
+    if isinstance(entry, tuple):
+        text, params = entry
+        return gs.add_queries(text, params={name_of(text): params})
+    return gs.add_queries(entry)
+
+
+def name_of(text):
+    import re
+    return re.search(r"query_name\s+(\w+)", text).group(1)
+
+
+class TestCatalogCompiles:
+    @pytest.mark.parametrize("entry_fn", [
+        packet_counts,
+        port_mix,
+        syn_fin_ratio,
+        http_fraction,
+        fragment_monitor,
+        flow_volume_from_netflow,
+    ])
+    def test_plain_entries(self, entry_fn):
+        gs = Gigascope()
+        names = add(gs, entry_fn())
+        assert names
+
+    def test_param_entries(self):
+        gs = Gigascope()
+        add(gs, heavy_hitters(top_threshold=10))
+        add(gs, peer_traffic("10.0.0.0/8 1"))
+        add(gs, ping_sweep_detector())
+        assert len(gs.rts.names()) >= 3
+
+
+class TestCatalogRuns:
+    def test_packet_counts(self):
+        gs = Gigascope()
+        (name,) = add(gs, packet_counts(bucket_seconds=10))
+        sub = gs.subscribe(name)
+        gs.start()
+        for i in range(20):
+            gs.feed_packet(tcp_packet(ts=float(i)))
+        gs.flush()
+        rows = sub.poll()
+        assert sum(r[1] for r in rows) == 20
+
+    def test_heavy_hitters_threshold_runtime_change(self):
+        gs = Gigascope()
+        (name,) = add(gs, heavy_hitters(bucket_seconds=10, top_threshold=100))
+        sub = gs.subscribe(name)
+        gs.start()
+        for i in range(50):
+            gs.feed_packet(tcp_packet(ts=i * 0.1))
+        gs.flush()
+        assert sub.poll() == []  # 50 < 100
+        # lower the alarm threshold on the fly and re-run
+        gs.stop()
+        gs2 = Gigascope()
+        (name,) = add(gs2, heavy_hitters(bucket_seconds=10, top_threshold=100))
+        gs2.set_param(name, "threshold", 10)
+        sub2 = gs2.subscribe(name)
+        gs2.start()
+        for i in range(50):
+            gs2.feed_packet(tcp_packet(ts=i * 0.1))
+        gs2.flush()
+        assert len(sub2.poll()) == 1
+
+    def test_syn_fin_pair(self):
+        from repro.net.tcp import FLAG_ACK, FLAG_FIN, FLAG_SYN
+        gs = Gigascope()
+        names = add(gs, syn_fin_ratio(bucket_seconds=10))
+        syn_sub = gs.subscribe(names[0])
+        fin_sub = gs.subscribe(names[1])
+        gs.start()
+        for i in range(6):
+            gs.feed_packet(tcp_packet(ts=float(i), flags=FLAG_SYN))
+        for i in range(2):
+            gs.feed_packet(tcp_packet(ts=6.0 + i, flags=FLAG_ACK | FLAG_FIN))
+        gs.flush()
+        assert sum(r[1] for r in syn_sub.poll()) == 6
+        assert sum(r[1] for r in fin_sub.poll()) == 2
+
+    def test_fragment_monitor(self):
+        from tests.test_operators_defrag import fragmented_udp
+        gs = Gigascope()
+        (name,) = add(gs, fragment_monitor(bucket_seconds=10))
+        sub = gs.subscribe(name)
+        gs.start()
+        fragments, _ = fragmented_udp()
+        gs.feed(fragments)
+        gs.feed_packet(udp_packet(ts=5.0))  # unfragmented: excluded
+        gs.flush()
+        rows = sub.poll()
+        assert sum(r[1] for r in rows) == len(fragments)
+
+    def test_flow_volume_from_netflow(self):
+        from repro.workloads.netflow_source import netflow_export_stream
+        gs = Gigascope(default_interface="nf0")
+        (name,) = add(gs, flow_volume_from_netflow(bucket_seconds=30))
+        sub = gs.subscribe(name)
+        gs.start()
+        gs.feed(netflow_export_stream(duration_s=120.0, flows_per_second=50))
+        gs.flush()
+        rows = sub.poll()
+        assert len(rows) >= 3
+        buckets = [r[0] for r in rows]
+        assert buckets == sorted(buckets)
+        assert len(buckets) == len(set(buckets))
+
+    def test_dns_catalog_entries(self):
+        from repro.queries import dns_query_mix, nxdomain_storm
+        gs = Gigascope()
+        add(gs, dns_query_mix())
+        add(gs, nxdomain_storm(threshold=5))
+        assert "dns_mix" in gs.rts.names() or any(
+            n for n in gs.rts.names() if "dns" in n)

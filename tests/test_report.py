@@ -1,0 +1,63 @@
+"""Tests for the operational status report."""
+
+from repro import Gigascope
+from repro.report import engine_report
+from tests.conftest import tcp_packet
+
+
+def build_engine():
+    gs = Gigascope()
+    gs.add_queries("""
+        DEFINE query_name base;
+        Select time, destPort, len From tcp Where destPort = 80;
+
+        DEFINE query_name counts;
+        Select tb, count(*) From base Group by time/10 as tb
+    """)
+    return gs
+
+
+class TestEngineReport:
+    def test_report_before_start(self):
+        gs = build_engine()
+        text = engine_report(gs)
+        assert "started: False" in text
+        assert "base" in text and "counts" in text
+
+    def test_report_reflects_traffic(self):
+        gs = build_engine()
+        sub = gs.subscribe("counts")
+        gs.start()
+        for i in range(25):
+            gs.feed_packet(tcp_packet(ts=float(i),
+                                      dport=80 if i % 5 else 22))
+        gs.flush()
+        text = engine_report(gs)
+        assert "packets fed: 25" in text
+        assert "packets_seen=25" in text
+        # the port-22 packets were discarded by the LFTA predicate
+        assert "discard" in text
+        lines = [l for l in text.splitlines() if l.startswith("base")]
+        assert lines, text
+
+    def test_queued_channels_shown(self):
+        gs = build_engine()
+        sub = gs.subscribe("base")  # never polled
+        gs.start()
+        gs.feed_packet(tcp_packet(ts=1.0, dport=80))
+        text = engine_report(gs)
+        assert "channels with queued items:" in text
+        assert "base->app" in text
+
+    def test_extras_for_operators(self):
+        gs = Gigascope(heartbeat_interval=None)
+        gs.add_queries("""
+            DEFINE query_name a; Select time, destPort From eth0.tcp;
+            DEFINE query_name b; Select time, destPort From eth1.tcp;
+            DEFINE query_name m; Merge a.time : b.time From a, b
+        """)
+        gs.start()
+        gs.feed_packet(tcp_packet(ts=1.0, interface="eth0"))
+        gs.pump()
+        text = engine_report(gs)
+        assert "buffered=1" in text  # merge holding back for eth1

@@ -1,0 +1,142 @@
+"""Tests for the virtual-time performance substrate."""
+
+import pytest
+
+from repro.sim.capture import (
+    CaptureConfig,
+    CaptureSimulation,
+    find_loss_knee,
+    sweep,
+)
+from repro.sim.cost_model import CostModel
+from repro.sim.disk import DiskModel
+from repro.sim.host import HostModel
+from tests.conftest import tcp_packet
+
+
+class TestHostModel:
+    def test_no_loss_under_light_load(self):
+        host = HostModel(interrupt_us=5.0, ring_slots=64)
+        for i in range(1000):
+            assert host.arrival(i * 100.0, service_us=10.0)  # 8.7% load
+        assert host.loss_rate == 0.0
+
+    def test_livelock_under_interrupt_saturation(self):
+        """Arrivals faster than 1/interrupt_us leave no CPU to drain."""
+        host = HostModel(interrupt_us=5.0, ring_slots=64)
+        for i in range(10_000):
+            host.arrival(i * 2.0, service_us=1.0)  # interrupts want 2.5x CPU
+        assert host.loss_rate > 0.9
+
+    def test_interrupt_cost_paid_even_for_drops(self):
+        host = HostModel(interrupt_us=5.0, ring_slots=1)
+        for i in range(100):
+            host.arrival(i * 1.0, service_us=100.0)
+        # interrupt backlog accounts for all arrivals, not just accepted
+        assert host.stats.arrivals == 100
+        assert host.stats.dropped > 0
+
+    def test_processing_uses_leftover_cpu(self):
+        host = HostModel(interrupt_us=2.0, ring_slots=1000)
+        for i in range(100):
+            host.arrival(i * 10.0, service_us=4.0)  # 60% total load
+        host.drain(100 * 10.0 + 10_000.0)
+        assert host.stats.processing_us == pytest.approx(400.0, rel=0.05)
+
+    def test_loss_monotone_in_rate(self):
+        losses = []
+        for gap in (10.0, 5.0, 2.5, 1.25):
+            host = HostModel(interrupt_us=3.0, ring_slots=128)
+            for i in range(5000):
+                host.arrival(i * gap, service_us=1.0)
+            losses.append(host.loss_rate)
+        assert losses == sorted(losses)
+        assert losses[0] == 0.0 and losses[-1] > 0.5
+
+
+class TestDiskModel:
+    def test_costs_accumulate(self):
+        disk = DiskModel(packet_us=2.0, per_byte_us=0.01, stall_us=1000.0,
+                         stall_every_bytes=10_000)
+        cost = disk.write_cost_us(500)
+        assert cost == pytest.approx(2.0 + 5.0)
+        assert disk.stats.bytes_written == 500
+
+    def test_periodic_stall(self):
+        disk = DiskModel(packet_us=0.0, per_byte_us=0.0, stall_us=999.0,
+                         stall_every_bytes=1000)
+        costs = [disk.write_cost_us(300) for _ in range(10)]
+        stalls = [c for c in costs if c >= 999.0]
+        assert len(stalls) == disk.stats.stalls == 3
+
+
+def _stream(rate_pps, count, size=550):
+    gap = 1.0 / rate_pps
+    packet = tcp_packet(payload=b"z" * (size - 54))
+    from repro.net.packet import CapturedPacket
+    return [
+        CapturedPacket(timestamp=i * gap, data=packet.data)
+        for i in range(count)
+    ]
+
+
+def _qualifier(packet):
+    return 100  # every packet qualifies with 100 payload bytes
+
+
+class TestCaptureSimulation:
+    def test_disk_is_the_worst_path(self):
+        """Section 4 ordering: disk < libpcap ~ host < NIC."""
+        rate = 70_000  # pps, ~300 Mbit/s at 550B
+        losses = {}
+        for config in CaptureConfig:
+            sim = CaptureSimulation(config, qualifier=_qualifier)
+            losses[config] = sim.run(_stream(rate, 40_000)).loss_rate
+        assert losses[CaptureConfig.DISK_DUMP] > 0.1
+        assert losses[CaptureConfig.LIBPCAP_DISCARD] < 0.02
+        assert losses[CaptureConfig.GIGASCOPE_NIC] < 0.02
+
+    def test_nic_beats_host_at_high_rate(self):
+        rate = 160_000  # past the host livelock point
+        host = CaptureSimulation(CaptureConfig.GIGASCOPE_HOST,
+                                 qualifier=_qualifier)
+        nic = CaptureSimulation(CaptureConfig.GIGASCOPE_NIC,
+                                qualifier=_qualifier)
+        host_loss = host.run(_stream(rate, 60_000)).loss_rate
+        nic_loss = nic.run(_stream(rate, 60_000)).loss_rate
+        assert host_loss > 0.3
+        assert nic_loss < 0.02
+
+    def test_interrupt_share_grows_with_rate(self):
+        shares = []
+        for rate in (40_000, 90_000, 140_000):
+            sim = CaptureSimulation(CaptureConfig.LIBPCAP_DISCARD)
+            shares.append(sim.run(_stream(rate, 30_000)).host_interrupt_share)
+        assert shares == sorted(shares)
+
+    def test_result_accounting(self):
+        sim = CaptureSimulation(CaptureConfig.GIGASCOPE_HOST,
+                                qualifier=_qualifier)
+        result = sim.run(_stream(10_000, 5_000))
+        assert result.offered_packets == 5_000
+        assert result.qualifying_packets == 5_000
+        assert result.offered_mbps == pytest.approx(
+            550 * 8 * 10_000 / 1e6, rel=0.01)
+
+
+class TestKneeFinder:
+    def test_bisection_on_synthetic_curve(self):
+        knee = find_loss_knee(
+            lambda rate: 0.0 if rate <= 480 else 0.5,
+            low=100, high=1000, threshold=0.02, tolerance=2.0)
+        assert abs(knee - 480) <= 2.0
+
+    def test_all_good_returns_high(self):
+        assert find_loss_knee(lambda rate: 0.0, 10, 99) == 99
+
+    def test_all_bad_returns_low(self):
+        assert find_loss_knee(lambda rate: 1.0, 10, 99) == 10
+
+    def test_sweep_returns_series(self):
+        series = sweep(lambda rate: rate / 1000.0, [100, 200])
+        assert series == [(100, 0.1), (200, 0.2)]

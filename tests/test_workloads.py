@@ -1,0 +1,146 @@
+"""Tests for the synthetic traffic generators."""
+
+import pytest
+
+from repro.gsql.schema import PacketView, builtin_registry
+from repro.workloads.flows import ZipfFlowWorkload
+from repro.workloads.generators import (
+    background_pool,
+    http_port80_pool,
+    merge_streams,
+    packet_stream,
+    section4_stream,
+)
+from repro.workloads.netflow_source import netflow_export_stream
+
+
+class TestPools:
+    def test_port80_pool_is_port80_tcp(self):
+        pool = http_port80_pool(seed=1, pool_size=64)
+        from repro.net.packet import CapturedPacket
+        for frame in pool.frames:
+            view = PacketView(CapturedPacket(timestamp=0, data=frame))
+            assert view.tcp is not None
+            assert view.tcp.dst_port == 80
+
+    def test_http_fraction_roughly_respected(self):
+        pool = http_port80_pool(seed=2, pool_size=400, http_fraction=0.7)
+        from repro.net.packet import CapturedPacket
+        import re
+        pattern = re.compile(rb"^[^\n]*HTTP/1.")
+        hits = 0
+        for frame in pool.frames:
+            view = PacketView(CapturedPacket(timestamp=0, data=frame))
+            if pattern.search(view.payload or b""):
+                hits += 1
+        assert 0.6 < hits / len(pool.frames) < 0.8
+
+    def test_background_pool_avoids_port80(self):
+        pool = background_pool(seed=3, pool_size=64)
+        from repro.net.packet import CapturedPacket
+        for frame in pool.frames:
+            view = PacketView(CapturedPacket(timestamp=0, data=frame))
+            l4 = view.tcp or view.udp
+            assert l4 is not None
+            assert l4.dst_port != 80
+
+    def test_pool_reproducible(self):
+        assert http_port80_pool(seed=9).frames == http_port80_pool(seed=9).frames
+
+
+class TestStreams:
+    def test_rate_approximately_met(self):
+        pool = background_pool(seed=1, pool_size=64)
+        packets = list(packet_stream(pool, rate_mbps=100.0, duration_s=1.0))
+        nbytes = sum(p.orig_len for p in packets)
+        assert 100e6 * 0.8 < nbytes * 8 < 100e6 * 1.2
+
+    def test_bursty_rate_approximately_met(self):
+        pool = background_pool(seed=1, pool_size=64)
+        packets = list(packet_stream(pool, rate_mbps=100.0, duration_s=2.0,
+                                     bursty=True))
+        nbytes = sum(p.orig_len for p in packets)
+        rate = nbytes * 8 / 2.0
+        assert 100e6 * 0.6 < rate < 100e6 * 1.4
+
+    def test_timestamps_nondecreasing(self):
+        pool = http_port80_pool(seed=1, pool_size=64)
+        packets = list(packet_stream(pool, 50.0, 0.5))
+        times = [p.timestamp for p in packets]
+        assert times == sorted(times)
+
+    def test_zero_rate_is_empty(self):
+        pool = background_pool()
+        assert list(packet_stream(pool, 0.0, 1.0)) == []
+
+    def test_merge_streams_ordered(self):
+        pool = background_pool(seed=1, pool_size=16)
+        a = packet_stream(pool, 20.0, 0.5, seed=1)
+        b = packet_stream(pool, 20.0, 0.5, seed=2)
+        merged = list(merge_streams(a, b))
+        times = [p.timestamp for p in merged]
+        assert times == sorted(times)
+
+    def test_section4_mix(self):
+        packets = list(section4_stream(background_mbps=100.0, duration_s=0.3))
+        port80_bytes = 0
+        other_bytes = 0
+        for packet in packets:
+            view = PacketView(packet)
+            l4 = view.tcp or view.udp
+            if view.tcp is not None and view.tcp.dst_port == 80:
+                port80_bytes += packet.orig_len
+            else:
+                other_bytes += packet.orig_len
+        # 60 Mbit/s port 80 + ~100 Mbit/s background over 0.3 s
+        assert port80_bytes * 8 / 0.3 == pytest.approx(60e6, rel=0.3)
+        assert other_bytes * 8 / 0.3 == pytest.approx(100e6, rel=0.4)
+
+
+class TestZipfFlows:
+    def test_popularity_concentration(self):
+        workload = ZipfFlowWorkload(num_flows=1000, alpha=1.2, seed=1)
+        from collections import Counter
+        counts = Counter()
+        for packet in workload.packets(20_000):
+            view = PacketView(packet)
+            counts[(view.ip.src, view.tcp.src_port)] += 1
+        top10 = sum(count for _, count in counts.most_common(10))
+        assert top10 / 20_000 > 0.3  # heavy hitters dominate
+
+    def test_lower_alpha_less_concentrated(self):
+        def top_share(alpha):
+            workload = ZipfFlowWorkload(num_flows=1000, alpha=alpha, seed=1)
+            from collections import Counter
+            counts = Counter()
+            for packet in workload.packets(10_000):
+                view = PacketView(packet)
+                counts[(view.ip.src, view.tcp.src_port)] += 1
+            return sum(c for _, c in counts.most_common(10)) / 10_000
+
+        assert top_share(1.3) > top_share(0.5)
+
+    def test_packet_timestamps_spaced_by_pps(self):
+        workload = ZipfFlowWorkload(num_flows=10, seed=2)
+        packets = list(workload.packets(100, pps=1000.0))
+        assert packets[-1].timestamp == pytest.approx(0.099, rel=0.01)
+
+    def test_invalid_flow_count(self):
+        with pytest.raises(ValueError):
+            ZipfFlowWorkload(num_flows=0)
+
+
+class TestNetflowSource:
+    def test_stream_interpretable_by_protocol(self):
+        registry = builtin_registry()
+        netflow = registry.get("netflow")
+        rows = []
+        for packet in netflow_export_stream(duration_s=90.0,
+                                            flows_per_second=60):
+            rows.extend(netflow.interpret(packet))
+        assert len(rows) > 30
+        # banded start times (Section 2.1)
+        start_slot = netflow.index_of("time_start")
+        end_slot = netflow.index_of("time_end")
+        ends = [row[end_slot] for row in rows]
+        assert all(row[start_slot] <= row[end_slot] for row in rows)
