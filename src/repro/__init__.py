@@ -19,6 +19,12 @@ Quick start::
     rows = sub.poll()
 """
 
+from repro.control import (
+    AimdShedding,
+    NoShedding,
+    OverloadController,
+    StaticShedding,
+)
 from repro.core.engine import Gigascope
 from repro.core.stream_manager import RuntimeSystem, Subscription
 from repro.core.query_node import QueryNode, UserNode
@@ -26,7 +32,7 @@ from repro.gsql.functions import FunctionSpec
 from repro.gsql.schema import Attribute, ProtocolSchema, StreamSchema
 from repro.net.packet import CapturedPacket
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Gigascope",
@@ -39,5 +45,9 @@ __all__ = [
     "ProtocolSchema",
     "StreamSchema",
     "CapturedPacket",
+    "OverloadController",
+    "AimdShedding",
+    "NoShedding",
+    "StaticShedding",
     "__version__",
 ]

@@ -64,7 +64,16 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--explain", action="store_true",
                         help="print the LFTA/HFTA plans and exit")
     parser.add_argument("--stats", action="store_true",
-                        help="print per-node statistics after the run")
+                        help="print per-node statistics (including "
+                             "per-channel overflow counters) after the run")
+    parser.add_argument("--shed", metavar="POLICY",
+                        help="enable the overload control plane with this "
+                             "shedding policy: none | static:RATE | adaptive; "
+                             "prints the overload report after the run")
+    parser.add_argument("--channel-capacity", type=int, metavar="N",
+                        help="bound inter-node channels at N tuples "
+                             "(overflow drops data tuples, never "
+                             "punctuation; drops are accounted)")
     parser.add_argument("--pretty-ip", action="store_true",
                         help="render IP-typed columns as dotted quads")
     return parser
@@ -152,7 +161,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("no queries given (use --query or --query-file)")
 
     params = _parse_params(args.param)
-    engine = Gigascope(mode=args.mode)
+    if args.channel_capacity is not None and args.channel_capacity <= 0:
+        parser.error(f"--channel-capacity must be positive, "
+                     f"got {args.channel_capacity}")
+    engine = Gigascope(mode=args.mode,
+                       channel_capacity=args.channel_capacity)
+    if args.shed:
+        try:
+            engine.enable_shedding(args.shed)
+        except ValueError as error:
+            raise SystemExit(f"bad --shed {args.shed!r}: {error}")
     names: List[str] = []
     try:
         for text in query_texts:
@@ -204,6 +222,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("# node statistics", file=sys.stderr)
         for name, stats in sorted(engine.stats().items()):
             print(f"#  {name}: {stats}", file=sys.stderr)
+    if args.shed:
+        report = engine.overload_report()
+        print("# overload report", file=sys.stderr)
+        print(f"#  policy={report['policy_state']} "
+              f"shed_rate={report['shed_rate']:.3f} "
+              f"min={report['min_shed_rate']:.3f} "
+              f"cycles={report['cycles']} "
+              f"pressured={report['pressured_cycles']}", file=sys.stderr)
+        print(f"#  packets: seen={report['packets_seen']} "
+              f"shed={report['packets_shed']} "
+              f"({report['shed_fraction']:.1%}); "
+              f"channel_dropped={report['channel_dropped']}",
+              file=sys.stderr)
+        for channel_name, info in sorted(report["channels"].items()):
+            print(f"#  channel {channel_name}: depth={info['depth']} "
+                  f"max={info['max_depth']} cap={info['capacity']} "
+                  f"dropped={info['dropped']}", file=sys.stderr)
     return 0
 
 

@@ -1,0 +1,158 @@
+"""The overload controller: collect, decide, install, account.
+
+Wired into :meth:`RuntimeSystem.pump`, the controller runs once per
+pump cycle *before* the channels drain, so depth readings reflect the
+backlog the cycle actually accumulated.  Each cycle it
+
+1. collects a :class:`~repro.control.signals.PressureSample` from the
+   signals bus,
+2. asks the shedding policy for a keep-rate, and
+3. installs that rate as a packet-sampling gate on every LFTA
+   (any node exposing ``set_shed_rate``).
+
+The gate is the paper's sampling "technique of last resort" made
+automatic; LFTAs scale additive aggregates by 1/rate so COUNT and SUM
+stay unbiased.  :meth:`OverloadController.report` is the end-to-end
+drop ledger: what the NIC lost, what channels overflowed, what was shed
+on purpose, and what the controller was doing about it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.control.shedding import AimdShedding, SheddingPolicy, make_policy
+from repro.control.signals import PressureSample, SignalsBus
+from repro.sim.cost_model import CostModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.stream_manager import RuntimeSystem
+    from repro.nic.nic import Nic
+
+
+def _channel_report(rts: "RuntimeSystem") -> Dict[str, Dict[str, Any]]:
+    out: Dict[str, Dict[str, Any]] = {}
+    for channel in rts.channels():
+        stats = channel.stats
+        capacity = channel.capacity
+        out[channel.name] = {
+            "depth": len(channel),
+            "capacity": capacity,
+            "max_depth": stats.max_depth,
+            "watermark": (stats.max_depth / capacity) if capacity else 0.0,
+            "pushed": stats.pushed,
+            "dropped": stats.dropped,
+        }
+    return out
+
+
+def _shed_report(rts: "RuntimeSystem") -> Dict[str, Dict[str, Any]]:
+    out: Dict[str, Dict[str, Any]] = {}
+    for name, node in rts.iter_nodes():
+        seen = getattr(node, "packets_seen", None)
+        shed = getattr(node, "shed_packets", None)
+        if seen is None or shed is None:
+            continue
+        out[name] = {
+            "packets_seen": seen,
+            "packets_shed": shed,
+            "shed_fraction": (shed / seen) if seen else 0.0,
+            "shed_rate": getattr(node, "shed_rate", 1.0),
+        }
+    return out
+
+
+def overload_snapshot(rts: "RuntimeSystem") -> Dict[str, Any]:
+    """Drop accounting without a controller: what was lost, uncorrected."""
+    channels = _channel_report(rts)
+    lftas = _shed_report(rts)
+    return {
+        "policy": "disabled",
+        "shed_rate": 1.0,
+        "channels": channels,
+        "channel_dropped": sum(c["dropped"] for c in channels.values()),
+        "lftas": lftas,
+        "packets_shed": sum(l["packets_shed"] for l in lftas.values()),
+        "shed_fraction": 0.0,
+    }
+
+
+class OverloadController:
+    """The control loop between the signals bus and the LFTA gates."""
+
+    def __init__(
+        self,
+        rts: "RuntimeSystem",
+        policy: Any = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.rts = rts
+        self.policy: SheddingPolicy = (
+            AimdShedding() if policy is None else make_policy(policy)
+        )
+        self.bus = SignalsBus(rts, cost_model=cost_model)
+        self.shed_rate = 1.0
+        self.min_rate_seen = 1.0
+        self.cycles = 0
+        self.pressured_cycles = 0
+        self.last_sample: Optional[PressureSample] = None
+        rts.controller = self
+
+    def watch_nic(self, nic: "Nic") -> None:
+        self.bus.watch_nic(nic)
+
+    # -- the control loop (called by RuntimeSystem.pump) -------------------
+    def on_cycle(self, stream_time: float) -> PressureSample:
+        sample = self.bus.collect(stream_time)
+        self.cycles += 1
+        if sample.drops_delta > 0 or sample.utilization > 1.0:
+            self.pressured_cycles += 1
+        rate = self.policy.update(sample)
+        if rate != self.shed_rate:
+            self._install(rate)
+        self.shed_rate = rate
+        if rate < self.min_rate_seen:
+            self.min_rate_seen = rate
+        self.last_sample = sample
+        return sample
+
+    def _install(self, rate: float) -> None:
+        for _name, node in self.rts.iter_nodes():
+            set_rate = getattr(node, "set_shed_rate", None)
+            if set_rate is not None:
+                set_rate(rate)
+
+    # -- telemetry ----------------------------------------------------------
+    def report(self) -> Dict[str, Any]:
+        """The end-to-end overload ledger (see ``Gigascope.overload_report``)."""
+        channels = _channel_report(self.rts)
+        lftas = _shed_report(self.rts)
+        seen = sum(l["packets_seen"] for l in lftas.values())
+        shed = sum(l["packets_shed"] for l in lftas.values())
+        report: Dict[str, Any] = {
+            "policy": self.policy.name,
+            "policy_state": self.policy.describe(),
+            "shed_rate": self.shed_rate,
+            "min_shed_rate": self.min_rate_seen,
+            "cycles": self.cycles,
+            "pressured_cycles": self.pressured_cycles,
+            "packets_seen": seen,
+            "packets_shed": shed,
+            "shed_fraction": (shed / seen) if seen else 0.0,
+            "lftas": lftas,
+            "channels": channels,
+            "channel_dropped": sum(c["dropped"] for c in channels.values()),
+            "utilization": {
+                "last": (self.last_sample.utilization
+                         if self.last_sample else 0.0),
+                "peak": self.bus.peak_utilization,
+            },
+            "peak_fill": self.bus.peak_fill,
+        }
+        if self.bus.nics:
+            report["nic"] = {
+                "received": sum(n.stats.received for n in self.bus.nics),
+                "ring_dropped": sum(n.stats.ring_dropped
+                                    for n in self.bus.nics),
+            }
+        return report

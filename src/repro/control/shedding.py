@@ -1,0 +1,153 @@
+"""Shedding policies: pressure sample in, keep-rate out.
+
+"A sufficiently complex query workload will require sampling and
+approximation, but it is a technique of last resort" (Section 4) -- so
+the default policy keeps everything and only accounts for losses, the
+static policy is the analyst-controlled rate of ``DEFINE sample p``
+applied system-wide, and the adaptive policy is a TCP-style AIMD loop:
+halve the keep-rate under sustained pressure, creep back up additively
+once the pressure clears.  Results remain statistically meaningful
+because the LFTAs scale additive aggregates by 1/rate at update time
+(Horvitz-Thompson), so COUNT/SUM estimates stay unbiased even while the
+rate moves.
+"""
+
+from __future__ import annotations
+
+from repro.control.signals import PressureSample
+
+
+class SheddingPolicy:
+    """Base policy: maps one :class:`PressureSample` to a keep-rate."""
+
+    name = "base"
+
+    def update(self, sample: PressureSample) -> float:
+        """Return the keep-rate in (0, 1] the LFTA gates should use."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class NoShedding(SheddingPolicy):
+    """Observe and account only; never drop on purpose."""
+
+    name = "none"
+
+    def update(self, sample: PressureSample) -> float:
+        return 1.0
+
+
+class StaticShedding(SheddingPolicy):
+    """A fixed keep-rate, chosen by the analyst."""
+
+    name = "static"
+
+    def __init__(self, rate: float) -> None:
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"static shed rate must be in (0, 1], got {rate}")
+        self.rate = rate
+
+    def update(self, sample: PressureSample) -> float:
+        return self.rate
+
+    def describe(self) -> str:
+        return f"static:{self.rate}"
+
+
+class AimdShedding(SheddingPolicy):
+    """Additive-increase / multiplicative-decrease adaptive shedding.
+
+    Pressure means: a bounded channel at or above ``high_fill``, new
+    drops anywhere (channels or NIC ring), or estimated utilization
+    above 1.0.  After ``trigger_cycles`` consecutive pressured cycles
+    the keep-rate is multiplied by ``decrease`` (floored at
+    ``min_rate``); after ``relief_cycles`` consecutive calm cycles
+    (fill at or below ``low_fill``, no new drops) it recovers by
+    ``increase`` per step, up to 1.0.
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        high_fill: float = 0.8,
+        low_fill: float = 0.3,
+        decrease: float = 0.5,
+        increase: float = 0.05,
+        min_rate: float = 0.05,
+        trigger_cycles: int = 2,
+        relief_cycles: int = 3,
+    ) -> None:
+        if not 0.0 < min_rate <= 1.0:
+            raise ValueError("min_rate must be in (0, 1]")
+        if not 0.0 < decrease < 1.0:
+            raise ValueError("decrease must be in (0, 1)")
+        self.high_fill = high_fill
+        self.low_fill = low_fill
+        self.decrease = decrease
+        self.increase = increase
+        self.min_rate = min_rate
+        self.trigger_cycles = trigger_cycles
+        self.relief_cycles = relief_cycles
+        self.rate = 1.0
+        self._pressured_streak = 0
+        self._calm_streak = 0
+
+    def pressured(self, sample: PressureSample) -> bool:
+        return (sample.max_fill >= self.high_fill
+                or sample.drops_delta > 0
+                or sample.utilization > 1.0)
+
+    def _calm(self, sample: PressureSample) -> bool:
+        return (sample.max_fill <= self.low_fill
+                and sample.drops_delta == 0
+                and sample.utilization <= 1.0)
+
+    def update(self, sample: PressureSample) -> float:
+        if self.pressured(sample):
+            self._pressured_streak += 1
+            self._calm_streak = 0
+            if self._pressured_streak >= self.trigger_cycles:
+                self.rate = max(self.min_rate, self.rate * self.decrease)
+                self._pressured_streak = 0
+        elif self._calm(sample):
+            self._calm_streak += 1
+            self._pressured_streak = 0
+            if self._calm_streak >= self.relief_cycles and self.rate < 1.0:
+                self.rate = min(1.0, self.rate + self.increase)
+                self._calm_streak = 0
+        else:
+            # In the hysteresis band: hold the rate, reset both streaks.
+            self._pressured_streak = 0
+            self._calm_streak = 0
+        return self.rate
+
+    def describe(self) -> str:
+        return f"adaptive(rate={self.rate:.3f})"
+
+
+def make_policy(spec) -> SheddingPolicy:
+    """Build a policy from a spec: a policy, ``"none"``, ``"adaptive"``,
+    or ``"static:RATE"`` (the CLI's ``--shed`` grammar)."""
+    if isinstance(spec, SheddingPolicy):
+        return spec
+    if not isinstance(spec, str):
+        raise ValueError(f"bad shedding policy spec {spec!r}")
+    name, _, arg = spec.partition(":")
+    name = name.strip().lower()
+    if name == "none":
+        return NoShedding()
+    if name == "adaptive":
+        return AimdShedding()
+    if name == "static":
+        try:
+            rate = float(arg)
+        except ValueError:
+            raise ValueError(
+                f"bad static shed rate {arg!r}; use static:RATE") from None
+        return StaticShedding(rate)
+    raise ValueError(
+        f"unknown shedding policy {spec!r}; use none, static:RATE, or adaptive"
+    )

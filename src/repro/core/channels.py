@@ -20,6 +20,9 @@ class ChannelStats:
     popped: int = 0
     dropped: int = 0
     max_depth: int = 0
+    #: punctuation/flush tokens pushed; these bypass the capacity bound
+    #: (so max_depth may exceed capacity by at most this many items)
+    control_pushed: int = 0
 
 
 class Channel:
@@ -48,6 +51,8 @@ class Channel:
             return False
         self._queue.append(item)
         self.stats.pushed += 1
+        if type(item) is not tuple:
+            self.stats.control_pushed += 1
         if len(self._queue) > self.stats.max_depth:
             self.stats.max_depth = len(self._queue)
         return True

@@ -61,6 +61,7 @@ class Gigascope:
         default_interface: str = "eth0",
         lfta_table_size: int = 4096,
         merge_buffer_capacity: Optional[int] = None,
+        channel_capacity: Optional[int] = None,
         schema_registry: Optional[SchemaRegistry] = None,
         functions: Optional[FunctionRegistry] = None,
     ) -> None:
@@ -68,6 +69,9 @@ class Gigascope:
         self.default_interface = default_interface
         self.lfta_table_size = lfta_table_size
         self.merge_buffer_capacity = merge_buffer_capacity
+        #: bound on inter-node channels; overflow drops tuples (and is
+        #: what the overload control plane watches and reacts to)
+        self.channel_capacity = channel_capacity
         self.schema_registry = schema_registry or builtin_registry()
         self.functions = functions or builtin_functions()
         self.rts = RuntimeSystem(heartbeat_interval=heartbeat_interval,
@@ -149,7 +153,8 @@ class Gigascope:
             else:
                 raise RegistryError(f"unknown HFTA kind {hfta_plan.kind!r}")
             self.rts.register_node(node)
-            self.rts.connect(node, hfta_plan.inputs)
+            self.rts.connect(node, hfta_plan.inputs,
+                             capacity=self.channel_capacity)
             self._streams[query_name] = plan.output_schema
             nodes.append(node)
 
@@ -216,6 +221,38 @@ class Gigascope:
             self._streams.pop(node.name, None)
         self._streams.pop(name, None)
         del self._instances[name]
+
+    # -- overload control (repro.control) -----------------------------------------
+    def enable_shedding(self, policy: Any = "adaptive", cost_model=None,
+                        nics: Iterable = ()) -> "OverloadController":
+        """Switch on the overload control plane.
+
+        ``policy`` is a :class:`~repro.control.shedding.SheddingPolicy`
+        or a spec string (``"none"``, ``"static:RATE"``, ``"adaptive"``).
+        The controller samples pressure every pump cycle and installs a
+        packet-sampling gate on the LFTAs; additive aggregates are scaled
+        by 1/rate so COUNT/SUM stay statistically correct.  Pass
+        simulated NICs via ``nics`` to include card-side ring drops in
+        the pressure signal.
+        """
+        from repro.control.controller import OverloadController
+        controller = OverloadController(self.rts, policy=policy,
+                                        cost_model=cost_model)
+        for nic in nics:
+            controller.watch_nic(nic)
+        return controller
+
+    def overload_report(self) -> Dict[str, Any]:
+        """End-to-end drop accounting: shed, overflowed, and lost where.
+
+        With shedding enabled this is the controller's full ledger
+        (policy state, shed fractions, channel watermarks, utilization);
+        without it, a raw snapshot of what overflowed, uncorrected.
+        """
+        if self.rts.controller is not None:
+            return self.rts.controller.report()
+        from repro.control.controller import overload_snapshot
+        return overload_snapshot(self.rts)
 
     # -- introspection ------------------------------------------------------------
     def plan_of(self, name: str) -> QueryPlan:

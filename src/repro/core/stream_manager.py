@@ -21,7 +21,7 @@ operator asks (Section 3, "Unblocking Operators").
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.channels import Channel
 from repro.core.heartbeat import FLUSH, FlushToken, Punctuation
@@ -75,7 +75,10 @@ class RuntimeSystem:
         self._last_heartbeat = -math.inf
         self._heartbeat_wanted = False
         self.packets_fed = 0
+        self.bytes_fed = 0
         self.heartbeats_sent = 0
+        #: the overload control plane, if enabled (see repro.control)
+        self.controller = None
 
     # -- registry -------------------------------------------------------------
     @property
@@ -90,6 +93,15 @@ class RuntimeSystem:
 
     def names(self) -> List[str]:
         return sorted(self._nodes)
+
+    def iter_nodes(self) -> Iterator[Tuple[str, QueryNode]]:
+        """All registered ``(name, node)`` pairs."""
+        return iter(self._nodes.items())
+
+    def channels(self) -> Iterator[Channel]:
+        """Every live output channel (node-to-node and node-to-app)."""
+        for node in self._nodes.values():
+            yield from node.subscribers
 
     def register_node(self, node: QueryNode,
                       packet_interface: Optional[str] = None) -> None:
@@ -131,7 +143,8 @@ class RuntimeSystem:
         LFTA batch restriction works both ways.  Nodes with subscribers
         are refused unless ``force`` (the engine forces when it removes
         a whole query after checking no other query depends on it; any
-        remaining application subscriptions simply stop receiving).
+        remaining application subscriptions receive a flush token so
+        ``Subscription.ended`` becomes True instead of dangling forever).
         """
         node = self.node(name)
         if node in self._all_consumers:
@@ -154,6 +167,13 @@ class RuntimeSystem:
         for producer, channel in node.input_links:
             if channel in producer.subscribers:
                 producer.subscribers.remove(channel)
+        # End the stream for whoever is still listening (application
+        # subscriptions): the removed query will never produce again.
+        for channel in node.subscribers:
+            channel.push(FLUSH)
+        # Detach from the manager so stray on-demand heartbeat requests
+        # from the removed node no longer mutate this RTS.
+        node.manager = None
         del self._nodes[name]
 
     def subscribe(self, name: str, capacity: Optional[int] = None) -> Subscription:
@@ -180,6 +200,7 @@ class RuntimeSystem:
         if not self._started:
             raise RegistryError("RTS not started; call start() first")
         self.packets_fed += 1
+        self.bytes_fed += packet.caplen
         if packet.timestamp > self._stream_time:
             self._stream_time = packet.timestamp
         consumers = list(self._packet_consumers.get(packet.interface, ()))
@@ -238,6 +259,10 @@ class RuntimeSystem:
     # -- scheduling -----------------------------------------------------------------------
     def pump(self) -> int:
         """Drain HFTA input channels until quiescent; returns items processed."""
+        # The overload control plane samples pressure *before* draining,
+        # when channel depths reflect the backlog this cycle built up.
+        if self.controller is not None:
+            self.controller.on_cycle(self._stream_time)
         processed = 0
         while True:
             if self._heartbeat_wanted:
@@ -265,10 +290,10 @@ class RuntimeSystem:
         self.pump()
 
     # -- introspection ----------------------------------------------------------------------------
-    def stats(self) -> Dict[str, Dict[str, int]]:
+    def stats(self) -> Dict[str, Dict[str, Any]]:
         out = {}
         for name, node in self._nodes.items():
-            entry = {
+            entry: Dict[str, Any] = {
                 "tuples_in": node.stats.tuples_in,
                 "tuples_out": node.stats.tuples_out,
                 "discarded": node.stats.discarded,
@@ -276,12 +301,27 @@ class RuntimeSystem:
                 "punctuations_out": node.stats.punctuations_out,
             }
             for extra in ("packets_seen", "dropped", "pairs_emitted",
-                          "groups_emitted", "buffered", "sampled_out"):
+                          "groups_emitted", "buffered", "sampled_out",
+                          "shed_packets"):
                 value = getattr(node, extra, None)
                 if value is not None:
                     entry[extra] = value
             table = getattr(node, "table", None)
             if table is not None:
                 entry["hash_collisions"] = table.collisions
+            if node.subscribers:
+                # Per-channel overflow accounting: exactly the losses
+                # the overload control plane watches.
+                entry["channels"] = {
+                    channel.name: {
+                        "pushed": channel.stats.pushed,
+                        "popped": channel.stats.popped,
+                        "dropped": channel.stats.dropped,
+                        "depth": len(channel),
+                        "max_depth": channel.stats.max_depth,
+                        "capacity": channel.capacity,
+                    }
+                    for channel in node.subscribers
+                }
             out[name] = entry
         return out

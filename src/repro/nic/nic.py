@@ -100,3 +100,16 @@ class Nic:
         if not self.stats.received:
             return 0.0
         return self.stats.ring_dropped / self.stats.received
+
+    def pressure_signal(self) -> dict:
+        """Card-side drop accounting for the overload control plane.
+
+        Register the card with ``OverloadController.watch_nic`` so ring
+        losses (the card too slow for the wire) feed the shedding policy
+        alongside host-side channel overflow.
+        """
+        return {
+            "received": self.stats.received,
+            "ring_dropped": self.stats.ring_dropped,
+            "loss_rate": self.loss_rate,
+        }

@@ -77,6 +77,39 @@ class AggregateOps:
                 pair[0] += value
                 pair[1] += 1
 
+    def update_weighted(self, state: list, row: tuple, weight: float) -> None:
+        """Fold one sampled tuple with a Horvitz-Thompson weight.
+
+        Used by the overload control plane: when an LFTA keeps a packet
+        with probability ``p``, the kept tuple carries ``weight = 1/p``
+        so additive aggregates stay unbiased under shedding.  COUNT adds
+        ``weight``, SUM adds ``value * weight``, AVG accumulates the
+        weighted sum over total weight.  MIN/MAX are order statistics --
+        no reweighting can correct them, so they fold unweighted (the
+        sample extremum is the best available estimate).
+        """
+        for index, agg in enumerate(self.aggregates):
+            arg_fn = self.arg_fns[index]
+            name = agg.name
+            if name == "COUNT":
+                state[index] += weight
+                continue
+            value = arg_fn(row)
+            if name == "SUM":
+                state[index] += value * weight
+            elif name == "MIN":
+                if state[index] is None or value < state[index]:
+                    state[index] = value
+            elif name == "MAX":
+                if state[index] is None or value > state[index]:
+                    state[index] = value
+            elif name == "AVG":
+                pair = state[index]
+                pair[0] += value * weight
+                pair[1] += weight
+            # No other aggregate names exist (the semantic layer
+            # rejects unknown aggregates before planning).
+
     # -- the partial encoding (LFTA output slots) ---------------------------
     def partials(self, state: list) -> Tuple[Any, ...]:
         """Flatten ``state`` into the LFTA partial-slot encoding."""

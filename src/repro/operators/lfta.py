@@ -10,6 +10,8 @@ traffic to the HFTAs.
 
 from __future__ import annotations
 
+import random
+import zlib
 from typing import Dict, List, Optional
 
 from repro.core.heartbeat import Punctuation
@@ -43,12 +45,20 @@ class LftaNode(QueryNode):
         self.packets_seen = 0
         self.sampled_out = 0
         if plan.sample_rate is not None:
-            import random
             self._sample_rate = plan.sample_rate
             self._sample_rng = random.Random(hash(plan.name) & 0xFFFFFFFF)
         else:
             self._sample_rate = None
             self._sample_rng = None
+        # Overload-control sampling gate (repro.control): a keep-rate the
+        # controller moves at run time, distinct from the analyst's
+        # ``DEFINE sample p``.  Packets shed here are accounted, and
+        # additive aggregates are scaled by 1/rate at update time
+        # (Horvitz-Thompson) so COUNT/SUM stay unbiased.  crc32 keeps
+        # the gate deterministic across processes (str hash() is not).
+        self.shed_rate = 1.0
+        self.shed_packets = 0
+        self._shed_rng = random.Random(zlib.crc32(plan.name.encode()))
         self._predicate = compiler.predicate_fn(plan.predicates, (None, None))
         needed = self._needed_attr_indices(analyzed)
         self._interpret = self.protocol.sparse_interpreter(needed)
@@ -97,9 +107,20 @@ class LftaNode(QueryNode):
     #: the RTS may pass a shared, pre-parsed PacketView
     accepts_view = True
 
+    # -- overload-control hook (installed by repro.control) ----------------
+    def set_shed_rate(self, rate: float) -> None:
+        """Install the controller's packet-sampling gate (1.0 = off)."""
+        self.shed_rate = min(1.0, max(1e-3, rate))
+
     # -- packet path (called by the RTS, no channel in between) -----------
     def accept_packet(self, packet: CapturedPacket, view=None) -> None:
         self.packets_seen += 1
+        weight = 1.0
+        if self.shed_rate < 1.0:
+            if self._shed_rng.random() >= self.shed_rate:
+                self.shed_packets += 1
+                return
+            weight = 1.0 / self.shed_rate
         for row in self._interpret(packet, view):
             self.stats.tuples_in += 1
             if (self._sample_rate is not None
@@ -116,9 +137,9 @@ class LftaNode(QueryNode):
                 else:
                     self.emit(out)
             else:
-                self._aggregate(row)
+                self._aggregate(row, weight)
 
-    def _aggregate(self, row: tuple) -> None:
+    def _aggregate(self, row: tuple, weight: float = 1.0) -> None:
         key = self._key_fn(row)
         if key is None:
             self.stats.discarded += 1
@@ -131,7 +152,10 @@ class LftaNode(QueryNode):
         state, ejected = self.table.upsert(key, self.aggregate_ops.new_state)
         if ejected is not None:
             self._emit_group(*ejected)
-        self.aggregate_ops.update(state, row)
+        if weight == 1.0:
+            self.aggregate_ops.update(state, row)
+        else:
+            self.aggregate_ops.update_weighted(state, row, weight)
 
     def _flush_below(self, low_water) -> None:
         """Close every group whose window key is below ``low_water``."""

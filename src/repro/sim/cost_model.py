@@ -74,3 +74,19 @@ class CostModel:
     host_ring_slots: int = 2048
     #: NIC wire-side ring, in packets (the Tigon has megabytes of SRAM)
     nic_ring_slots: int = 4096
+
+    # -- derived signals ---------------------------------------------------------------
+    def packet_cpu_us(self, caplen: float, qualifying: bool = False) -> float:
+        """Host CPU microseconds to receive one packet (Gigascope host path).
+
+        This is the virtual-time utilization signal the overload control
+        plane uses: ``packet_rate * packet_cpu_us / 1e6`` approaching 1.0
+        means the modeled host is saturating -- the interrupt-livelock
+        regime of Section 4.  ``qualifying`` adds the per-tuple work of a
+        packet that passes the LFTA filter.
+        """
+        us = (self.interrupt_us + self.libpcap_read_us + self.lfta_filter_us
+              + caplen * self.copy_per_byte_us)
+        if qualifying:
+            us += self.tuple_emit_us + self.hfta_tuple_us
+        return us

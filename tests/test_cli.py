@@ -105,6 +105,31 @@ class TestBasicRuns:
         assert code == 0
         assert "node statistics" in err
 
+    def test_shed_flag_prints_overload_report(self, trace, capsys):
+        code, out, err = run_cli(
+            ["--pcap", trace, "--shed", "static:0.5",
+             "--channel-capacity", "8",
+             "--query", "DEFINE query_name q; Select tb, count(*) "
+                        "From tcp Group by time/5 as tb"],
+            capsys)
+        assert code == 0
+        assert "# overload report" in err
+        assert "shed_rate=0.500" in err
+        # COUNT stays statistically correct: each kept packet carries
+        # weight 1/rate, so the estimate lands near the 20 true packets.
+        body = out.split("# q\n")[1].strip().splitlines()
+        estimate = sum(float(line.split(",")[1]) for line in body[1:])
+        assert 0 < estimate <= 40
+
+    def test_shed_adaptive_runs_clean_when_unpressured(self, trace, capsys):
+        code, _out, err = run_cli(
+            ["--pcap", trace, "--shed", "adaptive",
+             "--query", "DEFINE query_name q; Select time From tcp"],
+            capsys)
+        assert code == 0
+        assert "# overload report" in err
+        assert "shed_rate=1.000" in err  # 20 packets: never pressured
+
 
 class TestErrors:
     def test_bad_query_reports_error(self, trace, capsys):
@@ -130,6 +155,11 @@ class TestErrors:
         with pytest.raises(SystemExit):
             main(["--pcap", trace, "--query", "Select time From tcp",
                   "--param", "nonsense"])
+
+    def test_bad_shed_policy(self, trace, capsys):
+        with pytest.raises(SystemExit, match="bad --shed"):
+            main(["--pcap", trace, "--query", "Select time From tcp",
+                  "--shed", "bogus"])
 
 
 class TestMultiplePcaps:

@@ -56,6 +56,47 @@ class TestChannel:
         assert list(channel) == [(1,)]
 
 
+class TestOverflowAccounting:
+    """Bounded buffers under bursty input: drop data, never control."""
+
+    def test_burst_drops_data_but_keeps_all_control_tokens(self):
+        channel = Channel(capacity=4)
+        survivors = []
+        # A bursty interleaving: tuples overflow, tokens always land.
+        for i in range(10):
+            if channel.push((i,)):
+                survivors.append(i)
+            if i % 3 == 2:
+                assert channel.push(Punctuation({0: float(i)}))
+        assert channel.push(FLUSH)
+        assert channel.stats.dropped == 10 - len(survivors)
+        assert channel.stats.control_pushed == 4  # 3 punctuation + flush
+        # Every control token is still in the queue, in order.
+        items = channel.drain()
+        controls = [x for x in items if not isinstance(x, tuple)]
+        assert len(controls) == 4
+        assert isinstance(controls[-1], FlushToken)
+        assert [x[0] for x in items if isinstance(x, tuple)] == survivors
+
+    def test_max_depth_bounded_by_capacity_plus_control(self):
+        channel = Channel(capacity=2)
+        for i in range(20):
+            channel.push((i,))
+        channel.push(Punctuation({0: 1.0}))
+        channel.push(FLUSH)
+        assert channel.stats.max_depth <= 2 + channel.stats.control_pushed
+        assert channel.stats.dropped == 18
+
+    def test_drops_counted_but_not_pushed(self):
+        channel = Channel(capacity=1)
+        channel.push((1,))
+        channel.push((2,))
+        channel.push((3,))
+        assert channel.stats.pushed == 1
+        assert channel.stats.dropped == 2
+        assert channel.stats.control_pushed == 0
+
+
 class TestPunctuation:
     def test_bound_lookup(self):
         punct = Punctuation({0: 5.0, 3: 9.0})

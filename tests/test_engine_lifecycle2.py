@@ -61,6 +61,39 @@ class TestRemoveQuery:
         with pytest.raises(RegistryError):
             gs.remove_query("ghost")
 
+    def test_remove_query_ends_app_subscriptions(self):
+        """Removal emits a flush token: Subscription.ended flips True
+        instead of the handle dangling forever."""
+        gs = self._engine()
+        sub = gs.subscribe("derived")
+        gs.remove_query("derived")
+        assert sub.poll() == []
+        assert sub.ended
+
+    def test_remove_query_flush_arrives_after_final_rows(self):
+        gs = self._engine()
+        base_sub = gs.subscribe("base")
+        gs.start()
+        gs.feed_packet(tcp_packet(ts=1.0))
+        gs.pump()
+        gs.stop()
+        gs.remove_query("derived")
+        gs.remove_query("base")
+        rows = base_sub.poll()
+        assert len(rows) == 1  # the pre-removal tuple was not lost
+        assert base_sub.ended
+
+    def test_remove_node_detaches_manager(self):
+        """A removed node's on-demand heartbeat requests must no longer
+        mutate the RTS it used to belong to."""
+        gs = self._engine()
+        node = gs.rts.node("derived")
+        assert node.manager is gs.rts
+        gs.remove_query("derived")
+        assert node.manager is None
+        node.request_heartbeat()  # must be a harmless no-op now
+        assert gs.rts._heartbeat_wanted is False
+
     def test_subscription_of_removed_query_goes_quiet(self):
         gs = self._engine()
         sub = gs.subscribe("derived")
