@@ -31,8 +31,9 @@ from repro.core.query_node import QueryNode, UserNode
 from repro.gsql.functions import FunctionSpec
 from repro.gsql.schema import Attribute, ProtocolSchema, StreamSchema
 from repro.net.packet import CapturedPacket
+from repro.obs import MetricsRegistry, Tracer
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Gigascope",
@@ -45,6 +46,8 @@ __all__ = [
     "ProtocolSchema",
     "StreamSchema",
     "CapturedPacket",
+    "MetricsRegistry",
+    "Tracer",
     "OverloadController",
     "AimdShedding",
     "NoShedding",

@@ -74,6 +74,20 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="bound inter-node channels at N tuples "
                              "(overflow drops data tuples, never "
                              "punctuation; drops are accounted)")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write a metrics snapshot (repro.obs registry) "
+                             "to PATH after the run")
+    parser.add_argument("--metrics-format", choices=("prom", "json"),
+                        default="prom",
+                        help="metrics snapshot format: Prometheus text or "
+                             "JSON (default: prom)")
+    parser.add_argument("--trace-sample", type=float, metavar="RATE",
+                        help="trace roughly RATE (0 < RATE <= 1) of packets "
+                             "through the LFTA/HFTA split (sampled lineage "
+                             "spans with virtual-time timestamps)")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write the sampled trace spans as JSON to PATH "
+                             "(requires --trace-sample)")
     parser.add_argument("--pretty-ip", action="store_true",
                         help="render IP-typed columns as dotted quads")
     return parser
@@ -164,8 +178,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.channel_capacity is not None and args.channel_capacity <= 0:
         parser.error(f"--channel-capacity must be positive, "
                      f"got {args.channel_capacity}")
+    if args.trace_out and args.trace_sample is None:
+        parser.error("--trace-out requires --trace-sample")
     engine = Gigascope(mode=args.mode,
                        channel_capacity=args.channel_capacity)
+    tracer = None
+    if args.trace_sample is not None:
+        try:
+            tracer = engine.enable_tracing(args.trace_sample)
+        except ValueError as error:
+            parser.error(f"bad --trace-sample: {error}")
     if args.shed:
         try:
             engine.enable_shedding(args.shed)
@@ -219,9 +241,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                 writer.writerow([fn(v) for fn, v in zip(fns, row)])
 
     if args.stats:
+        # The same canonical snapshot the metrics exposition exports
+        # (repro.obs.collectors), rendered one node per line.
         print("# node statistics", file=sys.stderr)
         for name, stats in sorted(engine.stats().items()):
             print(f"#  {name}: {stats}", file=sys.stderr)
+    if args.metrics_out:
+        registry = engine.metrics
+        if args.metrics_format == "json":
+            text = registry.to_json(indent=2)
+        else:
+            text = registry.to_prometheus()
+        Path(args.metrics_out).write_text(text)
+        print(f"# metrics snapshot ({args.metrics_format}) -> "
+              f"{args.metrics_out}", file=sys.stderr)
+    if tracer is not None:
+        if args.trace_out:
+            Path(args.trace_out).write_text(tracer.to_json(indent=2))
+            print(f"# {tracer.started} sampled traces -> {args.trace_out}",
+                  file=sys.stderr)
+        else:
+            print(f"# {tracer.started} sampled traces recorded "
+                  f"(use --trace-out to dump them)", file=sys.stderr)
     if args.shed:
         report = engine.overload_report()
         print("# overload report", file=sys.stderr)

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.control.shedding import AimdShedding, SheddingPolicy, make_policy
-from repro.control.signals import PressureSample, SignalsBus
+from repro.control.signals import PressureSample, SignalsBus, publish_sample
 from repro.sim.cost_model import CostModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -114,6 +114,11 @@ class OverloadController:
         if rate < self.min_rate_seen:
             self.min_rate_seen = rate
         self.last_sample = sample
+        registry = getattr(self.rts, "metrics", None)
+        if registry is not None:
+            # Pressure and shed-rate signals double as scrapeable gauges
+            # instead of living only in the private report dict.
+            publish_sample(registry, sample, controller=self)
         return sample
 
     def _install(self, rate: float) -> None:

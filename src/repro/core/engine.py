@@ -64,6 +64,7 @@ class Gigascope:
         channel_capacity: Optional[int] = None,
         schema_registry: Optional[SchemaRegistry] = None,
         functions: Optional[FunctionRegistry] = None,
+        metrics: bool = True,
     ) -> None:
         self.mode = mode
         self.default_interface = default_interface
@@ -75,9 +76,11 @@ class Gigascope:
         self.schema_registry = schema_registry or builtin_registry()
         self.functions = functions or builtin_functions()
         self.rts = RuntimeSystem(heartbeat_interval=heartbeat_interval,
-                                 on_demand_heartbeats=on_demand_heartbeats)
+                                 on_demand_heartbeats=on_demand_heartbeats,
+                                 metrics=metrics)
         self._streams: Dict[str, StreamSchema] = {}
         self._instances: Dict[str, QueryInstance] = {}
+        self._observed_nics: List = []
         self._anonymous = itertools.count()
 
     # -- schema & function extension points ---------------------------------
@@ -253,6 +256,41 @@ class Gigascope:
             return self.rts.controller.report()
         from repro.control.controller import overload_snapshot
         return overload_snapshot(self.rts)
+
+    # -- observability (repro.obs) ------------------------------------------------
+    @property
+    def metrics(self):
+        """The engine's :class:`~repro.obs.registry.MetricsRegistry`
+        (None when constructed with ``metrics=False``).  Exposition:
+        ``gs.metrics.to_prometheus()`` / ``gs.metrics.to_json()``."""
+        return self.rts.metrics
+
+    def enable_tracing(self, sample_rate: float, max_traces: int = 1024):
+        """Switch on sampled tuple-lineage tracing.
+
+        A content-deterministic gate stamps roughly ``sample_rate`` of
+        packets with a trace id; span events are recorded at every stage
+        (NIC -> LFTA -> channel -> HFTA -> sink/app) with virtual-time
+        timestamps.  Returns the :class:`~repro.obs.tracing.Tracer`;
+        dump with ``tracer.to_json()``.
+        """
+        from repro.obs.tracing import Tracer
+        tracer = Tracer(sample_rate, max_traces=max_traces)
+        self.rts.tracer = tracer
+        for nic in self._observed_nics:
+            nic.tracer = tracer
+        return tracer
+
+    def observe_nic(self, nic, name: Optional[str] = None) -> None:
+        """Export a simulated NIC's ring/drop statistics as metrics and
+        include it in the lineage tracer's span chain (the ``nic`` and
+        ``nic_drop`` stages)."""
+        label = name or f"nic{len(self._observed_nics)}"
+        self._observed_nics.append(nic)
+        if self.rts.metrics is not None:
+            from repro.obs.collectors import bind_nic
+            bind_nic(self.rts.metrics, nic, label)
+        nic.tracer = self.rts.tracer
 
     # -- introspection ------------------------------------------------------------
     def plan_of(self, name: str) -> QueryPlan:

@@ -53,6 +53,16 @@ class QueryNode:
 
     def emit(self, row: tuple) -> None:
         self.stats.tuples_out += 1
+        manager = self.manager
+        if manager is not None and manager.tracer is not None:
+            # Sampled lineage (repro.obs.tracing): a tuple emitted while
+            # a traced item is being processed belongs to that trace and
+            # is tagged so channel crossings can be followed.
+            trace = manager.tracer.current
+            if trace is not None:
+                manager.tracer.tag(row, trace)
+                manager.tracer.event(trace, "emit", self.name,
+                                     manager.stream_time)
         for channel in self.subscribers:
             channel.push(row)
 

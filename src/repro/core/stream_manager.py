@@ -27,6 +27,8 @@ from repro.core.channels import Channel
 from repro.core.heartbeat import FLUSH, FlushToken, Punctuation
 from repro.core.query_node import QueryNode
 from repro.net.packet import CapturedPacket
+from repro.obs.collectors import engine_snapshot, install_engine_metrics
+from repro.obs.registry import MetricsRegistry
 
 
 class RegistryError(RuntimeError):
@@ -36,17 +38,25 @@ class RegistryError(RuntimeError):
 class Subscription:
     """A query handle: the consumer side of an output channel."""
 
-    def __init__(self, name: str, channel: Channel) -> None:
+    def __init__(self, name: str, channel: Channel,
+                 manager: Optional["RuntimeSystem"] = None) -> None:
         self.name = name
         self.channel = channel
+        self.manager = manager
         self.ended = False
 
     def poll(self) -> List[tuple]:
         """All data tuples received since the last poll."""
         rows = []
+        tracer = self.manager.tracer if self.manager is not None else None
         for item in self.channel.drain():
             if type(item) is tuple:
                 rows.append(item)
+                if tracer is not None:
+                    trace = tracer.lookup(item)
+                    if trace is not None:
+                        tracer.event(trace, "app", self.name,
+                                     self.manager.stream_time)
             elif isinstance(item, FlushToken):
                 self.ended = True
         return rows
@@ -63,7 +73,9 @@ class RuntimeSystem:
     """The Gigascope RTS: registry, packet dispatch, scheduling, heartbeats."""
 
     def __init__(self, heartbeat_interval: Optional[float] = 1.0,
-                 on_demand_heartbeats: bool = True) -> None:
+                 on_demand_heartbeats: bool = True,
+                 metrics: bool = True,
+                 cost_model=None) -> None:
         self.heartbeat_interval = heartbeat_interval
         self.on_demand_heartbeats = on_demand_heartbeats
         self._nodes: Dict[str, QueryNode] = {}
@@ -79,6 +91,23 @@ class RuntimeSystem:
         self.heartbeats_sent = 0
         #: the overload control plane, if enabled (see repro.control)
         self.controller = None
+        #: the sampled-lineage tracer, if enabled (see repro.obs.tracing)
+        self.tracer = None
+        #: virtual-time cost model for latency accounting (lazy default)
+        self.cost_model = cost_model
+        #: the metrics registry (repro.obs); None when metrics disabled
+        self.metrics: Optional[MetricsRegistry] = None
+        self._pump_cycle_hist = None
+        if metrics:
+            self.metrics = MetricsRegistry()
+            install_engine_metrics(self.metrics, self)
+            self._pump_cycle_hist = self.metrics.histogram(
+                "gs_pump_cycle_virtual_us",
+                "estimated virtual-time microseconds of HFTA work per "
+                "pump cycle (Section 4 cost model)")
+            if self.cost_model is None:
+                from repro.sim.cost_model import CostModel
+                self.cost_model = CostModel()
 
     # -- registry -------------------------------------------------------------
     @property
@@ -180,7 +209,7 @@ class RuntimeSystem:
         """Application-side subscription to any query's output stream."""
         producer = self.node(name)
         channel = producer.subscribe(capacity=capacity, name=f"{name}->app")
-        return Subscription(name, channel)
+        return Subscription(name, channel, manager=self)
 
     # -- lifecycle ---------------------------------------------------------------
     def start(self) -> None:
@@ -203,6 +232,13 @@ class RuntimeSystem:
         self.bytes_fed += packet.caplen
         if packet.timestamp > self._stream_time:
             self._stream_time = packet.timestamp
+        tracer = self.tracer
+        trace = None
+        if tracer is not None:
+            trace = tracer.wants(packet)
+            if trace is not None and not tracer.begin(
+                    trace, packet, "feed", packet.timestamp):
+                trace = None
         consumers = list(self._packet_consumers.get(packet.interface, ()))
         # Consumers bound to the "any" pseudo-interface see every packet
         # regardless of where it arrived (FROM any.tcp).
@@ -215,10 +251,15 @@ class RuntimeSystem:
             from repro.gsql.schema import PacketView
             view = PacketView(packet)
         for node in consumers:
+            if trace is not None:
+                tracer.event(trace, "lfta", node.name, packet.timestamp)
+                tracer.current = trace
             if view is not None and getattr(node, "accepts_view", False):
                 node.accept_packet(packet, view)
             else:
                 node.accept_packet(packet)
+        if trace is not None:
+            tracer.current = None
         if (
             self.heartbeat_interval is not None
             and self._stream_time >= self._last_heartbeat + self.heartbeat_interval
@@ -263,6 +304,7 @@ class RuntimeSystem:
         # when channel depths reflect the backlog this cycle built up.
         if self.controller is not None:
             self.controller.on_cycle(self._stream_time)
+        tracer = self.tracer
         processed = 0
         while True:
             if self._heartbeat_wanted:
@@ -273,11 +315,28 @@ class RuntimeSystem:
             for node in self._hfta_order:
                 for input_index, channel in enumerate(node.inputs):
                     while channel:
-                        node.dispatch(channel.pop(), input_index)
+                        item = channel.pop()
+                        if tracer is not None:
+                            trace = tracer.lookup(item)
+                            if trace is not None:
+                                # A node with no output channels is a
+                                # terminal consumer: a sink.
+                                tracer.event(
+                                    trace,
+                                    "hfta" if node.subscribers else "sink",
+                                    node.name, self._stream_time)
+                            tracer.current = trace
+                        node.dispatch(item, input_index)
                         processed += 1
                         progress = True
             if not progress and not self._heartbeat_wanted:
-                return processed
+                break
+        if tracer is not None:
+            tracer.current = None
+        if self._pump_cycle_hist is not None and processed:
+            self._pump_cycle_hist.observe(
+                processed * self.cost_model.hfta_tuple_us)
+        return processed
 
     # -- end of stream -------------------------------------------------------------------------
     def flush_all(self) -> None:
@@ -291,37 +350,8 @@ class RuntimeSystem:
 
     # -- introspection ----------------------------------------------------------------------------
     def stats(self) -> Dict[str, Dict[str, Any]]:
-        out = {}
-        for name, node in self._nodes.items():
-            entry: Dict[str, Any] = {
-                "tuples_in": node.stats.tuples_in,
-                "tuples_out": node.stats.tuples_out,
-                "discarded": node.stats.discarded,
-                "punctuations_in": node.stats.punctuations_in,
-                "punctuations_out": node.stats.punctuations_out,
-            }
-            for extra in ("packets_seen", "dropped", "pairs_emitted",
-                          "groups_emitted", "buffered", "sampled_out",
-                          "shed_packets"):
-                value = getattr(node, extra, None)
-                if value is not None:
-                    entry[extra] = value
-            table = getattr(node, "table", None)
-            if table is not None:
-                entry["hash_collisions"] = table.collisions
-            if node.subscribers:
-                # Per-channel overflow accounting: exactly the losses
-                # the overload control plane watches.
-                entry["channels"] = {
-                    channel.name: {
-                        "pushed": channel.stats.pushed,
-                        "popped": channel.stats.popped,
-                        "dropped": channel.stats.dropped,
-                        "depth": len(channel),
-                        "max_depth": channel.stats.max_depth,
-                        "capacity": channel.capacity,
-                    }
-                    for channel in node.subscribers
-                }
-            out[name] = entry
-        return out
+        """Per-node statistics; per-channel overflow accounting (exactly
+        the losses the overload control plane watches) nests under each
+        producing node.  Built on the canonical obs-layer snapshot, the
+        same source the metrics exposition and ``engine_report`` use."""
+        return engine_snapshot(self)

@@ -57,6 +57,9 @@ class Nic:
         #: host deliveries: (timestamp_us, payload) where payload is a
         #: CapturedPacket (raw modes) or a tuple batch (on-NIC LFTA mode)
         self.deliveries: List = []
+        #: sampled-lineage tracer (repro.obs.tracing), set by
+        #: ``Gigascope.observe_nic``; records the card-side span
+        self.tracer = None
 
     def _server_accept(self, now_us: float, service_us: float) -> bool:
         """Single-server queue with ``ring_slots`` waiting positions."""
@@ -72,9 +75,20 @@ class Nic:
     def receive(self, packet: CapturedPacket, now_us: float) -> None:
         """A packet arrives from the wire at ``now_us`` (microseconds)."""
         self.stats.received += 1
+        trace = None
+        if self.tracer is not None:
+            # The trace key is content-deterministic, so the card and the
+            # host RTS agree on which packets are traced with no shared
+            # state (and no packet mutation).
+            trace = self.tracer.wants(packet)
+            if trace is not None and not self.tracer.begin(
+                    trace, packet, "nic", now_us / 1e6, node="nic"):
+                trace = None
         service = self.lfta_service_us if self.rts is not None else self.service_us
         if not self._server_accept(now_us, service):
             self.stats.ring_dropped += 1
+            if trace is not None:
+                self.tracer.event(trace, "nic_drop", "nic", now_us / 1e6)
             return
         if self.bpf is not None and not self.bpf.matches(packet.data):
             self.stats.filtered += 1
@@ -94,6 +108,11 @@ class Nic:
         out = self.deliveries
         self.deliveries = []
         return out
+
+    @property
+    def ring_occupancy(self) -> int:
+        """Packets currently queued or in service in the card's ring."""
+        return len(self._completions)
 
     @property
     def loss_rate(self) -> float:

@@ -1,0 +1,311 @@
+"""Typed metrics registry with Prometheus-text and JSON exposition.
+
+The paper's operators ran seven installations "three months nonstop"
+and diagnosed them from runtime statistics; a long-running monitor
+needs those statistics in one place, typed, and exportable.  The
+registry holds three metric kinds:
+
+* :class:`Counter` -- a monotonically increasing total,
+* :class:`Gauge` -- a value that goes up and down (depth, rate, fill),
+* :class:`Histogram` -- fixed-bucket distribution (cycle latencies).
+
+Metrics are grouped into label-carrying families (``name{node="q0"}``)
+exactly as in the Prometheus data model, and exposed either as
+Prometheus text format (:meth:`MetricsRegistry.to_prometheus`) or as a
+JSON document (:meth:`MetricsRegistry.to_json`).
+
+Hot-path cost is kept near zero by *collectors*: most of the stack's
+counters already exist (node stats, channel stats, NIC stats), so the
+registry samples them lazily -- registered collector callbacks run only
+when a snapshot is taken, never per packet.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from bisect import bisect_left
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: default buckets for virtual-time latency histograms, in microseconds
+DEFAULT_US_BUCKETS = (10.0, 50.0, 100.0, 500.0, 1_000.0, 5_000.0,
+                      10_000.0, 50_000.0, 100_000.0, 500_000.0)
+
+
+class MetricError(ValueError):
+    """Raised for invalid metric names, labels, or kind mismatches."""
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def set(self, value: float) -> None:
+        """Overwrite the total (used by collectors sampling an existing
+        cumulative counter elsewhere in the stack)."""
+        self.value = value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative buckets, Prometheus-style)."""
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Tuple[float, ...]) -> None:
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 for the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, +Inf last."""
+        out = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+
+class MetricFamily:
+    """One named metric with zero or more label dimensions."""
+
+    def __init__(self, name: str, help_text: str, kind: str,
+                 label_names: Tuple[str, ...] = (),
+                 buckets: Optional[Tuple[float, ...]] = None) -> None:
+        if not _NAME_RE.match(name):
+            raise MetricError(f"bad metric name {name!r}")
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise MetricError(f"bad label name {label!r}")
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.label_names = tuple(label_names)
+        self.buckets = buckets
+        self._children: Dict[Tuple[str, ...], Any] = {}
+
+    def _make_child(self):
+        if self.kind == "counter":
+            return Counter()
+        if self.kind == "gauge":
+            return Gauge()
+        return Histogram(self.buckets or DEFAULT_US_BUCKETS)
+
+    def labels(self, **labels: str):
+        """The child metric for this label combination (created on use)."""
+        if set(labels) != set(self.label_names):
+            raise MetricError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._make_child()
+        return child
+
+    @property
+    def unlabeled(self):
+        """The single child of a label-less family."""
+        if self.label_names:
+            raise MetricError(f"{self.name} has labels; use .labels()")
+        return self.labels()
+
+    # convenience passthroughs for label-less families
+    def inc(self, amount: float = 1.0) -> None:
+        self.unlabeled.inc(amount)
+
+    def set(self, value: float) -> None:
+        self.unlabeled.set(value)
+
+    def observe(self, value: float) -> None:
+        self.unlabeled.observe(value)
+
+    @property
+    def value(self) -> float:
+        return self.unlabeled.value
+
+    def clear(self) -> None:
+        """Drop all children (collectors repopulate dynamic label sets)."""
+        self._children.clear()
+
+    def samples(self) -> Iterable[Tuple[Tuple[str, ...], Any]]:
+        return self._children.items()
+
+
+class MetricsRegistry:
+    """A namespace of metric families plus lazy collector callbacks."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+        self._collectors: List[Callable[[], None]] = []
+
+    # -- registration -------------------------------------------------------
+    def _family(self, name: str, help_text: str, kind: str,
+                labels: Tuple[str, ...],
+                buckets: Optional[Tuple[float, ...]] = None) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind or existing.label_names != tuple(labels):
+                raise MetricError(
+                    f"metric {name!r} already registered as {existing.kind} "
+                    f"with labels {existing.label_names}"
+                )
+            return existing
+        family = MetricFamily(name, help_text, kind, tuple(labels), buckets)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help_text: str = "",
+                labels: Tuple[str, ...] = ()) -> MetricFamily:
+        return self._family(name, help_text, "counter", labels)
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Tuple[str, ...] = ()) -> MetricFamily:
+        return self._family(name, help_text, "gauge", labels)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: Tuple[str, ...] = (),
+                  buckets: Tuple[float, ...] = DEFAULT_US_BUCKETS
+                  ) -> MetricFamily:
+        return self._family(name, help_text, "histogram", labels, buckets)
+
+    def add_collector(self, fn: Callable[[], None]) -> None:
+        """Register a callback that refreshes sampled metrics; it runs
+        once per snapshot/exposition, never on the packet path."""
+        self._collectors.append(fn)
+
+    def families(self) -> List[MetricFamily]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    # -- snapshots ---------------------------------------------------------
+    def collect(self) -> None:
+        """Run every collector so sampled metrics are current."""
+        for fn in self._collectors:
+            fn()
+
+    def snapshot(self) -> Dict[str, Dict[Tuple[str, ...], float]]:
+        """``{name: {label_values: value}}`` for counters and gauges."""
+        self.collect()
+        out: Dict[str, Dict[Tuple[str, ...], float]] = {}
+        for family in self.families():
+            if family.kind == "histogram":
+                continue
+            out[family.name] = {key: child.value
+                                for key, child in family.samples()}
+        return out
+
+    # -- exposition --------------------------------------------------------
+    @staticmethod
+    def _render_labels(names: Tuple[str, ...], values: Tuple[str, ...],
+                       extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+        pairs = [(n, v) for n, v in zip(names, values)] + list(extra)
+        if not pairs:
+            return ""
+        escaped = ",".join(
+            '%s="%s"' % (n, v.replace("\\", "\\\\").replace('"', '\\"')
+                         .replace("\n", "\\n"))
+            for n, v in pairs
+        )
+        return "{%s}" % escaped
+
+    @staticmethod
+    def _render_value(value: float) -> str:
+        if value == float("inf"):
+            return "+Inf"
+        if isinstance(value, float) and value.is_integer():
+            return str(int(value))
+        return repr(value)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        self.collect()
+        lines: List[str] = []
+        for family in self.families():
+            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key, child in sorted(family.samples()):
+                labels = self._render_labels(family.label_names, key)
+                if family.kind == "histogram":
+                    for bound, count in child.bucket_counts():
+                        le = self._render_labels(
+                            family.label_names, key,
+                            extra=(("le", self._render_value(bound)),))
+                        lines.append(f"{family.name}_bucket{le} {count}")
+                    lines.append(f"{family.name}_sum{labels} "
+                                 f"{self._render_value(child.sum)}")
+                    lines.append(f"{family.name}_count{labels} {child.count}")
+                else:
+                    lines.append(f"{family.name}{labels} "
+                                 f"{self._render_value(child.value)}")
+        return "\n".join(lines) + "\n"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable document of every family and sample."""
+        self.collect()
+        metrics = []
+        for family in self.families():
+            samples = []
+            for key, child in sorted(family.samples()):
+                labels = dict(zip(family.label_names, key))
+                if family.kind == "histogram":
+                    samples.append({
+                        "labels": labels,
+                        "buckets": [[bound if bound != float("inf") else "+Inf",
+                                     count]
+                                    for bound, count in child.bucket_counts()],
+                        "sum": child.sum,
+                        "count": child.count,
+                    })
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            metrics.append({
+                "name": family.name,
+                "type": family.kind,
+                "help": family.help,
+                "samples": samples,
+            })
+        return {"metrics": metrics}
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

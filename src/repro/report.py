@@ -3,7 +3,10 @@
 Seven AT&T installations ran "three months nonstop"; operators of a
 long-running monitor need to see where tuples flow, where they are
 discarded, and which buffers are filling.  :func:`engine_report`
-renders exactly that from the live node/channel statistics.
+renders exactly that from the canonical observability snapshot
+(:func:`repro.obs.collectors.engine_snapshot` -- the same single source
+of truth behind ``RuntimeSystem.stats()`` and the metrics exposition),
+plus the overload control plane's drop ledger.
 """
 
 from __future__ import annotations
@@ -11,6 +14,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.engine import Gigascope
+from repro.obs.collectors import NODE_EXTRA_ATTRS
 
 
 def _format_row(columns, widths) -> str:
@@ -22,6 +26,7 @@ def engine_report(engine: Gigascope) -> str:
     """A multi-section plain-text report of the engine's state."""
     lines: List[str] = []
     rts = engine.rts
+    stats = engine.stats()
     lines.append("gigascope status")
     lines.append(f"  stream time: {rts.stream_time:.3f} s"
                  if rts.stream_time > float("-inf") else "  stream time: -")
@@ -32,22 +37,16 @@ def engine_report(engine: Gigascope) -> str:
 
     header = ("node", "in", "out", "discard", "drops", "extra")
     rows = []
-    for name in sorted(rts.names()):
-        node = rts.node(name)
-        stats = node.stats
-        drops = sum(ch.stats.dropped for ch in node.subscribers)
-        extras = []
-        for attr in ("packets_seen", "dropped", "pairs_emitted",
-                     "groups_emitted", "open_groups", "buffered",
-                     "sessions_emitted", "reorder_peak", "sampled_out"):
-            value = getattr(node, attr, None)
-            if value:
-                extras.append(f"{attr}={value}")
-        table = getattr(node, "table", None)
-        if table is not None and table.collisions:
-            extras.append(f"collisions={table.collisions}")
-        rows.append((name, stats.tuples_in, stats.tuples_out,
-                     stats.discarded, drops, " ".join(extras)))
+    for name in sorted(stats):
+        entry = stats[name]
+        channels = entry.get("channels", {})
+        drops = sum(ch["dropped"] for ch in channels.values())
+        extras = [f"{attr}={entry[attr]}" for attr in NODE_EXTRA_ATTRS
+                  if entry.get(attr)]
+        if entry.get("hash_collisions"):
+            extras.append(f"collisions={entry['hash_collisions']}")
+        rows.append((name, entry["tuples_in"], entry["tuples_out"],
+                     entry["discarded"], drops, " ".join(extras)))
     widths = [max(len(str(row[i])) for row in rows + [header])
               for i in range(len(header))]
     lines.append(_format_row(header, widths))
@@ -56,14 +55,30 @@ def engine_report(engine: Gigascope) -> str:
 
     # Channel depths: anything non-empty is either mid-pump or stuck.
     pending = []
-    for name in sorted(rts.names()):
-        node = rts.node(name)
-        for channel in node.subscribers:
-            if len(channel):
-                pending.append(f"  {channel.name}: {len(channel)} queued "
-                               f"(max {channel.stats.max_depth})")
+    for name in sorted(stats):
+        for channel_name, channel in stats[name].get("channels", {}).items():
+            if channel["depth"]:
+                pending.append(f"  {channel_name}: {channel['depth']} queued "
+                               f"(max {channel['max_depth']})")
     if pending:
         lines.append("")
         lines.append("channels with queued items:")
         lines.extend(pending)
+
+    # Overload section: the same ledger the CLI prints on stderr.
+    overload = engine.overload_report()
+    lines.append("")
+    lines.append("overload")
+    lines.append(f"  policy: {overload.get('policy_state', overload['policy'])}"
+                 f"  shed_rate={overload['shed_rate']:.3f}")
+    if "cycles" in overload:
+        lines.append(f"  pressured cycles: {overload['pressured_cycles']}"
+                     f"/{overload['cycles']}")
+    lines.append(f"  packets shed: {overload['packets_shed']}"
+                 f"  channel drops: {overload['channel_dropped']}")
+    dropped = [(name, info) for name, info in
+               sorted(overload["channels"].items()) if info["dropped"]]
+    for name, info in dropped:
+        lines.append(f"  channel {name}: dropped={info['dropped']} "
+                     f"max_depth={info['max_depth']} cap={info['capacity']}")
     return "\n".join(lines)

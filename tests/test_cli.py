@@ -131,6 +131,62 @@ class TestBasicRuns:
         assert "shed_rate=1.000" in err  # 20 packets: never pressured
 
 
+class TestObservabilityFlags:
+    QUERY = ("DEFINE query_name q; Select time, destPort From tcp "
+             "Where destPort = 80")
+
+    def test_metrics_out_prom(self, trace, tmp_path, capsys):
+        out_path = tmp_path / "metrics.prom"
+        code, _out, err = run_cli(
+            ["--pcap", trace, "--query", self.QUERY,
+             "--metrics-out", str(out_path)],
+            capsys)
+        assert code == 0
+        assert "metrics snapshot (prom)" in err
+        text = out_path.read_text()
+        assert "# TYPE gs_packets_fed_total counter" in text
+        assert "gs_packets_fed_total 20" in text
+        assert 'gs_node_tuples_out_total{node="q"} 10' in text
+
+    def test_metrics_out_json(self, trace, tmp_path, capsys):
+        import json
+        out_path = tmp_path / "metrics.json"
+        code, _out, _err = run_cli(
+            ["--pcap", trace, "--query", self.QUERY,
+             "--metrics-out", str(out_path), "--metrics-format", "json"],
+            capsys)
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        by_name = {m["name"]: m for m in doc["metrics"]}
+        assert by_name["gs_packets_fed_total"]["samples"][0]["value"] == 20
+
+    def test_trace_sample_and_out(self, trace, tmp_path, capsys):
+        import json
+        out_path = tmp_path / "spans.json"
+        code, _out, err = run_cli(
+            ["--pcap", trace, "--query", self.QUERY,
+             "--trace-sample", "1.0", "--trace-out", str(out_path)],
+            capsys)
+        assert code == 0
+        assert "sampled traces" in err
+        doc = json.loads(out_path.read_text())
+        assert doc["sample_rate"] == 1.0
+        assert len(doc["traces"]) == 20
+        stages = {event["stage"] for events in doc["traces"].values()
+                  for event in events}
+        assert {"feed", "lfta", "emit"} <= stages
+
+    def test_trace_out_requires_sample(self, trace, capsys):
+        with pytest.raises(SystemExit):
+            main(["--pcap", trace, "--query", self.QUERY,
+                  "--trace-out", "x.json"])
+
+    def test_bad_trace_sample(self, trace, capsys):
+        with pytest.raises(SystemExit):
+            main(["--pcap", trace, "--query", self.QUERY,
+                  "--trace-sample", "2.0"])
+
+
 class TestErrors:
     def test_bad_query_reports_error(self, trace, capsys):
         code, _out, err = run_cli(

@@ -49,6 +49,48 @@ class TestEngineReport:
         assert "channels with queued items:" in text
         assert "base->app" in text
 
+    def test_overload_section_without_controller(self):
+        gs = build_engine()
+        gs.start()
+        gs.feed_packet(tcp_packet(ts=1.0, dport=80))
+        text = engine_report(gs)
+        assert "overload" in text
+        assert "policy: disabled" in text
+        assert "shed_rate=1.000" in text
+
+    def test_overload_section_with_shedding(self):
+        gs = Gigascope(channel_capacity=4, heartbeat_interval=None)
+        gs.add_queries("""
+            DEFINE query_name pkts;
+            Select time, destPort, len From tcp;
+
+            DEFINE query_name counts;
+            Select tb, count(*) From pkts Group by time/10 as tb
+        """)
+        gs.enable_shedding("static:0.5")
+        gs.start()
+        for i in range(50):
+            gs.feed_packet(tcp_packet(ts=float(i)))
+        gs.pump()
+        text = engine_report(gs)
+        assert "policy: static(rate=0.5)" in text or "static" in text
+        assert "pressured cycles:" in text
+        assert "packets shed:" in text
+        # the overflowing channel shows up with its drop count
+        assert "channel pkts->counts: dropped=" in text
+
+    def test_report_and_stats_share_extras(self):
+        """The drift bug: stats() and the report now read one tuple."""
+        gs = build_engine()
+        gs.start()
+        for i in range(25):
+            gs.feed_packet(tcp_packet(ts=float(i), dport=80))
+        gs.pump()
+        stats = gs.stats()
+        text = engine_report(gs)
+        assert stats["counts"]["open_groups"] >= 1
+        assert f"open_groups={stats['counts']['open_groups']}" in text
+
     def test_extras_for_operators(self):
         gs = Gigascope(heartbeat_interval=None)
         gs.add_queries("""
