@@ -1,0 +1,130 @@
+"""E13 (new) -- fault injection: loss vs. accuracy, and containment.
+
+Gigascope's operational setting (taps on live OC48 links, unattended
+collection boxes) means faults are routine: cards go blind, buffers
+squeeze, one bad operator throws.  The paper's answer is accounting --
+"we know what we lost" -- rather than pretending losses don't happen.
+This experiment measures that claim with the seeded fault injectors of
+``repro.faults``:
+
+1. Loss vs. accuracy: a per-second COUNT/SUM rollup under ring-loss
+   bursts of increasing drop probability.  The headline property is not
+   that the estimate stays perfect (it can't -- the card never saw the
+   packets) but that the deficit is *fully explained by the ledger*:
+   ground truth minus the observed count equals the injector's drop
+   count exactly, at every severity.
+
+2. Containment: an injected operator exception quarantines only the
+   failing query; a sibling sharing the same packet stream produces
+   byte-identical results to a fault-free run, and the ledger names the
+   quarantined node.
+
+3. Replayability: a faulty run is as deterministic as a healthy one --
+   same seed, same fault spec, same rows and same ledger.
+"""
+
+import pytest
+
+from repro import Gigascope
+from repro.faults import OperatorFault, RingLossBurst
+from tests.conftest import tcp_packet
+
+N_PACKETS = 8000
+PPS = 1000.0  # 8 simulated seconds of traffic
+ROLLUP = """
+    DEFINE query_name rollup;
+    Select tb, count(*), sum(len) From tcp Group by time/1 as tb
+"""
+CANARY = """
+    DEFINE query_name canary;
+    Select tb, count(*) From tcp Group by time/1 as tb
+"""
+
+
+@pytest.fixture(scope="module")
+def packets():
+    return [tcp_packet(ts=i / PPS, payload=b"x" * 100)
+            for i in range(N_PACKETS)]
+
+
+def run(packets, faults=(), seed=0):
+    gs = Gigascope(seed=seed)
+    gs.add_queries(ROLLUP + ";" + CANARY)
+    rollup = gs.subscribe("rollup")
+    canary = gs.subscribe("canary")
+    gs.start()
+    armed = gs.inject_faults(faults)
+    gs.feed(packets)
+    gs.flush()
+    return {
+        "rollup": rollup.poll(),
+        "canary": canary.poll(),
+        "armed": armed,
+        "report": gs.overload_report(),
+        "stats": gs.stats(),
+    }
+
+
+def observed_count(rows):
+    return sum(row[1] for row in rows)
+
+
+def test_e13_loss_is_fully_accounted(packets):
+    clean = run(packets)
+    true_count = observed_count(clean["rollup"])
+    assert true_count == N_PACKETS
+
+    print(f"\nE13 ring-loss bursts over {N_PACKETS} packets "
+          f"(burst window [2s, 4s))")
+    print(f"{'drop prob':>10}{'dropped':>9}{'count err':>11}"
+          f"{'ledger explains':>17}")
+    previous_dropped = 0
+    for drop_prob in (0.25, 0.5, 1.0):
+        burst = RingLossBurst(at=2.0, duration=2.0, drop_prob=drop_prob,
+                              seed=7)
+        result = run(packets, faults=[burst])
+        count = observed_count(result["rollup"])
+        deficit = true_count - count
+        # The whole point: the error is not mysterious. Every missing
+        # row is in the injector's ledger and the RTS's fault counter.
+        assert deficit == burst.dropped > 0
+        assert result["report"]["fault_dropped"] == burst.dropped
+        err = deficit / true_count
+        print(f"{drop_prob:>10.2f}{burst.dropped:>9}{err:>10.2%}"
+              f"{'yes':>17}")
+        # Severity is monotone: a harder burst loses more.
+        assert burst.dropped > previous_dropped
+        previous_dropped = burst.dropped
+        # The burst window covers 1/4 of the stream; realized loss
+        # tracks drop_prob * 1/4 within binomial noise.
+        assert err == pytest.approx(drop_prob / 4, abs=0.03)
+
+
+def test_e13_quarantine_contains_the_blast(packets):
+    clean = run(packets)
+    faulty = run(packets, faults=[OperatorFault("canary", at_tuple=3)])
+
+    # The failing query is quarantined, counted, and named.
+    assert "quarantined" in faulty["stats"]["canary"]
+    assert list(faulty["report"]["quarantined"]) == ["canary"]
+    assert faulty["armed"][0].triggered == 1
+
+    # The sibling never noticed: byte-identical output to the clean run.
+    assert faulty["rollup"] == clean["rollup"]
+    assert observed_count(faulty["rollup"]) == N_PACKETS
+
+
+def test_e13_faulty_runs_replay(packets):
+    def faulty(seed):
+        return run(packets,
+                   faults=["ring_burst:at=2,duration=2,drop=0.5"],
+                   seed=seed)
+
+    first, second = faulty(seed=42), faulty(seed=42)
+    assert first["rollup"] == second["rollup"]
+    assert first["report"]["fault_dropped"] == \
+        second["report"]["fault_dropped"]
+    # A different seed draws a different coin-flip stream.
+    other = faulty(seed=43)
+    assert other["report"]["fault_dropped"] != \
+        first["report"]["fault_dropped"]

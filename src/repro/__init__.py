@@ -27,6 +27,14 @@ from repro.control import (
 )
 from repro.core.engine import Gigascope
 from repro.core.stream_manager import RuntimeSystem, Subscription
+from repro.determinism import rng_for, stable_hash, verify_replay
+from repro.faults import (
+    ChannelOverflowStorm,
+    ClockSkew,
+    HeartbeatSilence,
+    OperatorFault,
+    RingLossBurst,
+)
 from repro.core.query_node import QueryNode, UserNode
 from repro.gsql.functions import FunctionSpec
 from repro.gsql.schema import Attribute, ProtocolSchema, StreamSchema
@@ -52,5 +60,13 @@ __all__ = [
     "AimdShedding",
     "NoShedding",
     "StaticShedding",
+    "stable_hash",
+    "rng_for",
+    "verify_replay",
+    "RingLossBurst",
+    "ChannelOverflowStorm",
+    "ClockSkew",
+    "HeartbeatSilence",
+    "OperatorFault",
     "__version__",
 ]

@@ -66,6 +66,21 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--stats", action="store_true",
                         help="print per-node statistics (including "
                              "per-channel overflow counters) after the run")
+    parser.add_argument("--seed", type=int, default=0, metavar="N",
+                        help="root seed for every data-path RNG (DEFINE-"
+                             "sample gates, shed gates, fault coin flips); "
+                             "the same queries, packets, and seed replay "
+                             "byte-identically regardless of "
+                             "PYTHONHASHSEED (default 0)")
+    parser.add_argument("--fault", action="append", default=[],
+                        metavar="SPEC",
+                        help="inject a seeded, virtual-time fault "
+                             "(repeatable): ring_burst:at=T,duration=D"
+                             "[,drop=P] | channel_storm:at=T,duration=D"
+                             "[,capacity=N] | clock_skew:iface=I,skew=S | "
+                             "heartbeat_silence:at=T,duration=D | "
+                             "operator_error:node=NAME[,at_tuple=N]; "
+                             "prints each injector's ledger after the run")
     parser.add_argument("--shed", metavar="POLICY",
                         help="enable the overload control plane with this "
                              "shedding policy: none | static:RATE | adaptive; "
@@ -181,7 +196,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.trace_out and args.trace_sample is None:
         parser.error("--trace-out requires --trace-sample")
     engine = Gigascope(mode=args.mode,
-                       channel_capacity=args.channel_capacity)
+                       channel_capacity=args.channel_capacity,
+                       seed=args.seed)
     tracer = None
     if args.trace_sample is not None:
         try:
@@ -205,6 +221,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in names:
             print(engine.explain(name))
         return 0
+
+    if args.fault:
+        # Arm after the queries exist (operator_error names a node) and
+        # before any packet flows.
+        from repro.core.stream_manager import RegistryError
+        try:
+            engine.inject_faults(args.fault)
+        except (ValueError, KeyError, RegistryError) as error:
+            raise SystemExit(f"bad --fault: {error}")
 
     watched = args.subscribe or [n for n in names if not n.startswith("_")]
     subscriptions = {name: engine.subscribe(name) for name in watched}
@@ -240,6 +265,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             for row in rows:
                 writer.writerow([fn(v) for fn, v in zip(fns, row)])
 
+    if args.fault:
+        print("# fault ledger", file=sys.stderr)
+        for entry in engine.fault_report():
+            print(f"#  {entry}", file=sys.stderr)
+        if engine.rts.quarantined:
+            for node_name, reason in sorted(engine.rts.quarantined.items()):
+                print(f"#  quarantined {node_name}: {reason}",
+                      file=sys.stderr)
     if args.stats:
         # The same canonical snapshot the metrics exposition exports
         # (repro.obs.collectors), rendered one node per line.

@@ -62,11 +62,28 @@ def _shed_report(rts: "RuntimeSystem") -> Dict[str, Dict[str, Any]]:
     return out
 
 
+def _containment_report(rts: "RuntimeSystem") -> Dict[str, Any]:
+    """Quarantine and fault-injection accounting, shared by both ledgers.
+
+    Losses the control plane did not *choose* still have to be in the
+    ledger: packets dropped by injected faults, heartbeats an injected
+    silence withheld, and nodes the RTS quarantined after a failure.
+    """
+    out: Dict[str, Any] = {
+        "quarantined": dict(rts.quarantined),
+        "fault_dropped": rts.fault_dropped,
+        "heartbeats_suppressed": rts.heartbeats_suppressed,
+    }
+    if rts.faults:
+        out["faults"] = [fault.report() for fault in rts.faults]
+    return out
+
+
 def overload_snapshot(rts: "RuntimeSystem") -> Dict[str, Any]:
     """Drop accounting without a controller: what was lost, uncorrected."""
     channels = _channel_report(rts)
     lftas = _shed_report(rts)
-    return {
+    snapshot = {
         "policy": "disabled",
         "shed_rate": 1.0,
         "channels": channels,
@@ -75,6 +92,8 @@ def overload_snapshot(rts: "RuntimeSystem") -> Dict[str, Any]:
         "packets_shed": sum(l["packets_shed"] for l in lftas.values()),
         "shed_fraction": 0.0,
     }
+    snapshot.update(_containment_report(rts))
+    return snapshot
 
 
 class OverloadController:
@@ -154,6 +173,7 @@ class OverloadController:
             },
             "peak_fill": self.bus.peak_fill,
         }
+        report.update(_containment_report(self.rts))
         if self.bus.nics:
             report["nic"] = {
                 "received": sum(n.stats.received for n in self.bus.nics),

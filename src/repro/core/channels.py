@@ -33,6 +33,9 @@ class Channel:
             raise ValueError("capacity must be positive or None")
         self.capacity = capacity
         self.name = name
+        #: temporary bound installed by a fault injector (channel-overflow
+        #: storm); the effective capacity is the tighter of the two
+        self.fault_capacity: Optional[int] = None
         self._queue: Deque[Any] = deque()
         self.stats = ChannelStats()
 
@@ -42,9 +45,13 @@ class Channel:
         Control tokens (punctuation, flush) are never dropped: losing
         one would stall downstream operators forever.
         """
+        capacity = self.capacity
+        if self.fault_capacity is not None and (
+                capacity is None or self.fault_capacity < capacity):
+            capacity = self.fault_capacity
         if (
-            self.capacity is not None
-            and len(self._queue) >= self.capacity
+            capacity is not None
+            and len(self._queue) >= capacity
             and type(item) is tuple
         ):
             self.stats.dropped += 1

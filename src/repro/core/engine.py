@@ -65,8 +65,14 @@ class Gigascope:
         schema_registry: Optional[SchemaRegistry] = None,
         functions: Optional[FunctionRegistry] = None,
         metrics: bool = True,
+        seed: int = 0,
     ) -> None:
         self.mode = mode
+        #: root of the seeded RNG registry (repro.determinism): every
+        #: data-path consumer of randomness (DEFINE-sample gates, shed
+        #: gates) derives its own named stream from this, so a run
+        #: replays exactly for a given (queries, packets, seed) triple
+        self.seed = seed
         self.default_interface = default_interface
         self.lfta_table_size = lfta_table_size
         self.merge_buffer_capacity = merge_buffer_capacity
@@ -137,7 +143,7 @@ class Gigascope:
         nodes: List[QueryNode] = []
         for lfta_plan in plan.lftas:
             lfta = LftaNode(lfta_plan, analyzed, compiler,
-                            table_size=self.lfta_table_size)
+                            table_size=self.lfta_table_size, seed=self.seed)
             self.rts.register_node(lfta, packet_interface=lfta_plan.interface)
             self._streams[lfta.name] = lfta_plan.output_schema
             nodes.append(lfta)
@@ -147,7 +153,8 @@ class Gigascope:
             if hfta_plan.kind == "selection":
                 node: QueryNode = SelectionNode(hfta_plan, analyzed, compiler)
             elif hfta_plan.kind == "aggregation":
-                node = AggregationNode(hfta_plan, analyzed, compiler)
+                node = AggregationNode(hfta_plan, analyzed, compiler,
+                                       seed=self.seed)
             elif hfta_plan.kind == "join":
                 node = JoinNode(hfta_plan, analyzed, compiler)
             elif hfta_plan.kind == "merge":
@@ -256,6 +263,33 @@ class Gigascope:
             return self.rts.controller.report()
         from repro.control.controller import overload_snapshot
         return overload_snapshot(self.rts)
+
+    # -- fault injection (repro.faults) --------------------------------------
+    def inject_faults(self, faults: Iterable[Any],
+                      nics: Iterable = ()) -> List[Any]:
+        """Arm fault injectors on the running system.
+
+        ``faults`` mixes :class:`~repro.faults.injectors.FaultInjector`
+        instances and spec strings (``"ring_burst:at=0.5,duration=0.2"``;
+        see :func:`repro.faults.parse_fault_spec`).  ``nics`` are the
+        simulated cards a ring-loss burst should blind; every injector
+        keeps a ledger, collected by :meth:`fault_report`.  Arm operator
+        faults after the target query has been added.
+        """
+        from repro.faults import parse_fault_spec
+        armed = []
+        nics = list(nics)
+        for fault in faults:
+            if isinstance(fault, str):
+                fault = parse_fault_spec(fault, seed=self.seed)
+            fault.arm(self.rts, nics=nics)
+            armed.append(fault)
+        return armed
+
+    def fault_report(self) -> List[Dict[str, Any]]:
+        """Every armed injector's ledger (drops, triggers, windows)."""
+        from repro.faults.injectors import fault_reports
+        return fault_reports(self.rts.faults)
 
     # -- observability (repro.obs) ------------------------------------------------
     @property

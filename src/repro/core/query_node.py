@@ -43,6 +43,8 @@ class QueryNode:
         self.stats = NodeStats()
         self.manager = None  # set by the stream manager at registration
         self.flushed = False
+        #: error string once the RTS has contained a failure here, else None
+        self.quarantined: Optional[str] = None
 
     # -- output side ----------------------------------------------------
     def subscribe(self, capacity: Optional[int] = None, name: str = "") -> Channel:

@@ -89,6 +89,15 @@ class RuntimeSystem:
         self.packets_fed = 0
         self.bytes_fed = 0
         self.heartbeats_sent = 0
+        #: heartbeats suppressed by an injected HeartbeatSilence fault
+        self.heartbeats_suppressed = 0
+        #: packets an injected fault dropped before dispatch
+        self.fault_dropped = 0
+        #: armed fault injectors (see repro.faults)
+        self.faults: List = []
+        #: node name -> error string, for every node quarantined so far
+        self.quarantined: Dict[str, str] = {}
+        self.nodes_quarantined = 0
         #: the overload control plane, if enabled (see repro.control)
         self.controller = None
         #: the sampled-lineage tracer, if enabled (see repro.obs.tracing)
@@ -211,6 +220,39 @@ class RuntimeSystem:
         channel = producer.subscribe(capacity=capacity, name=f"{name}->app")
         return Subscription(name, channel, manager=self)
 
+    # -- fault injection & containment (repro.faults) -----------------------
+    def install_fault(self, fault) -> None:
+        """Arm a fault injector's runtime hooks (see :mod:`repro.faults`)."""
+        self.faults.append(fault)
+
+    def _quarantine(self, node: QueryNode, error: Exception) -> None:
+        """Contain a failing node instead of unwinding the whole cycle.
+
+        The node is counted, detached from the packet path and the HFTA
+        schedule, and its downstream receives FLUSH so dependents and
+        application subscriptions terminate cleanly -- every sibling
+        keeps running and keeps being accounted.  The node stays in the
+        registry so its statistics (and the quarantine reason) remain
+        visible.
+        """
+        node.quarantined = f"{type(error).__name__}: {error}"
+        self.quarantined[node.name] = node.quarantined
+        self.nodes_quarantined += 1
+        if node in self._hfta_order:
+            self._hfta_order.remove(node)
+        if node in self._all_consumers:
+            for consumers in self._packet_consumers.values():
+                if node in consumers:
+                    consumers.remove(node)
+            self._all_consumers.remove(node)
+        # Producers stop filling the dead node's input channels.
+        for producer, channel in node.input_links:
+            if channel in producer.subscribers:
+                producer.subscribers.remove(channel)
+        # The failed query will never produce again: end its streams.
+        for channel in node.subscribers:
+            channel.push(FLUSH)
+
     # -- lifecycle ---------------------------------------------------------------
     def start(self) -> None:
         self._started = True
@@ -228,6 +270,13 @@ class RuntimeSystem:
         """Hand one captured packet to every consumer on its interface."""
         if not self._started:
             raise RegistryError("RTS not started; call start() first")
+        for fault in self.faults:
+            packet = fault.on_packet(packet, self)
+            if packet is None:
+                # Dropped by an injected fault before it reached the
+                # host path; the injector's ledger has the count too.
+                self.fault_dropped += 1
+                return
         self.packets_fed += 1
         self.bytes_fed += packet.caplen
         if packet.timestamp > self._stream_time:
@@ -251,13 +300,18 @@ class RuntimeSystem:
             from repro.gsql.schema import PacketView
             view = PacketView(packet)
         for node in consumers:
+            if node.quarantined is not None:
+                continue
             if trace is not None:
                 tracer.event(trace, "lfta", node.name, packet.timestamp)
                 tracer.current = trace
-            if view is not None and getattr(node, "accepts_view", False):
-                node.accept_packet(packet, view)
-            else:
-                node.accept_packet(packet)
+            try:
+                if view is not None and getattr(node, "accepts_view", False):
+                    node.accept_packet(packet, view)
+                else:
+                    node.accept_packet(packet)
+            except Exception as error:
+                self._quarantine(node, error)
         if trace is not None:
             tracer.current = None
         if (
@@ -285,12 +339,22 @@ class RuntimeSystem:
 
     # -- heartbeats --------------------------------------------------------------------
     def _send_heartbeats(self, stream_time: float) -> None:
+        for fault in self.faults:
+            if fault.silences_heartbeat(stream_time):
+                # The token is withheld but _last_heartbeat is not
+                # advanced, so the first beat after the silence window
+                # catches blocked operators up immediately.
+                self.heartbeats_suppressed += 1
+                return
         self._last_heartbeat = stream_time
         self.heartbeats_sent += 1
-        for node in self._all_consumers:
+        for node in list(self._all_consumers):
             on_heartbeat = getattr(node, "on_heartbeat", None)
             if on_heartbeat is not None:
-                on_heartbeat(stream_time)
+                try:
+                    on_heartbeat(stream_time)
+                except Exception as error:
+                    self._quarantine(node, error)
 
     def heartbeat_requested(self, node: QueryNode) -> None:
         """An operator suspects it is blocked: serve a token at next pump."""
@@ -300,8 +364,12 @@ class RuntimeSystem:
     # -- scheduling -----------------------------------------------------------------------
     def pump(self) -> int:
         """Drain HFTA input channels until quiescent; returns items processed."""
-        # The overload control plane samples pressure *before* draining,
-        # when channel depths reflect the backlog this cycle built up.
+        # Windowed fault injectors activate/deactivate on the virtual
+        # clock, then the overload control plane samples pressure
+        # *before* draining, when channel depths reflect the backlog
+        # this cycle built up.
+        for fault in self.faults:
+            fault.on_cycle(self._stream_time, self)
         if self.controller is not None:
             self.controller.on_cycle(self._stream_time)
         tracer = self.tracer
@@ -312,7 +380,10 @@ class RuntimeSystem:
                 if not math.isinf(self._stream_time):
                     self._send_heartbeats(self._stream_time)
             progress = False
-            for node in self._hfta_order:
+            # _quarantine edits _hfta_order, so iterate a snapshot.
+            for node in list(self._hfta_order):
+                if node.quarantined is not None:
+                    continue
                 for input_index, channel in enumerate(node.inputs):
                     while channel:
                         item = channel.pop()
@@ -326,9 +397,18 @@ class RuntimeSystem:
                                     "hfta" if node.subscribers else "sink",
                                     node.name, self._stream_time)
                             tracer.current = trace
-                        node.dispatch(item, input_index)
+                        try:
+                            node.dispatch(item, input_index)
+                        except Exception as error:
+                            # A failing node is quarantined -- counted,
+                            # detached, downstream flushed -- instead of
+                            # unwinding pump() and starving its siblings.
+                            self._quarantine(node, error)
+                            break
                         processed += 1
                         progress = True
+                    if node.quarantined is not None:
+                        break
             if not progress and not self._heartbeat_wanted:
                 break
         if tracer is not None:
@@ -340,12 +420,21 @@ class RuntimeSystem:
 
     # -- end of stream -------------------------------------------------------------------------
     def flush_all(self) -> None:
-        """End every stream: flush packet consumers, propagate FLUSH, pump."""
-        for node in self._all_consumers:
-            if not node.flushed:
+        """End every stream: flush packet consumers, propagate FLUSH, pump.
+
+        A node that fails *while flushing* is quarantined like any
+        other failure (its downstream still receives FLUSH), so one bad
+        operator cannot abort teardown for the rest.
+        """
+        for node in list(self._all_consumers):
+            if not node.flushed and node.quarantined is None:
                 node.flushed = True
-                node.flush()
-                node.emit_flush()
+                try:
+                    node.flush()
+                except Exception as error:
+                    self._quarantine(node, error)
+                else:
+                    node.emit_flush()
         self.pump()
 
     # -- introspection ----------------------------------------------------------------------------

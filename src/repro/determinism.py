@@ -1,0 +1,325 @@
+"""Deterministic replay: stable hashing, seeded RNGs, and the verifier.
+
+The paper's argument is *accountable* loss -- tuples are dropped only
+where the system says they are (NIC ring, prefilter, shedding), and the
+numbers stay interpretable under overload.  That argument is only
+checkable if the system can replay itself: the same scenario and seed
+must produce the same samples, the same shed packets, the same
+direct-mapped-table ejections, and therefore the same sink rows and
+drop ledger -- in *any* process, regardless of ``PYTHONHASHSEED``.
+
+Three tools enforce that contract:
+
+* :func:`stable_hash` -- a crc32 over a canonical encoding of (nested)
+  primitive values.  Python's builtin ``hash()`` of str/bytes is
+  randomized per process; every data-path placement decision (the
+  LFTA's direct-mapped table slots) routes through this instead.
+* :func:`rng_for` / :func:`derive_seed` -- the seeded RNG registry.
+  Every data-path consumer of randomness (``DEFINE sample`` gates, the
+  overload-control shed gate, workload generators) derives its own
+  named, independent ``random.Random`` stream from one engine seed, so
+  adding a consumer never perturbs the draws of another.
+* :func:`verify_replay` -- runs a scenario twice in subprocesses with
+  *different* ``PYTHONHASHSEED`` values and diffs the sink rows, the
+  drop ledger, the node statistics, and the metrics snapshot.  Any
+  surviving use of process-randomized ``hash()`` on the data path shows
+  up as a diff.
+
+Command line (via the :mod:`repro.replay` shim)::
+
+    python -m repro.replay run    --scenario mixed --seed 7
+    python -m repro.replay verify --scenario mixed --seed 7
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import subprocess
+import sys
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+_NAMESPACE = zlib.crc32(b"repro.determinism")
+
+#: value types :func:`stable_hash` accepts; their ``repr`` is defined by
+#: the language, not by the process (no addresses, no hash ordering)
+_STABLE_TYPES = (type(None), bool, int, float, str, bytes)
+
+
+def _canonical(obj: Any) -> bytes:
+    """A process-stable byte encoding of a nested primitive value."""
+    if isinstance(obj, _STABLE_TYPES):
+        return repr(obj).encode("utf-8", "backslashreplace")
+    if isinstance(obj, (tuple, list)):
+        return b"(" + b",".join(_canonical(item) for item in obj) + b")"
+    raise TypeError(
+        f"stable_hash only covers primitives and tuples of them, "
+        f"got {type(obj).__name__}"
+    )
+
+
+def stable_hash(obj: Any) -> int:
+    """Process-stable 32-bit hash of a group key (or any primitive nest).
+
+    Unlike builtin ``hash()``, the result does not depend on
+    ``PYTHONHASHSEED``, so hash-table placement -- and therefore
+    collision/ejection behavior -- replays identically across runs.
+    """
+    return zlib.crc32(_canonical(obj))
+
+
+def derive_seed(seed: int, *names: Any) -> int:
+    """Derive an independent 32-bit stream seed from ``seed`` and names.
+
+    Chained crc32 over the engine seed and the consumer's name path,
+    e.g. ``derive_seed(7, "lfta.sample", "_fta_q_eth0")``.  Stable
+    across processes and insensitive to registration order.
+    """
+    acc = _NAMESPACE ^ (seed & 0xFFFFFFFF)
+    for name in names:
+        acc = zlib.crc32(str(name).encode("utf-8"), acc)
+    return acc
+
+
+def rng_for(seed: int, *names: Any) -> random.Random:
+    """A named, independent RNG stream from the seeded registry."""
+    return random.Random(derive_seed(seed, *names))
+
+
+# ---------------------------------------------------------------------------
+# Replay scenarios
+# ---------------------------------------------------------------------------
+
+#: name -> callable(seed) returning a JSON-serializable snapshot dict
+SCENARIOS: Dict[str, Callable[[int], Dict[str, Any]]] = {}
+
+
+def scenario(name: str):
+    """Register a replay scenario under ``name``."""
+    def register(fn):
+        SCENARIOS[name] = fn
+        return fn
+    return register
+
+
+def snapshot_engine(gs, subscriptions: Dict[str, Any]) -> Dict[str, Any]:
+    """Everything replay must reproduce byte-for-byte, as one dict.
+
+    ``rows`` uses ``repr`` so float formatting and bytes content are
+    compared exactly; ``drops`` is the end-to-end overload ledger;
+    ``stats`` carries per-node counters including hash-table collision
+    (= group ejection) counts; ``metrics`` is the full registry
+    exposition.
+    """
+    snapshot: Dict[str, Any] = {
+        "rows": {name: [repr(row) for row in sub.poll()]
+                 for name, sub in sorted(subscriptions.items())},
+        "drops": gs.overload_report(),
+        "stats": gs.stats(),
+    }
+    if gs.metrics is not None:
+        snapshot["metrics"] = json.loads(gs.metrics.to_json())
+    return snapshot
+
+
+@scenario("mixed")
+def _mixed_scenario(seed: int) -> Dict[str, Any]:
+    """Sampling + shedding + LFTA aggregation, all drawing randomness.
+
+    A deliberately hostile replay target: a ``DEFINE sample`` query
+    (sample RNG), a static shed gate (shed RNG), an LFTA partial
+    aggregation over an undersized direct-mapped table (slot placement
+    and ejections), bounded channels (overflow drops), over a Zipf flow
+    workload (generator RNG).
+    """
+    from repro.core.engine import Gigascope
+    from repro.workloads.flows import ZipfFlowWorkload
+
+    gs = Gigascope(seed=seed, lfta_table_size=64, channel_capacity=256,
+                   heartbeat_interval=0.5)
+    gs.add_query("""
+        DEFINE query_name flows;
+        Select tb, srcIP, srcPort, count(*), sum(len)
+        From tcp
+        Group by time/5 as tb, srcIP, srcPort
+    """)
+    gs.add_query("""
+        DEFINE { query_name sampled; sample 0.25; }
+        Select srcIP, destIP, destPort, time
+        From tcp
+        Where protocol = 6
+    """)
+    gs.enable_shedding("static:0.6")
+    subs = {name: gs.subscribe(name) for name in ("flows", "sampled")}
+    gs.start()
+    workload = ZipfFlowWorkload(num_flows=400, alpha=1.1,
+                                seed=derive_seed(seed, "workload.zipf"))
+    gs.feed(workload.packets(4000, pps=2000.0), pump_every=128)
+    gs.flush()
+    return snapshot_engine(gs, subs)
+
+
+@scenario("e4")
+def _e4_scenario(seed: int) -> Dict[str, Any]:
+    """E4-style aggregation sweep step: small table, skewed flows.
+
+    Group ejections from the direct-mapped table dominate the output,
+    so any instability in slot placement is immediately visible.
+    """
+    from repro.core.engine import Gigascope
+    from repro.workloads.flows import ZipfFlowWorkload
+
+    gs = Gigascope(seed=seed, lfta_table_size=128)
+    gs.add_query("""
+        DEFINE query_name flows;
+        Select tb, srcIP, srcPort, count(*), sum(len)
+        From tcp
+        Group by time/30 as tb, srcIP, srcPort
+    """)
+    subs = {"flows": gs.subscribe("flows")}
+    gs.start()
+    workload = ZipfFlowWorkload(num_flows=2000, alpha=0.8,
+                                seed=derive_seed(seed, "workload.zipf"))
+    gs.feed(workload.packets(6000, pps=2000.0))
+    gs.flush()
+    return snapshot_engine(gs, subs)
+
+
+def resolve_scenario(name: str) -> Callable[[int], Dict[str, Any]]:
+    """A registered scenario, or a ``module:callable`` dotted path."""
+    if name in SCENARIOS:
+        return SCENARIOS[name]
+    if ":" in name:
+        module_name, _, attr = name.partition(":")
+        import importlib
+        module = importlib.import_module(module_name)
+        return getattr(module, attr)
+    raise KeyError(
+        f"unknown scenario {name!r}; registered: {sorted(SCENARIOS)} "
+        f"(or use a 'module:callable' path)"
+    )
+
+
+def run_scenario(name: str, seed: int = 0) -> Dict[str, Any]:
+    """Run a scenario in this process and return its snapshot."""
+    return resolve_scenario(name)(seed)
+
+
+# ---------------------------------------------------------------------------
+# The replay verifier
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ReplayReport:
+    """The verdict of one :func:`verify_replay` run."""
+
+    scenario: str
+    seed: int
+    hash_seeds: Tuple[str, str]
+    ok: bool
+    diffs: List[str] = field(default_factory=list)
+    snapshots: Optional[Tuple[Dict[str, Any], Dict[str, Any]]] = None
+
+    def describe(self) -> str:
+        if self.ok:
+            return (f"replay OK: scenario {self.scenario!r} seed "
+                    f"{self.seed} identical under PYTHONHASHSEED "
+                    f"{self.hash_seeds[0]} and {self.hash_seeds[1]}")
+        lines = [f"replay FAILED: scenario {self.scenario!r} seed "
+                 f"{self.seed} diverges between PYTHONHASHSEED "
+                 f"{self.hash_seeds[0]} and {self.hash_seeds[1]}:"]
+        lines.extend(f"  - {diff}" for diff in self.diffs)
+        return "\n".join(lines)
+
+
+def _subprocess_snapshot(name: str, seed: int, hash_seed: str) -> Dict[str, Any]:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    src_root = str(Path(__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.replay", "run",
+         "--scenario", name, "--seed", str(seed)],
+        env=env, capture_output=True, text=True,
+    )
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"scenario {name!r} failed under PYTHONHASHSEED={hash_seed}:\n"
+            + result.stderr
+        )
+    return json.loads(result.stdout)
+
+
+def _diff_paths(a: Any, b: Any, path: str, out: List[str],
+                limit: int = 20) -> None:
+    """Record the paths where two JSON-shaped values differ."""
+    if len(out) >= limit:
+        return
+    if type(a) is not type(b):
+        out.append(f"{path}: type {type(a).__name__} != {type(b).__name__}")
+    elif isinstance(a, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a or key not in b:
+                out.append(f"{path}.{key}: present in only one run")
+            else:
+                _diff_paths(a[key], b[key], f"{path}.{key}", out, limit)
+    elif isinstance(a, list):
+        if len(a) != len(b):
+            out.append(f"{path}: length {len(a)} != {len(b)}")
+        for index, (x, y) in enumerate(zip(a, b)):
+            _diff_paths(x, y, f"{path}[{index}]", out, limit)
+    elif a != b:
+        out.append(f"{path}: {a!r} != {b!r}")
+
+
+def verify_replay(scenario_name: str, seed: int = 0,
+                  hash_seeds: Tuple[str, str] = ("1", "2")) -> ReplayReport:
+    """Run ``scenario_name`` twice under different ``PYTHONHASHSEED``
+    values (in subprocesses) and diff everything replay must preserve:
+    sink rows, drop ledger, node statistics, metrics snapshot.
+    """
+    first = _subprocess_snapshot(scenario_name, seed, hash_seeds[0])
+    second = _subprocess_snapshot(scenario_name, seed, hash_seeds[1])
+    diffs: List[str] = []
+    _diff_paths(first, second, "$", diffs)
+    return ReplayReport(
+        scenario=scenario_name, seed=seed, hash_seeds=hash_seeds,
+        ok=not diffs, diffs=diffs, snapshots=(first, second),
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.replay",
+        description="Deterministic-replay tools.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    run_cmd = commands.add_parser(
+        "run", help="run a scenario, print its snapshot as JSON")
+    verify_cmd = commands.add_parser(
+        "verify", help="run a scenario under two PYTHONHASHSEEDs and diff")
+    for sub in (run_cmd, verify_cmd):
+        sub.add_argument("--scenario", default="mixed",
+                         help=f"one of {sorted(SCENARIOS)} or module:callable")
+        sub.add_argument("--seed", type=int, default=0)
+    verify_cmd.add_argument("--hash-seeds", nargs=2, default=("1", "2"),
+                            metavar=("A", "B"))
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        snapshot = run_scenario(args.scenario, args.seed)
+        json.dump(snapshot, sys.stdout, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
+    report = verify_replay(args.scenario, args.seed,
+                           hash_seeds=tuple(args.hash_seeds))
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Parse ``--fault`` command-line specs into injectors.
+
+Grammar: ``kind:key=value,key=value,...`` -- the same shape as the
+``--shed`` policy specs.  Values are parsed as int, then float, then
+left as strings.  Examples::
+
+    ring_burst:at=0.5,duration=0.2            # total card blindness
+    ring_burst:at=0.5,duration=0.2,drop=0.5   # seeded coin-flip loss
+    channel_storm:at=1.0,duration=0.5,capacity=4
+    clock_skew:iface=eth1,skew=0.25
+    heartbeat_silence:at=2.0,duration=3.0
+    operator_error:node=flows,at_tuple=100
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.faults.injectors import (
+    ChannelOverflowStorm,
+    ClockSkew,
+    FaultInjector,
+    HeartbeatSilence,
+    OperatorFault,
+    RingLossBurst,
+)
+
+
+def _parse_options(text: str) -> Dict[str, Any]:
+    options: Dict[str, Any] = {}
+    if not text:
+        return options
+    for part in text.split(","):
+        key, sep, value = part.partition("=")
+        if not sep or not key:
+            raise ValueError(f"bad fault option {part!r}; use key=value")
+        for cast in (int, float):
+            try:
+                value = cast(value)
+                break
+            except ValueError:
+                continue
+        options[key.strip()] = value
+    return options
+
+
+def _require(options: Dict[str, Any], kind: str, *keys: str) -> None:
+    missing = [key for key in keys if key not in options]
+    if missing:
+        raise ValueError(f"{kind} fault needs {', '.join(missing)}")
+
+
+def parse_fault_spec(spec: str, seed: int = 0) -> FaultInjector:
+    """Build an injector from a ``kind:key=value,...`` spec string."""
+    kind, _, rest = spec.partition(":")
+    kind = kind.strip()
+    options = _parse_options(rest)
+    if kind == "ring_burst":
+        _require(options, kind, "at", "duration")
+        return RingLossBurst(
+            at=options["at"], duration=options["duration"],
+            drop_prob=options.get("drop", 1.0), seed=seed,
+        )
+    if kind == "channel_storm":
+        _require(options, kind, "at", "duration")
+        return ChannelOverflowStorm(
+            at=options["at"], duration=options["duration"],
+            capacity=options.get("capacity", 4),
+        )
+    if kind == "clock_skew":
+        _require(options, kind, "iface", "skew")
+        return ClockSkew(
+            interface=str(options["iface"]), skew_s=options["skew"],
+            at=options.get("at", 0.0),
+            duration=options.get("duration", float("inf")),
+        )
+    if kind == "heartbeat_silence":
+        _require(options, kind, "at", "duration")
+        return HeartbeatSilence(at=options["at"],
+                                duration=options["duration"])
+    if kind == "operator_error":
+        _require(options, kind, "node")
+        return OperatorFault(node=str(options["node"]),
+                             at_tuple=options.get("at_tuple", 1))
+    raise ValueError(
+        f"unknown fault kind {kind!r}; known: ring_burst, channel_storm, "
+        f"clock_skew, heartbeat_silence, operator_error"
+    )

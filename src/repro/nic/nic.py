@@ -60,6 +60,9 @@ class Nic:
         #: sampled-lineage tracer (repro.obs.tracing), set by
         #: ``Gigascope.observe_nic``; records the card-side span
         self.tracer = None
+        #: injected card fault (repro.faults.RingLossBurst arms itself
+        #: here); consulted per arrival, drops count as ring losses
+        self.fault = None
 
     def _server_accept(self, now_us: float, service_us: float) -> bool:
         """Single-server queue with ``ring_slots`` waiting positions."""
@@ -84,6 +87,13 @@ class Nic:
             if trace is not None and not self.tracer.begin(
                     trace, packet, "nic", now_us / 1e6, node="nic"):
                 trace = None
+        if self.fault is not None and self.fault.drops_packet(now_us / 1e6):
+            # An injected ring-loss burst: the card is blind, and the
+            # loss is accounted exactly like an organic ring drop.
+            self.stats.ring_dropped += 1
+            if trace is not None:
+                self.tracer.event(trace, "nic_drop", "nic", now_us / 1e6)
+            return
         service = self.lfta_service_us if self.rts is not None else self.service_us
         if not self._server_accept(now_us, service):
             self.stats.ring_dropped += 1
@@ -92,6 +102,10 @@ class Nic:
             return
         if self.bpf is not None and not self.bpf.matches(packet.data):
             self.stats.filtered += 1
+            # Terminal span event: without it, a prefilter rejection is
+            # indistinguishable from a lost packet in trace reconstruction.
+            if trace is not None:
+                self.tracer.event(trace, "nic_filtered", "nic", now_us / 1e6)
             return
         if self.snaplen is not None:
             packet = packet.truncate(self.snaplen)

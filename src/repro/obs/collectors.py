@@ -67,6 +67,10 @@ def node_snapshot(node) -> Dict[str, Any]:
     table = getattr(node, "table", None)
     if table is not None:
         entry["hash_collisions"] = table.collisions
+    if getattr(node, "quarantined", None) is not None:
+        # The RTS contained a failure here; the reason travels with the
+        # node's statistics so the ledger explains the missing output.
+        entry["quarantined"] = node.quarantined
     if node.subscribers:
         entry["channels"] = {
             channel.name: channel_snapshot(channel)
@@ -91,6 +95,15 @@ def install_engine_metrics(registry: MetricsRegistry, rts) -> None:
         "gs_bytes_fed_total", "captured bytes handed to the RTS")
     heartbeats = registry.counter(
         "gs_heartbeats_total", "ordering-update tokens injected")
+    heartbeats_suppressed = registry.counter(
+        "gs_heartbeats_suppressed_total",
+        "heartbeats withheld by an injected silence fault")
+    quarantined = registry.counter(
+        "gs_nodes_quarantined_total",
+        "query nodes quarantined after an unhandled failure")
+    fault_dropped = registry.counter(
+        "gs_fault_dropped_total",
+        "packets dropped pre-dispatch by injected faults")
     stream_time = registry.gauge(
         "gs_stream_time_seconds", "latest observed stream time")
     node_counters = {
@@ -119,6 +132,9 @@ def install_engine_metrics(registry: MetricsRegistry, rts) -> None:
         packets.set(rts.packets_fed)
         nbytes.set(rts.bytes_fed)
         heartbeats.set(rts.heartbeats_sent)
+        heartbeats_suppressed.set(rts.heartbeats_suppressed)
+        quarantined.set(rts.nodes_quarantined)
+        fault_dropped.set(rts.fault_dropped)
         if rts.stream_time > float("-inf"):
             stream_time.set(rts.stream_time)
         # Nodes and channels come and go; rebuild the label sets so a

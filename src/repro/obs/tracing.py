@@ -36,8 +36,12 @@ from typing import Any, Dict, List, Optional
 #: realistic snap length so NIC-side truncation cannot change the key
 TRACE_PROBE_BYTES = 32
 
-#: span stages, in causal order along the packet path
-STAGES = ("nic", "nic_drop", "feed", "lfta", "emit", "hfta", "sink", "app")
+#: span stages, in causal order along the packet path; ``nic_drop``
+#: (ring loss) and ``nic_filtered`` (BPF prefilter rejection) are both
+#: terminal on the card -- distinct so trace reconstruction can tell
+#: an accounted rejection from an accounted loss
+STAGES = ("nic", "nic_drop", "nic_filtered", "feed", "lfta", "emit",
+          "hfta", "sink", "app")
 
 
 def trace_key(packet) -> int:

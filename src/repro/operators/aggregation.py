@@ -29,15 +29,17 @@ class AggregationNode(QueryNode):
     """Group-by/aggregation over one input stream."""
 
     def __init__(self, plan: HftaPlan, analyzed: AnalyzedQuery,
-                 compiler: ExprCompiler) -> None:
+                 compiler: ExprCompiler, seed: int = 0) -> None:
         super().__init__(plan.name, plan.output_schema)
         self.plan = plan
         slot_maps = tuple(plan.slot_maps)
         self.from_partials = plan.final_from_partials
         if plan.sample_rate is not None and not self.from_partials:
-            import random
+            # Seeded registry stream, not hash(name): str hash() is
+            # process-randomized and breaks deterministic replay.
+            from repro.determinism import rng_for
             self._sample_rate = plan.sample_rate
-            self._sample_rng = random.Random(hash(plan.name) & 0xFFFFFFFF)
+            self._sample_rng = rng_for(seed, "hfta.sample", plan.name)
         else:
             self._sample_rate = None
             self._sample_rng = None

@@ -10,11 +10,10 @@ traffic to the HFTAs.
 
 from __future__ import annotations
 
-import random
-import zlib
 from typing import Dict, List, Optional
 
 from repro.core.heartbeat import Punctuation
+from repro.determinism import rng_for
 from repro.core.query_node import QueryNode
 from repro.gsql.ast_nodes import Column
 from repro.gsql.codegen import DiscardTuple, ExprCompiler
@@ -37,6 +36,7 @@ class LftaNode(QueryNode):
         analyzed: AnalyzedQuery,
         compiler: ExprCompiler,
         table_size: int = DEFAULT_TABLE_SIZE,
+        seed: int = 0,
     ) -> None:
         super().__init__(plan.name, plan.output_schema)
         self.plan = plan
@@ -44,9 +44,12 @@ class LftaNode(QueryNode):
         self.protocol = plan.protocol
         self.packets_seen = 0
         self.sampled_out = 0
+        # Every RNG on the packet path comes from the seeded registry
+        # (repro.determinism): str hash() is randomized per process and
+        # would make runs unreplayable.
         if plan.sample_rate is not None:
             self._sample_rate = plan.sample_rate
-            self._sample_rng = random.Random(hash(plan.name) & 0xFFFFFFFF)
+            self._sample_rng = rng_for(seed, "lfta.sample", plan.name)
         else:
             self._sample_rate = None
             self._sample_rng = None
@@ -54,11 +57,10 @@ class LftaNode(QueryNode):
         # controller moves at run time, distinct from the analyst's
         # ``DEFINE sample p``.  Packets shed here are accounted, and
         # additive aggregates are scaled by 1/rate at update time
-        # (Horvitz-Thompson) so COUNT/SUM stay unbiased.  crc32 keeps
-        # the gate deterministic across processes (str hash() is not).
+        # (Horvitz-Thompson) so COUNT/SUM stay unbiased.
         self.shed_rate = 1.0
         self.shed_packets = 0
-        self._shed_rng = random.Random(zlib.crc32(plan.name.encode()))
+        self._shed_rng = rng_for(seed, "lfta.shed", plan.name)
         self._predicate = compiler.predicate_fn(plan.predicates, (None, None))
         needed = self._needed_attr_indices(analyzed)
         self._interpret = self.protocol.sparse_interpreter(needed)

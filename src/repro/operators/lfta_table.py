@@ -15,9 +15,17 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator, List, Optional, Tuple
 
+from repro.determinism import stable_hash
+
 
 class DirectMappedTable:
-    """A fixed-size direct-mapped map from group keys to states."""
+    """A fixed-size direct-mapped map from group keys to states.
+
+    Slots are placed with :func:`repro.determinism.stable_hash`, not
+    builtin ``hash()``: slot choice decides which groups collide and
+    get ejected, so with a process-randomized hash two runs of the same
+    workload emit different partials (and different E4 numbers).
+    """
 
     def __init__(self, size: int = 4096) -> None:
         if size <= 0:
@@ -31,14 +39,15 @@ class DirectMappedTable:
     def find(self, key: Any) -> Optional[Any]:
         """The state for ``key`` if resident, else None."""
         self.lookups += 1
-        entry = self._slots[hash(key) % self.size]
+        entry = self._slots[stable_hash(key) % self.size]
         if entry is not None and entry[0] == key:
             return entry[1]
         return None
 
     def insert(self, key: Any, state: Any) -> Optional[Tuple[Any, Any]]:
         """Install ``key``; returns the ejected ``(key, state)`` if any."""
-        index = hash(key) % self.size
+        self.lookups += 1
+        index = stable_hash(key) % self.size
         ejected = self._slots[index]
         if ejected is not None and ejected[0] == key:
             self._slots[index] = (key, state)
@@ -58,7 +67,7 @@ class DirectMappedTable:
         new key displaced (or None).
         """
         self.lookups += 1
-        index = hash(key) % self.size
+        index = stable_hash(key) % self.size
         entry = self._slots[index]
         if entry is not None and entry[0] == key:
             return entry[1], None

@@ -1,0 +1,16 @@
+"""``python -m repro.replay``: entry point for the replay verifier.
+
+A thin shim around :func:`repro.determinism.main`.  It exists because
+``python -m repro.determinism`` re-executes a module the ``repro``
+package import chain has already loaded (runpy warns about exactly
+that); nothing imports ``repro.replay``, so this entry is clean.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.determinism import main
+
+if __name__ == "__main__":
+    sys.exit(main())

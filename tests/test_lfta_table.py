@@ -73,6 +73,22 @@ class TestBasics:
         table.upsert("b", list)
         assert table.collision_rate == 0.5
 
+    def test_insert_counts_lookups_like_upsert(self):
+        # collision_rate = collisions / lookups must not depend on
+        # which entry point filled the table.
+        table = DirectMappedTable(1)
+        table.insert("a", 1)
+        table.insert("b", 2)
+        assert table.lookups == 2
+        assert table.collision_rate == 0.5
+
+    def test_slot_placement_is_stable_hash(self):
+        from repro.determinism import stable_hash
+        table = DirectMappedTable(8)
+        key = (12, 0x0A000001)
+        table.insert(key, "state")
+        assert table._slots[stable_hash(key) % 8] == (key, "state")
+
 
 class TestConservation:
     @given(st.lists(st.integers(0, 50), min_size=1, max_size=300),

@@ -323,6 +323,23 @@ class TestTracer:
         stages = tracer.stage_chain(trace)
         assert stages[:3] == ["nic", "feed", "lfta"]
 
+    def test_bpf_rejection_ends_the_span(self):
+        # A prefilter rejection must close its trace with a terminal
+        # nic_filtered event, not leave the span dangling at "nic".
+        from repro.gsql.planner import PushedPredicate
+        from repro.nic.bpf import compile_pushed_predicates
+        program = compile_pushed_predicates(
+            [PushedPredicate("destport", "=", 80)])
+        nic = Nic(service_us=1.0, ring_slots=64, bpf=program)
+        nic.tracer = tracer = Tracer(1.0)
+        accepted = tcp_packet(ts=1.0, dport=80)
+        rejected = tcp_packet(ts=2.0, dport=443)
+        nic.receive(accepted, now_us=1e6)
+        nic.receive(rejected, now_us=2e6)
+        assert tracer.stage_chain(trace_key(rejected)) == ["nic",
+                                                          "nic_filtered"]
+        assert tracer.stage_chain(trace_key(accepted)) == ["nic"]
+
     def test_trace_json_dump(self):
         tracer = Tracer(1.0)
         packet = tcp_packet(ts=2.0)
