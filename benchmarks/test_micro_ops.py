@@ -84,6 +84,81 @@ def test_bench_lfta_partial_aggregation(benchmark, packets):
     assert benchmark(run) == len(packets)
 
 
+@pytest.fixture(scope="module")
+def selection_rows(packets):
+    """Interpreted rows + the fused and chained batch kernels for the
+    same selection plan (DESIGN sec 10: fused codegen vs a chain of the
+    scalar predicate and projection callables)."""
+    functions = builtin_functions()
+    analyzed = analyze(
+        parse_query("DEFINE query_name q; Select time, destIP From tcp "
+                    "Where destPort = 80"),
+        builtin_registry(), functions)
+    plan = plan_query(analyzed, functions)
+    lfta_plan = plan.lftas[0]
+    lfta = LftaNode(lfta_plan, analyzed, ExprCompiler(analyzed, functions))
+    rows = [row for packet in packets for row in lfta._interpret(packet)]
+    fused = ExprCompiler(analyzed, functions).batch_select_fn(
+        lfta_plan.predicates, lfta_plan.project_exprs, (None, None))
+    chained = ExprCompiler(analyzed, functions, None, "interpreted"
+                           ).batch_select_fn(
+        lfta_plan.predicates, lfta_plan.project_exprs, (None, None))
+    return rows, fused, chained
+
+
+def test_bench_batch_select_fused(benchmark, selection_rows):
+    """One generated function: interpret -> predicate -> project fused."""
+    rows, fused, _ = selection_rows
+
+    def run():
+        out = []
+        fused(rows, out.append)
+        return len(out)
+
+    assert benchmark(run) == len(rows)  # pool is all port 80
+
+
+def test_bench_batch_select_chained(benchmark, selection_rows):
+    """The same plan as a chain of scalar callables, for comparison."""
+    rows, _, chained = selection_rows
+
+    def run():
+        out = []
+        chained(rows, out.append)
+        return len(out)
+
+    assert benchmark(run) == len(rows)
+
+
+def test_bench_channel_push_scalar(benchmark):
+    from repro.core.channels import Channel
+
+    items = [(i, i * 2) for i in range(10_000)]
+
+    def run():
+        channel = Channel()
+        push = channel.push
+        for item in items:
+            push(item)
+        return len(channel.drain())
+
+    assert benchmark(run) == len(items)
+
+
+def test_bench_channel_push_many(benchmark):
+    """Block transport of the same items (amortized call overhead)."""
+    from repro.core.channels import Channel
+
+    items = [(i, i * 2) for i in range(10_000)]
+
+    def run():
+        channel = Channel()
+        channel.push_many(items)
+        return len(channel.pop_many())
+
+    assert benchmark(run) == len(items)
+
+
 def test_bench_lpm_lookup(benchmark):
     rng = random.Random(7)
     table = PrefixTable()

@@ -89,6 +89,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="bound inter-node channels at N tuples "
                              "(overflow drops data tuples, never "
                              "punctuation; drops are accounted)")
+    parser.add_argument("--batch-size", type=int, metavar="N",
+                        help="packets per block on the vectorized data "
+                             "path (1 disables batching; default from "
+                             "GS_BATCH/GS_BATCH_SIZE, else 256)")
     parser.add_argument("--metrics-out", metavar="PATH",
                         help="write a metrics snapshot (repro.obs registry) "
                              "to PATH after the run")
@@ -195,9 +199,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                      f"got {args.channel_capacity}")
     if args.trace_out and args.trace_sample is None:
         parser.error("--trace-out requires --trace-sample")
+    if args.batch_size is not None and args.batch_size <= 0:
+        parser.error(f"--batch-size must be positive, got {args.batch_size}")
     engine = Gigascope(mode=args.mode,
                        channel_capacity=args.channel_capacity,
-                       seed=args.seed)
+                       seed=args.seed,
+                       batch_size=args.batch_size)
     tracer = None
     if args.trace_sample is not None:
         try:

@@ -5,28 +5,49 @@ memory; here they are objects communicating through :class:`Channel`
 ring buffers.  The properties that matter to the reproduction are
 preserved: bounded capacity, overflow accounting (bursty streams
 overflow merge buffers, Section 3), and subscription fan-out.
+
+The batched data path (DESIGN section 10) moves items in blocks:
+:meth:`Channel.push_many` / :meth:`Channel.pop_many` amortize the
+per-item call overhead while keeping the overflow ledger *per item* --
+a batch that straddles the capacity bound drops exactly the same
+tuples, and counts them exactly the same way, as a sequence of
+single pushes would.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Any, Deque, Iterator, List, Optional
+from typing import Any, Deque, Iterable, Iterator, List, Optional
 
 
-@dataclass
 class ChannelStats:
-    pushed: int = 0
-    popped: int = 0
-    dropped: int = 0
-    max_depth: int = 0
-    #: punctuation/flush tokens pushed; these bypass the capacity bound
-    #: (so max_depth may exceed capacity by at most this many items)
-    control_pushed: int = 0
+    __slots__ = ("pushed", "popped", "dropped", "max_depth", "control_pushed")
+
+    def __init__(self) -> None:
+        self.pushed = 0
+        self.popped = 0
+        self.dropped = 0
+        self.max_depth = 0
+        #: punctuation/flush tokens pushed; these bypass the capacity bound
+        #: (so max_depth may exceed capacity by at most this many items)
+        self.control_pushed = 0
+
+    def __repr__(self) -> str:  # keep the dataclass-style repr
+        return (f"ChannelStats(pushed={self.pushed}, popped={self.popped}, "
+                f"dropped={self.dropped}, max_depth={self.max_depth}, "
+                f"control_pushed={self.control_pushed})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChannelStats):
+            return NotImplemented
+        return all(getattr(self, name) == getattr(other, name)
+                   for name in self.__slots__)
 
 
 class Channel:
     """A FIFO with optional capacity; overflow drops the newest item."""
+
+    __slots__ = ("capacity", "name", "fault_capacity", "_queue", "stats")
 
     def __init__(self, capacity: Optional[int] = None, name: str = "") -> None:
         if capacity is not None and capacity <= 0:
@@ -39,16 +60,20 @@ class Channel:
         self._queue: Deque[Any] = deque()
         self.stats = ChannelStats()
 
+    def _effective_capacity(self) -> Optional[int]:
+        capacity = self.capacity
+        if self.fault_capacity is not None and (
+                capacity is None or self.fault_capacity < capacity):
+            capacity = self.fault_capacity
+        return capacity
+
     def push(self, item: Any) -> bool:
         """Append ``item``; returns False (and counts a drop) on overflow.
 
         Control tokens (punctuation, flush) are never dropped: losing
         one would stall downstream operators forever.
         """
-        capacity = self.capacity
-        if self.fault_capacity is not None and (
-                capacity is None or self.fault_capacity < capacity):
-            capacity = self.fault_capacity
+        capacity = self._effective_capacity()
         if (
             capacity is not None
             and len(self._queue) >= capacity
@@ -64,11 +89,65 @@ class Channel:
             self.stats.max_depth = len(self._queue)
         return True
 
+    def push_many(self, items: Iterable[Any]) -> int:
+        """Append a block of items; returns how many were accepted.
+
+        Per-item semantics are identical to calling :meth:`push` once
+        per item -- data tuples beyond the capacity bound are dropped
+        and counted individually, control tokens always get through,
+        and ``max_depth`` records the same high-water mark (depth grows
+        monotonically within a block, so checking once at the end sees
+        the same peak a per-push check would).
+        """
+        stats = self.stats
+        queue = self._queue
+        capacity = self._effective_capacity()
+        if capacity is None:
+            if not isinstance(items, (list, tuple)):
+                items = list(items)
+            queue.extend(items)
+            accepted = len(items)
+            stats.pushed += accepted
+            for item in items:
+                if type(item) is not tuple:
+                    stats.control_pushed += 1
+            if len(queue) > stats.max_depth:
+                stats.max_depth = len(queue)
+            return accepted
+        accepted = 0
+        dropped = 0
+        control = 0
+        for item in items:
+            if len(queue) >= capacity and type(item) is tuple:
+                dropped += 1
+                continue
+            queue.append(item)
+            accepted += 1
+            if type(item) is not tuple:
+                control += 1
+        stats.pushed += accepted
+        stats.dropped += dropped
+        stats.control_pushed += control
+        if len(queue) > stats.max_depth:
+            stats.max_depth = len(queue)
+        return accepted
+
     def pop(self) -> Any:
         """Remove and return the oldest item; raises IndexError when empty."""
         item = self._queue.popleft()
         self.stats.popped += 1
         return item
+
+    def pop_many(self, limit: Optional[int] = None) -> List[Any]:
+        """Remove and return up to ``limit`` oldest items (all when None)."""
+        queue = self._queue
+        if limit is None or limit >= len(queue):
+            items = list(queue)
+            queue.clear()
+        else:
+            items = [queue.popleft() for _ in range(limit)]
+        self.stats.popped += len(items)
+        return items
 
     def peek(self) -> Any:
         return self._queue[0]

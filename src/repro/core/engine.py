@@ -25,11 +25,34 @@ reading other queries' streams -- can be added at any time.
 from __future__ import annotations
 
 import itertools
+import os
 from typing import Any, Dict, Iterable, List, Optional
 
 from repro.core.params import QueryInstance
 from repro.core.query_node import QueryNode
-from repro.core.stream_manager import RegistryError, RuntimeSystem, Subscription
+from repro.core.stream_manager import (
+    DEFAULT_BATCH_SIZE,
+    RegistryError,
+    RuntimeSystem,
+    Subscription,
+)
+
+
+def resolve_batch_size(batch_size: Optional[int] = None) -> int:
+    """The effective packet batch size (DESIGN section 10).
+
+    Explicit argument wins; otherwise ``GS_BATCH=0`` disables batching
+    (pure scalar execution, the differential-test switch) and
+    ``GS_BATCH_SIZE`` overrides the default block size.
+    """
+    if batch_size is not None:
+        return batch_size
+    if os.environ.get("GS_BATCH", "1") in ("0", "false", "no"):
+        return 1
+    try:
+        return int(os.environ.get("GS_BATCH_SIZE", DEFAULT_BATCH_SIZE))
+    except ValueError:
+        return DEFAULT_BATCH_SIZE
 from repro.gsql.codegen import ExprCompiler
 from repro.gsql.functions import FunctionRegistry, FunctionSpec, builtin_functions
 from repro.gsql.parser import parse_queries, parse_query
@@ -66,6 +89,7 @@ class Gigascope:
         functions: Optional[FunctionRegistry] = None,
         metrics: bool = True,
         seed: int = 0,
+        batch_size: Optional[int] = None,
     ) -> None:
         self.mode = mode
         #: root of the seeded RNG registry (repro.determinism): every
@@ -83,7 +107,8 @@ class Gigascope:
         self.functions = functions or builtin_functions()
         self.rts = RuntimeSystem(heartbeat_interval=heartbeat_interval,
                                  on_demand_heartbeats=on_demand_heartbeats,
-                                 metrics=metrics)
+                                 metrics=metrics,
+                                 batch_size=resolve_batch_size(batch_size))
         self._streams: Dict[str, StreamSchema] = {}
         self._instances: Dict[str, QueryInstance] = {}
         self._observed_nics: List = []

@@ -13,25 +13,39 @@ subscriber channels.  Stream items are plain tuples; control items are
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, List, Optional, Sequence
 
 from repro.core.channels import Channel
 from repro.core.heartbeat import FLUSH, FlushToken, Punctuation
 from repro.gsql.schema import StreamSchema
 
 
-@dataclass
 class NodeStats:
-    tuples_in: int = 0
-    tuples_out: int = 0
-    punctuations_in: int = 0
-    punctuations_out: int = 0
-    discarded: int = 0  # dropped by predicates / partial functions
+    __slots__ = ("tuples_in", "tuples_out", "punctuations_in",
+                 "punctuations_out", "discarded")
+
+    def __init__(self) -> None:
+        self.tuples_in = 0
+        self.tuples_out = 0
+        self.punctuations_in = 0
+        self.punctuations_out = 0
+        self.discarded = 0  # dropped by predicates / partial functions
+
+    def __repr__(self) -> str:
+        return (f"NodeStats(tuples_in={self.tuples_in}, "
+                f"tuples_out={self.tuples_out}, "
+                f"punctuations_in={self.punctuations_in}, "
+                f"punctuations_out={self.punctuations_out}, "
+                f"discarded={self.discarded})")
 
 
 class QueryNode:
     """Base class for every operator the stream manager runs."""
+
+    #: True for operators whose :meth:`on_tuple_batch` is worth calling
+    #: with a block of tuples (the batched data path, DESIGN section 10).
+    #: Operators that leave it False are fed one item at a time.
+    accepts_batch = False
 
     def __init__(self, name: str, output_schema: StreamSchema) -> None:
         self.name = name
@@ -68,6 +82,19 @@ class QueryNode:
         for channel in self.subscribers:
             channel.push(row)
 
+    def emit_many(self, rows: Sequence[tuple]) -> None:
+        """Emit a block of output tuples (the batched fast path).
+
+        Only called from batch paths, which the RTS disables while a
+        lineage trace is in flight -- so unlike :meth:`emit` there is
+        no tracer tagging here.
+        """
+        if not rows:
+            return
+        self.stats.tuples_out += len(rows)
+        for channel in self.subscribers:
+            channel.push_many(rows)
+
     def emit_punctuation(self, punctuation: Punctuation) -> None:
         if not punctuation:
             return
@@ -98,9 +125,30 @@ class QueryNode:
         else:
             raise TypeError(f"{self.name}: unknown stream item {item!r}")
 
+    def dispatch_batch(self, rows: List[tuple], input_index: int) -> None:
+        """Route a block of *data tuples* to the batch handler.
+
+        The scheduler only calls this on nodes with ``accepts_batch``
+        and only with runs of plain tuples (control items are always
+        dispatched singly, in stream order).
+        """
+        self.stats.tuples_in += len(rows)
+        self.on_tuple_batch(rows, input_index)
+
     # -- handlers to override ------------------------------------------------
     def on_tuple(self, row: tuple, input_index: int) -> None:
         raise NotImplementedError
+
+    def on_tuple_batch(self, rows: List[tuple], input_index: int) -> None:
+        """Process a run of tuples; default loops :meth:`on_tuple`.
+
+        Overrides must preserve scalar semantics exactly: same outputs
+        in the same order, same statistics (the differential harness in
+        tests/test_batch_differential.py holds them to it).
+        """
+        on_tuple = self.on_tuple
+        for row in rows:
+            on_tuple(row, input_index)
 
     def on_punctuation(self, punctuation: Punctuation, input_index: int) -> None:
         """Default: consume silently (operators override to unblock)."""

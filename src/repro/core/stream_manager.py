@@ -26,9 +26,13 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 from repro.core.channels import Channel
 from repro.core.heartbeat import FLUSH, FlushToken, Punctuation
 from repro.core.query_node import QueryNode
+from repro.gsql.schema import PacketView
 from repro.net.packet import CapturedPacket
 from repro.obs.collectors import engine_snapshot, install_engine_metrics
 from repro.obs.registry import MetricsRegistry
+
+#: default number of packets per batch on the vectorized path
+DEFAULT_BATCH_SIZE = 256
 
 
 class RegistryError(RuntimeError):
@@ -75,9 +79,17 @@ class RuntimeSystem:
     def __init__(self, heartbeat_interval: Optional[float] = 1.0,
                  on_demand_heartbeats: bool = True,
                  metrics: bool = True,
-                 cost_model=None) -> None:
+                 cost_model=None,
+                 batch_size: int = DEFAULT_BATCH_SIZE) -> None:
         self.heartbeat_interval = heartbeat_interval
         self.on_demand_heartbeats = on_demand_heartbeats
+        #: packets per block on the vectorized path (DESIGN section 10);
+        #: <= 1 disables batching entirely (pure scalar execution)
+        self.batch_size = batch_size
+        self.batches_fed = 0
+        #: per-interface dispatch plans, rebuilt lazily after any change
+        #: to the consumer set (registration, removal, quarantine)
+        self._batch_plans: Dict[str, tuple] = {}
         self._nodes: Dict[str, QueryNode] = {}
         self._packet_consumers: Dict[str, List[QueryNode]] = {}
         self._all_consumers: List[QueryNode] = []
@@ -157,6 +169,7 @@ class RuntimeSystem:
             )
         self._nodes[node.name] = node
         node.manager = self
+        self._batch_plans.clear()
         if packet_interface is not None:
             self._packet_consumers.setdefault(packet_interface, []).append(node)
             self._all_consumers.append(node)
@@ -185,6 +198,7 @@ class RuntimeSystem:
         ``Subscription.ended`` becomes True instead of dangling forever).
         """
         node = self.node(name)
+        self._batch_plans.clear()
         if node in self._all_consumers:
             if self._started:
                 raise RegistryError(
@@ -238,6 +252,7 @@ class RuntimeSystem:
         node.quarantined = f"{type(error).__name__}: {error}"
         self.quarantined[node.name] = node.quarantined
         self.nodes_quarantined += 1
+        self._batch_plans.clear()
         if node in self._hfta_order:
             self._hfta_order.remove(node)
         if node in self._all_consumers:
@@ -266,6 +281,45 @@ class RuntimeSystem:
     def stream_time(self) -> float:
         return self._stream_time
 
+    def _plan_for(self, interface: str) -> tuple:
+        """The cached dispatch plan for one interface.
+
+        ``(scalar_entries, batch_entries, share_views)`` where
+
+        * ``scalar_entries`` -- ``(node, wants_view)`` pairs in scalar
+          dispatch order: interface consumers, then ``"any"`` consumers
+          (for ``interface == "any"`` just the any-consumers);
+        * ``batch_entries`` -- ``(node, accept_batch_or_None, wants_view)``
+          for the interface's *own* consumers only (batched dispatch
+          hands any-consumers the whole batch separately);
+        * ``share_views`` -- build one shared :class:`PacketView` per
+          packet (more than one consumer and at least one wants it).
+
+        Only node identities and static flags are cached; per-packet
+        handlers (``accept_packet``) are looked up at call time so a
+        fault injector's instance-level wrap is never bypassed.
+        """
+        plan = self._batch_plans.get(interface)
+        if plan is None:
+            own = [node for node in self._packet_consumers.get(interface, ())
+                   if node.quarantined is None]
+            anys: List[QueryNode] = []
+            if interface != "any":
+                anys = [node for node in self._packet_consumers.get("any", ())
+                        if node.quarantined is None]
+            combined = own + anys
+            scalar_entries = tuple(
+                (node, getattr(node, "accepts_view", False))
+                for node in combined)
+            batch_entries = tuple(
+                (node, getattr(node, "accept_batch", None),
+                 getattr(node, "accepts_view", False))
+                for node in own)
+            share = len(combined) > 1 and any(w for _, w in scalar_entries)
+            plan = (scalar_entries, batch_entries, share)
+            self._batch_plans[interface] = plan
+        return plan
+
     def feed_packet(self, packet: CapturedPacket) -> None:
         """Hand one captured packet to every consumer on its interface."""
         if not self._started:
@@ -288,25 +342,23 @@ class RuntimeSystem:
             if trace is not None and not tracer.begin(
                     trace, packet, "feed", packet.timestamp):
                 trace = None
-        consumers = list(self._packet_consumers.get(packet.interface, ()))
         # Consumers bound to the "any" pseudo-interface see every packet
-        # regardless of where it arrived (FROM any.tcp).
-        if packet.interface != "any":
-            consumers.extend(self._packet_consumers.get("any", ()))
+        # regardless of where it arrived (FROM any.tcp); the cached plan
+        # already appends them.
+        scalar_entries, _, share = self._plan_for(packet.interface)
         view = None
-        if len(consumers) > 1:
+        if share:
             # Several LFTAs share one header parse per packet -- the
             # zero-extra-transfer property of linking them into the RTS.
-            from repro.gsql.schema import PacketView
             view = PacketView(packet)
-        for node in consumers:
+        for node, wants_view in scalar_entries:
             if node.quarantined is not None:
                 continue
             if trace is not None:
                 tracer.event(trace, "lfta", node.name, packet.timestamp)
                 tracer.current = trace
             try:
-                if view is not None and getattr(node, "accepts_view", False):
+                if view is not None and wants_view:
                     node.accept_packet(packet, view)
                 else:
                     node.accept_packet(packet)
@@ -320,14 +372,135 @@ class RuntimeSystem:
         ):
             self._send_heartbeats(self._stream_time)
 
-    def feed(self, packets: Iterable[CapturedPacket], pump_every: int = 256) -> None:
-        """Feed a packet iterable, pumping HFTAs periodically."""
-        count = 0
+    def _feed_batch(self, packets: List[CapturedPacket]) -> None:
+        """Dispatch one block of packets (the vectorized capture path).
+
+        The caller (:meth:`feed`) guarantees no fault injector is armed
+        and no buffered packet is lineage-sampled, and cuts blocks at
+        heartbeat crossings -- so per-node packet order, RNG draw order,
+        and counter arithmetic are exactly the scalar path's.
+        """
+        stream_time = self._stream_time
+        total_bytes = 0
         for packet in packets:
-            self.feed_packet(packet)
+            total_bytes += packet.caplen
+            if packet.timestamp > stream_time:
+                stream_time = packet.timestamp
+        self.packets_fed += len(packets)
+        self.bytes_fed += total_bytes
+        self._stream_time = stream_time
+        self.batches_fed += 1
+        # Split into per-interface runs, preserving arrival order within
+        # each; an "any" consumer sees every packet, so it gets the whole
+        # block (its global arrival order) in one call.
+        runs: Dict[str, List[CapturedPacket]] = {}
+        run_views: Dict[str, Optional[List[Optional[PacketView]]]] = {}
+        share_flags: Dict[str, bool] = {}
+        any_entries = self._plan_for("any")[1]
+        full_views: Optional[List[Optional[PacketView]]] = (
+            [] if any(wants for _, _, wants in any_entries) else None)
+        for packet in packets:
+            interface = packet.interface
+            share = share_flags.get(interface)
+            if share is None:
+                share_flags[interface] = share = self._plan_for(interface)[2]
+                runs[interface] = []
+                run_views[interface] = [] if share else None
+            view = PacketView(packet) if share else None
+            runs[interface].append(packet)
+            aligned = run_views[interface]
+            if aligned is not None:
+                aligned.append(view)
+            if full_views is not None:
+                full_views.append(view)
+        for interface, run in runs.items():
+            if interface == "any":
+                # Covered by the full-block any-consumer dispatch below.
+                continue
+            entries = self._plan_for(interface)[1]
+            views = run_views[interface]
+            self._dispatch_run(entries, run, views)
+        if any_entries:
+            self._dispatch_run(any_entries, packets, full_views)
+
+    def _dispatch_run(self, entries, packets, views) -> None:
+        """One ordered packet run to one interface's consumers."""
+        for node, accept_batch, wants_view in entries:
+            if node.quarantined is not None:
+                continue
+            try:
+                if accept_batch is not None:
+                    accept_batch(packets, views if wants_view else None)
+                elif wants_view and views is not None:
+                    accept = node.accept_packet
+                    for packet, view in zip(packets, views):
+                        accept(packet, view)
+                else:
+                    accept = node.accept_packet
+                    for packet in packets:
+                        accept(packet)
+            except Exception as error:
+                self._quarantine(node, error)
+
+    def feed(self, packets: Iterable[CapturedPacket], pump_every: int = 256) -> None:
+        """Feed a packet iterable, pumping HFTAs periodically.
+
+        With ``batch_size > 1`` packets move in blocks through
+        :meth:`_feed_batch`; blocks are cut at heartbeat crossings and
+        pump boundaries so heartbeats, pump cycles (and therefore
+        controller/fault windows) fire after exactly the same packet as
+        scalar execution.  Armed faults force the scalar path (their
+        hooks wrap the per-packet entry points); a lineage-sampled
+        packet is fed scalar after flushing the pending block.
+        """
+        batch_size = self.batch_size
+        if batch_size <= 1 or self.faults:
+            count = 0
+            for packet in packets:
+                self.feed_packet(packet)
+                count += 1
+                if count % pump_every == 0:
+                    self.pump()
+            self.pump()
+            return
+        if not self._started:
+            raise RegistryError("RTS not started; call start() first")
+        tracer = self.tracer
+        interval = self.heartbeat_interval
+        buffer: List[CapturedPacket] = []
+        count = 0
+        stream_time = self._stream_time
+        threshold = (self._last_heartbeat + interval
+                     if interval is not None else math.inf)
+        for packet in packets:
             count += 1
-            if count % pump_every == 0:
-                self.pump()
+            if tracer is not None and tracer.wants(packet) is not None:
+                if buffer:
+                    self._feed_batch(buffer)
+                    buffer = []
+                self.feed_packet(packet)  # scalar: tags/propagates the trace
+                stream_time = self._stream_time
+                if interval is not None:
+                    threshold = self._last_heartbeat + interval
+                if count % pump_every == 0:
+                    self.pump()
+                continue
+            buffer.append(packet)
+            if packet.timestamp > stream_time:
+                stream_time = packet.timestamp
+            crossed = stream_time >= threshold
+            if crossed or len(buffer) >= batch_size or count % pump_every == 0:
+                self._feed_batch(buffer)
+                buffer = []
+                if crossed:
+                    self._send_heartbeats(self._stream_time)
+                    threshold = self._last_heartbeat + interval
+                if count % pump_every == 0:
+                    self.pump()
+        if buffer:
+            self._feed_batch(buffer)
+            if interval is not None and stream_time >= threshold:
+                self._send_heartbeats(self._stream_time)
         self.pump()
 
     def advance_time(self, stream_time: float) -> None:
@@ -373,6 +546,11 @@ class RuntimeSystem:
         if self.controller is not None:
             self.controller.on_cycle(self._stream_time)
         tracer = self.tracer
+        # The batched drain needs per-item tracer lookups disabled and
+        # must not bypass a fault injector's per-tuple wraps, so either
+        # one forces the scalar drain.
+        if self.batch_size > 1 and tracer is None and not self.faults:
+            return self._pump_batched()
         processed = 0
         while True:
             if self._heartbeat_wanted:
@@ -413,6 +591,66 @@ class RuntimeSystem:
                 break
         if tracer is not None:
             tracer.current = None
+        if self._pump_cycle_hist is not None and processed:
+            self._pump_cycle_hist.observe(
+                processed * self.cost_model.hfta_tuple_us)
+        return processed
+
+    def _pump_batched(self) -> int:
+        """The scalar drain loop moving items in blocks (DESIGN sec 10).
+
+        Per-channel FIFO order is preserved exactly: a popped block is
+        split into runs of data tuples (handed to ``dispatch_batch`` on
+        operators declaring ``accepts_batch``) with control tokens
+        dispatched singly at their original positions.  Only called
+        with no tracer and no armed faults (see :meth:`pump`).
+        """
+        processed = 0
+        while True:
+            if self._heartbeat_wanted:
+                self._heartbeat_wanted = False
+                if not math.isinf(self._stream_time):
+                    self._send_heartbeats(self._stream_time)
+            progress = False
+            # _quarantine edits _hfta_order, so iterate a snapshot.
+            for node in list(self._hfta_order):
+                if node.quarantined is not None:
+                    continue
+                batched = node.accepts_batch
+                for input_index, channel in enumerate(node.inputs):
+                    while channel:
+                        items = channel.pop_many()
+                        try:
+                            if batched:
+                                dispatch_batch = node.dispatch_batch
+                                run: List[tuple] = []
+                                for item in items:
+                                    if type(item) is tuple:
+                                        run.append(item)
+                                    else:
+                                        if run:
+                                            dispatch_batch(run, input_index)
+                                            run = []
+                                        node.dispatch(item, input_index)
+                                if run:
+                                    dispatch_batch(run, input_index)
+                            else:
+                                dispatch = node.dispatch
+                                for item in items:
+                                    dispatch(item, input_index)
+                        except Exception as error:
+                            # Same containment as the scalar drain; the
+                            # rest of the popped block dies with the
+                            # node (it would never be scheduled again
+                            # anyway).
+                            self._quarantine(node, error)
+                            break
+                        processed += len(items)
+                        progress = True
+                    if node.quarantined is not None:
+                        break
+            if not progress and not self._heartbeat_wanted:
+                break
         if self._pump_cycle_hist is not None and processed:
             self._pump_cycle_hist.observe(
                 processed * self.cost_model.hfta_tuple_us)

@@ -223,22 +223,28 @@ class ReplayReport:
     ok: bool
     diffs: List[str] = field(default_factory=list)
     snapshots: Optional[Tuple[Dict[str, Any], Dict[str, Any]]] = None
+    #: what varied between the two runs (for the report text)
+    axis: str = "PYTHONHASHSEED"
 
     def describe(self) -> str:
         if self.ok:
             return (f"replay OK: scenario {self.scenario!r} seed "
-                    f"{self.seed} identical under PYTHONHASHSEED "
+                    f"{self.seed} identical under {self.axis} "
                     f"{self.hash_seeds[0]} and {self.hash_seeds[1]}")
         lines = [f"replay FAILED: scenario {self.scenario!r} seed "
-                 f"{self.seed} diverges between PYTHONHASHSEED "
+                 f"{self.seed} diverges between {self.axis} "
                  f"{self.hash_seeds[0]} and {self.hash_seeds[1]}:"]
         lines.extend(f"  - {diff}" for diff in self.diffs)
         return "\n".join(lines)
 
 
-def _subprocess_snapshot(name: str, seed: int, hash_seed: str) -> Dict[str, Any]:
+def _subprocess_snapshot(name: str, seed: int, hash_seed: str,
+                         extra_env: Optional[Dict[str, str]] = None
+                         ) -> Dict[str, Any]:
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = hash_seed
+    if extra_env:
+        env.update(extra_env)
     src_root = str(Path(__file__).resolve().parents[1])
     env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
     result = subprocess.run(
@@ -248,10 +254,51 @@ def _subprocess_snapshot(name: str, seed: int, hash_seed: str) -> Dict[str, Any]
     )
     if result.returncode != 0:
         raise RuntimeError(
-            f"scenario {name!r} failed under PYTHONHASHSEED={hash_seed}:\n"
-            + result.stderr
+            f"scenario {name!r} failed under PYTHONHASHSEED={hash_seed} "
+            f"{extra_env or {}}:\n" + result.stderr
         )
     return json.loads(result.stdout)
+
+
+def strip_batch_metrics(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Drop ``gs_batch*`` metric families from a scenario snapshot.
+
+    The batch-path counters (blocks fed, configured block size) differ
+    between scalar and batched execution *by construction*; everything
+    else in the snapshot must not.
+    """
+    metrics = snapshot.get("metrics")
+    if isinstance(metrics, dict) and isinstance(metrics.get("metrics"), list):
+        metrics["metrics"] = [
+            family for family in metrics["metrics"]
+            if not str(family.get("name", "")).startswith("gs_batch")
+        ]
+    return snapshot
+
+
+def verify_batch_equivalence(scenario_name: str, seed: int = 0,
+                             batch_size: Optional[int] = None) -> ReplayReport:
+    """Run a scenario scalar (``GS_BATCH=0``) and batched (``GS_BATCH=1``)
+    in subprocesses and diff the snapshots after stripping the
+    ``gs_batch*`` counters: the vectorized path must be byte-identical
+    in rows, drop ledger, statistics, and every other metric.
+    """
+    scalar_env = {"GS_BATCH": "0"}
+    batched_env = {"GS_BATCH": "1"}
+    if batch_size is not None:
+        batched_env["GS_BATCH_SIZE"] = str(batch_size)
+    scalar = strip_batch_metrics(
+        _subprocess_snapshot(scenario_name, seed, "0", scalar_env))
+    batched = strip_batch_metrics(
+        _subprocess_snapshot(scenario_name, seed, "0", batched_env))
+    diffs: List[str] = []
+    _diff_paths(scalar, batched, "$", diffs)
+    return ReplayReport(
+        scenario=scenario_name, seed=seed,
+        hash_seeds=("GS_BATCH=0", "GS_BATCH=1"),
+        ok=not diffs, diffs=diffs, snapshots=(scalar, batched),
+        axis="execution path",
+    )
 
 
 def _diff_paths(a: Any, b: Any, path: str, out: List[str],
@@ -303,20 +350,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run", help="run a scenario, print its snapshot as JSON")
     verify_cmd = commands.add_parser(
         "verify", help="run a scenario under two PYTHONHASHSEEDs and diff")
-    for sub in (run_cmd, verify_cmd):
+    batch_cmd = commands.add_parser(
+        "verify-batch",
+        help="run a scenario scalar (GS_BATCH=0) and batched and diff")
+    for sub in (run_cmd, verify_cmd, batch_cmd):
         sub.add_argument("--scenario", default="mixed",
                          help=f"one of {sorted(SCENARIOS)} or module:callable")
         sub.add_argument("--seed", type=int, default=0)
     verify_cmd.add_argument("--hash-seeds", nargs=2, default=("1", "2"),
                             metavar=("A", "B"))
+    batch_cmd.add_argument("--batch-size", type=int, default=None,
+                           help="block size for the batched run "
+                                "(default: engine default)")
     args = parser.parse_args(argv)
     if args.command == "run":
         snapshot = run_scenario(args.scenario, args.seed)
         json.dump(snapshot, sys.stdout, sort_keys=True)
         sys.stdout.write("\n")
         return 0
-    report = verify_replay(args.scenario, args.seed,
-                           hash_seeds=tuple(args.hash_seeds))
+    if args.command == "verify-batch":
+        report = verify_batch_equivalence(args.scenario, args.seed,
+                                          batch_size=args.batch_size)
+    else:
+        report = verify_replay(args.scenario, args.seed,
+                               hash_seeds=tuple(args.hash_seeds))
     print(report.describe())
     return 0 if report.ok else 1
 

@@ -153,6 +153,85 @@ class ExprCompiler:
         body = self._compile(expr, slot_maps, arity)
         return self._finalize(body, arity, on_discard=None)
 
+    # -- batched (fused) entry points ---------------------------------------
+    #
+    # The scalar API compiles the predicate and the tuple builder into
+    # *separate* callables and the operator chains them per tuple; the
+    # fused variants emit ONE generated function that runs the whole
+    # interpret->predicate->project (or ->key) pipeline over a list of
+    # rows, hoisting the call chain out of the inner loop (MonetDB/X100
+    # style vectorized execution; DESIGN section 10).  Per-row semantics
+    # are byte-identical to the scalar chain: conjuncts short-circuit in
+    # the same order and DiscardTuple counts the row as discarded.
+
+    def batch_select_fn(
+        self,
+        conjuncts: Sequence[Expr],
+        exprs: Sequence[Expr],
+        slot_maps: Sequence[SlotMap] = (None,),
+    ) -> Callable[[Sequence[tuple], Callable[[tuple], None]], int]:
+        """One fused ``f(rows, append) -> discarded`` for select plans.
+
+        For each row that passes the predicate, the built output tuple
+        is handed to ``append``; the return value counts rows dropped
+        by the predicate or by a partial function with no result.
+        """
+        if self.mode == "interpreted":
+            predicate = self.predicate_fn(conjuncts, slot_maps)
+            project = self.tuple_fn(exprs, slot_maps)
+            return _chained_batch_select(predicate, project)
+        pred_src = " and ".join(
+            "(" + self._compile(c, slot_maps, 1) + ")" for c in conjuncts
+        )
+        parts = [self._compile(e, slot_maps, 1) for e in exprs]
+        build = "(" + ", ".join(parts) + ("," if len(parts) == 1 else "") + ")"
+        return self._finalize_batch(pred_src, f"append({build})")
+
+    def batch_key_fn(
+        self,
+        conjuncts: Sequence[Expr],
+        group_exprs: Sequence[Expr],
+        slot_maps: Sequence[SlotMap] = (None,),
+    ) -> Callable[[Sequence[tuple], Callable[[tuple], None]], int]:
+        """One fused ``f(rows, append) -> discarded`` for aggregation.
+
+        ``append`` receives ``(key, row)`` pairs for rows that pass the
+        predicate and build a key; the aggregate update stays in the
+        operator (it mutates shared group state).
+        """
+        if self.mode == "interpreted":
+            predicate = self.predicate_fn(conjuncts, slot_maps)
+            key_fn = self.tuple_fn(group_exprs, slot_maps)
+            return _chained_batch_key(predicate, key_fn)
+        pred_src = " and ".join(
+            "(" + self._compile(c, slot_maps, 1) + ")" for c in conjuncts
+        )
+        parts = [self._compile(e, slot_maps, 1) for e in group_exprs]
+        key = "(" + ", ".join(parts) + ("," if len(parts) == 1 else "") + ")"
+        return self._finalize_batch(pred_src, f"append(({key}, t))")
+
+    def _finalize_batch(self, pred_src: str, action: str) -> Callable:
+        name = f"_g{self._counter}"
+        self._counter += 1
+        guard = (f"            if not ({pred_src}):\n"
+                 f"                d += 1\n"
+                 f"                continue\n") if pred_src else ""
+        source = (
+            f"def {name}(rows, append):\n"
+            f"    d = 0\n"
+            f"    for t in rows:\n"
+            f"        try:\n"
+            f"{guard}"
+            f"            {action}\n"
+            f"        except DiscardTuple:\n"
+            f"            d += 1\n"
+            f"    return d\n"
+        )
+        self.generated_sources.append(source)
+        code = compile(source, f"<gsql:{self.analyzed.name or 'anonymous'}>", "exec")
+        exec(code, self._env)
+        return self._env[name]
+
     def post_tuple_fn(self, exprs: Sequence[Expr]) -> Callable[[tuple, tuple], Optional[tuple]]:
         """Post-aggregation tuple builder over (key, agg-values)."""
         if self.mode == "interpreted":
@@ -385,6 +464,40 @@ class ExprCompiler:
             except DiscardTuple:
                 return False
         return check
+
+
+def _chained_batch_select(predicate, project):
+    """Interpreted-mode batch select: loop the scalar call chain."""
+    def run(rows, append):
+        d = 0
+        for t in rows:
+            if not predicate(t):
+                d += 1
+                continue
+            out = project(t)
+            if out is None:
+                d += 1
+                continue
+            append(out)
+        return d
+    return run
+
+
+def _chained_batch_key(predicate, key_fn):
+    """Interpreted-mode batch keying: loop the scalar call chain."""
+    def run(rows, append):
+        d = 0
+        for t in rows:
+            if not predicate(t):
+                d += 1
+                continue
+            key = key_fn(t)
+            if key is None:
+                d += 1
+                continue
+            append((key, t))
+        return d
+    return run
 
 
 def _apply_binop(expr: BinaryOp, left: Any, right: Any, is_float_division) -> Any:

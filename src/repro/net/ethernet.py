@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
+from typing import Optional
 
 from repro.net.packet import bytes_to_mac, mac_to_bytes
 
@@ -16,25 +16,70 @@ HEADER_LEN = 14
 _HDR = struct.Struct("!6s6sH")
 
 
-@dataclass
 class EthernetHeader:
-    """An Ethernet II header (no 802.1Q tag support)."""
+    """An Ethernet II header (no 802.1Q tag support).
 
-    dst: str = "ff:ff:ff:ff:ff:ff"
-    src: str = "00:00:00:00:00:00"
-    ethertype: int = ETHERTYPE_IPV4
+    ``dst``/``src`` read as ``aa:bb:cc:dd:ee:ff`` strings, but a parsed
+    header holds the raw 6-byte fields and formats them lazily: the
+    capture path parses Ethernet on every packet while almost no query
+    projects a MAC, and the string conversion used to dominate the
+    per-packet parse cost.
+    """
+
+    __slots__ = ("_dst", "_src", "_dst_raw", "_src_raw", "ethertype")
+
+    def __init__(self, dst: str = "ff:ff:ff:ff:ff:ff",
+                 src: str = "00:00:00:00:00:00",
+                 ethertype: int = ETHERTYPE_IPV4) -> None:
+        self._dst: Optional[str] = dst
+        self._src: Optional[str] = src
+        self._dst_raw: Optional[bytes] = None
+        self._src_raw: Optional[bytes] = None
+        self.ethertype = ethertype
 
     @classmethod
     def parse(cls, data: bytes, offset: int = 0) -> "EthernetHeader":
         """Parse a header from ``data`` starting at ``offset``."""
         if len(data) - offset < HEADER_LEN:
             raise ValueError("truncated Ethernet header")
-        dst, src, ethertype = _HDR.unpack_from(data, offset)
-        return cls(dst=bytes_to_mac(dst), src=bytes_to_mac(src), ethertype=ethertype)
+        dst_raw, src_raw, ethertype = _HDR.unpack_from(data, offset)
+        header = cls.__new__(cls)
+        header._dst = None
+        header._src = None
+        header._dst_raw = dst_raw
+        header._src_raw = src_raw
+        header.ethertype = ethertype
+        return header
+
+    @property
+    def dst(self) -> str:
+        value = self._dst
+        if value is None:
+            value = self._dst = bytes_to_mac(self._dst_raw)
+        return value
+
+    @property
+    def src(self) -> str:
+        value = self._src
+        if value is None:
+            value = self._src = bytes_to_mac(self._src_raw)
+        return value
 
     def pack(self) -> bytes:
         """Serialize to the 14-byte wire format."""
-        return _HDR.pack(mac_to_bytes(self.dst), mac_to_bytes(self.src), self.ethertype)
+        dst_raw = self._dst_raw if self._dst_raw is not None else mac_to_bytes(self._dst)
+        src_raw = self._src_raw if self._src_raw is not None else mac_to_bytes(self._src)
+        return _HDR.pack(dst_raw, src_raw, self.ethertype)
+
+    def __repr__(self) -> str:
+        return (f"EthernetHeader(dst={self.dst!r}, src={self.src!r}, "
+                f"ethertype={self.ethertype})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EthernetHeader):
+            return NotImplemented
+        return (self.ethertype == other.ethertype
+                and self.dst == other.dst and self.src == other.src)
 
     @property
     def header_len(self) -> int:

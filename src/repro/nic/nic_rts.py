@@ -43,6 +43,22 @@ class NicRts:
                     rows.append(item)
         return rows
 
+    def execute_batch(self, packets: List[CapturedPacket]) -> List[tuple]:
+        """Run every on-card LFTA on a block of packets (DESIGN sec 10).
+
+        Each LFTA sees the block in arrival order, so per-LFTA output
+        order matches per-packet :meth:`execute` calls exactly; the
+        returned list groups rows by LFTA rather than interleaving them
+        per packet (card output batches are per-query anyway).
+        """
+        rows: List[tuple] = []
+        for lfta, tap in zip(self.lftas, self._taps):
+            lfta.accept_batch(packets)
+            for item in tap.drain():
+                if type(item) is tuple:
+                    rows.append(item)
+        return rows
+
     def heartbeat(self, stream_time: float) -> List[tuple]:
         """Propagate a heartbeat through the on-card LFTAs."""
         rows: List[tuple] = []

@@ -106,6 +106,14 @@ def install_engine_metrics(registry: MetricsRegistry, rts) -> None:
         "packets dropped pre-dispatch by injected faults")
     stream_time = registry.gauge(
         "gs_stream_time_seconds", "latest observed stream time")
+    # Batch-path instrumentation keeps the distinctive gs_batch prefix:
+    # the scalar/batched differential harness strips gs_batch* before
+    # diffing snapshots (these counters differ by construction).
+    batches = registry.counter(
+        "gs_batch_blocks_fed_total",
+        "packet blocks dispatched on the vectorized path")
+    batch_size_gauge = registry.gauge(
+        "gs_batch_size", "configured packets per block (<=1 means scalar)")
     node_counters = {
         stat: registry.counter(
             f"gs_node_{stat}_total", f"per-node {stat}", labels=("node",))
@@ -135,6 +143,8 @@ def install_engine_metrics(registry: MetricsRegistry, rts) -> None:
         heartbeats_suppressed.set(rts.heartbeats_suppressed)
         quarantined.set(rts.nodes_quarantined)
         fault_dropped.set(rts.fault_dropped)
+        batches.set(rts.batches_fed)
+        batch_size_gauge.set(rts.batch_size)
         if rts.stream_time > float("-inf"):
             stream_time.set(rts.stream_time)
         # Nodes and channels come and go; rebuild the label sets so a

@@ -52,6 +52,8 @@ class AggregationNode(QueryNode):
         else:
             self._key_width = len(plan.group_exprs)
             self._key_fn = compiler.tuple_fn(plan.group_exprs, slot_maps)
+            self._batch_key = compiler.batch_key_fn(
+                plan.predicates, plan.group_exprs, slot_maps)
             arg_fns = [
                 compiler.scalar_fn(agg.arg, slot_maps) if agg.arg is not None else None
                 for agg in plan.aggregates
@@ -116,6 +118,64 @@ class AggregationNode(QueryNode):
             self.aggregate_ops.combine(state, partial_slots)
         else:
             self.aggregate_ops.update(state, row)
+
+    #: batched dispatch from pump() is worthwhile here (DESIGN section 10)
+    accepts_batch = True
+
+    def on_tuple_batch(self, rows, input_index: int) -> None:
+        """The scalar :meth:`on_tuple` pipeline with lookups hoisted.
+
+        Predicate/keying run through one fused generated function (or
+        the per-row scalar chain in partials mode, where the key is a
+        plain slice); the group-table update loop matches the scalar
+        order exactly, so window flushes fire at the same rows.
+        """
+        if self._sample_rate is not None:
+            rate = self._sample_rate
+            rng = self._sample_rng.random
+            kept = [row for row in rows if rng() < rate]
+            self.stats.discarded += len(rows) - len(kept)
+            rows = kept
+        pairs = []
+        if self.from_partials:
+            predicate = self._predicate
+            key_width = self._key_width
+            append = pairs.append
+            dropped = 0
+            for row in rows:
+                if not predicate(row):
+                    dropped += 1
+                    continue
+                append((row[:key_width], row))
+        else:
+            dropped = self._batch_key(rows, pairs.append)
+        if dropped:
+            self.stats.discarded += dropped
+        if not pairs:
+            return
+        window_index = self._window_index
+        band = self._window_band
+        groups = self._groups
+        new_state = self.aggregate_ops.new_state
+        combine = self.aggregate_ops.combine
+        update = self.aggregate_ops.update
+        from_partials = self.from_partials
+        key_width = self._key_width
+        for key, row in pairs:
+            if window_index >= 0:
+                window_value = key[window_index]
+                high_water = self._high_water
+                if high_water is None or window_value > high_water:
+                    self._high_water = window_value
+                    self._flush_below(window_value - band)
+            state = groups.get(key)
+            if state is None:
+                state = new_state()
+                groups[key] = state
+            if from_partials:
+                combine(state, row[key_width:])
+            else:
+                update(state, row)
 
     def _flush_below(self, low_water) -> None:
         index = self._window_index

@@ -68,6 +68,8 @@ class LftaNode(QueryNode):
 
         if plan.mode == "projection":
             self._project = compiler.tuple_fn(plan.project_exprs, (None, None))
+            self._batch_select = compiler.batch_select_fn(
+                plan.predicates, plan.project_exprs, (None, None))
             self._transforms = output_bound_transforms(
                 plan.project_exprs, analyzed, plan.output_schema, (None, None),
                 functions=compiler.functions,
@@ -75,6 +77,8 @@ class LftaNode(QueryNode):
             self.table: Optional[DirectMappedTable] = None
         elif plan.mode == "partial_aggregation":
             self._key_fn = compiler.tuple_fn(plan.group_exprs, (None, None))
+            self._batch_key = compiler.batch_key_fn(
+                plan.predicates, plan.group_exprs, (None, None))
             arg_fns = [
                 compiler.scalar_fn(agg.arg, (None, None)) if agg.arg is not None else None
                 for agg in plan.aggregates
@@ -140,6 +144,92 @@ class LftaNode(QueryNode):
                     self.emit(out)
             else:
                 self._aggregate(row, weight)
+
+    def accept_batch(self, packets, views=None) -> None:
+        """Vectorized packet path (DESIGN section 10).
+
+        Byte-identical to calling :meth:`accept_packet` per packet: the
+        shed and sample gates draw from the same RNGs in the same
+        per-packet / per-row order, the fused select/key function runs
+        the predicate conjuncts in scalar order, and every counter is
+        advanced by the same amounts.  The RTS only calls this when no
+        fault is armed and no lineage trace is in flight.
+        """
+        self.packets_seen += len(packets)
+        interpret = self._interpret
+        rows: List[tuple] = []
+        extend = rows.extend
+        weight = 1.0
+        if self.shed_rate < 1.0:
+            rate = self.shed_rate
+            rng = self._shed_rng.random
+            weight = 1.0 / rate
+            shed = 0
+            if views is None:
+                for packet in packets:
+                    if rng() >= rate:
+                        shed += 1
+                    else:
+                        extend(interpret(packet, None))
+            else:
+                for packet, view in zip(packets, views):
+                    if rng() >= rate:
+                        shed += 1
+                    else:
+                        extend(interpret(packet, view))
+            self.shed_packets += shed
+        elif views is None:
+            for packet in packets:
+                extend(interpret(packet, None))
+        else:
+            for packet, view in zip(packets, views):
+                extend(interpret(packet, view))
+        self.stats.tuples_in += len(rows)
+        if self._sample_rate is not None and rows:
+            rate = self._sample_rate
+            rng = self._sample_rng.random
+            kept = [row for row in rows if rng() < rate]
+            self.sampled_out += len(rows) - len(kept)
+            rows = kept
+        if not rows:
+            return
+        if self.mode == "projection":
+            out: List[tuple] = []
+            dropped = self._batch_select(rows, out.append)
+            if dropped:
+                self.stats.discarded += dropped
+            self.emit_many(out)
+        else:
+            pairs: List[tuple] = []
+            dropped = self._batch_key(rows, pairs.append)
+            if dropped:
+                self.stats.discarded += dropped
+            if pairs:
+                self._aggregate_batch(pairs, weight)
+
+    def _aggregate_batch(self, pairs, weight: float) -> None:
+        """The scalar :meth:`_aggregate` loop with lookups hoisted."""
+        window_index = self._window_index
+        band = self._window_band
+        upsert = self.table.upsert
+        new_state = self.aggregate_ops.new_state
+        update = self.aggregate_ops.update
+        update_weighted = self.aggregate_ops.update_weighted
+        weighted = weight != 1.0
+        for key, row in pairs:
+            if window_index >= 0:
+                window_value = key[window_index]
+                high_water = self._high_water
+                if high_water is None or window_value > high_water:
+                    self._high_water = window_value
+                    self._flush_below(window_value - band)
+            state, ejected = upsert(key, new_state)
+            if ejected is not None:
+                self._emit_group(*ejected)
+            if weighted:
+                update_weighted(state, row, weight)
+            else:
+                update(state, row)
 
     def _aggregate(self, row: tuple, weight: float = 1.0) -> None:
         key = self._key_fn(row)

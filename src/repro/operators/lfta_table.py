@@ -27,6 +27,8 @@ class DirectMappedTable:
     workload emit different partials (and different E4 numbers).
     """
 
+    __slots__ = ("size", "_slots", "occupied", "collisions", "lookups")
+
     def __init__(self, size: int = 4096) -> None:
         if size <= 0:
             raise ValueError("table size must be positive")

@@ -56,6 +56,13 @@ class MergeNode(QueryNode):
     def buffered(self) -> int:
         return sum(len(buffer) for buffer in self._buffers)
 
+    #: Batched dispatch uses the base-class per-row loop: merge must
+    #: drain after EVERY tuple -- deferring the drain to the end of a
+    #: batch would re-order ties on the merge attribute (a deferred
+    #: drain picks the lowest input index; arrival order is correct).
+    #: The win here is only the hoisted dispatch/type checks.
+    accepts_batch = True
+
     def on_tuple(self, row: tuple, input_index: int) -> None:
         buffer = self._buffers[input_index]
         if self.buffer_capacity is not None and len(buffer) >= self.buffer_capacity:

@@ -33,10 +33,28 @@ class SelectionNode(QueryNode):
             self._sample_rng = None
         self._predicate = compiler.predicate_fn(plan.predicates, slot_maps)
         self._project = compiler.tuple_fn(plan.select_exprs, slot_maps)
+        self._batch_select = compiler.batch_select_fn(
+            plan.predicates, plan.select_exprs, slot_maps)
         self._transforms = output_bound_transforms(
             plan.select_exprs, analyzed, plan.output_schema, slot_maps,
             functions=compiler.functions,
         )
+
+    #: batched dispatch from pump() is worthwhile here (DESIGN section 10)
+    accepts_batch = True
+
+    def on_tuple_batch(self, rows, input_index: int) -> None:
+        if self._sample_rate is not None:
+            rate = self._sample_rate
+            rng = self._sample_rng.random
+            kept = [row for row in rows if rng() < rate]
+            self.stats.discarded += len(rows) - len(kept)
+            rows = kept
+        out = []
+        dropped = self._batch_select(rows, out.append)
+        if dropped:
+            self.stats.discarded += dropped
+        self.emit_many(out)
 
     def on_tuple(self, row: tuple, input_index: int) -> None:
         if (self._sample_rate is not None

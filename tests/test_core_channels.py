@@ -97,6 +97,85 @@ class TestOverflowAccounting:
         assert channel.stats.control_pushed == 0
 
 
+class TestBatchTransport:
+    """push_many/pop_many must match a per-item push/pop sequence."""
+
+    def test_push_many_unbounded_counts_like_push(self):
+        batched, scalar = Channel(), Channel()
+        items = [(0,), Punctuation({0: 1.0}), (1,), (2,), FLUSH]
+        assert batched.push_many(items) == 5
+        for item in items:
+            scalar.push(item)
+        assert batched.stats == scalar.stats
+        assert batched.drain() == scalar.drain()
+
+    def test_push_many_bounded_drops_per_item(self):
+        batched, scalar = Channel(capacity=3), Channel(capacity=3)
+        items = [(i,) for i in range(6)]
+        accepted = batched.push_many(items)
+        scalar_accepted = sum(scalar.push(item) for item in items)
+        assert accepted == scalar_accepted == 3
+        assert batched.stats == scalar.stats
+        assert batched.stats.dropped == 3
+
+    def test_push_many_straddling_block_keeps_control_tokens(self):
+        channel = Channel(capacity=2)
+        items = [(0,), (1,), (2,), Punctuation({0: 1.0}), (3,), FLUSH]
+        assert channel.push_many(items) == 4  # 2 tuples + 2 control
+        assert channel.stats.dropped == 2
+        assert channel.stats.control_pushed == 2
+        drained = channel.drain()
+        assert [x for x in drained if isinstance(x, tuple)] == [(0,), (1,)]
+        assert isinstance(drained[-1], FlushToken)
+
+    def test_push_many_respects_fault_capacity(self):
+        channel = Channel(capacity=10)
+        channel.fault_capacity = 2
+        assert channel.push_many([(i,) for i in range(5)]) == 2
+        assert channel.stats.dropped == 3
+
+    def test_push_many_max_depth_matches_scalar_high_water(self):
+        batched, scalar = Channel(), Channel()
+        for block in ([(0,), (1,)], [(2,)], [(3,), (4,), (5,)]):
+            batched.push_many(block)
+            for item in block:
+                scalar.push(item)
+        batched.pop_many()
+        for _ in range(6):
+            scalar.pop()
+        assert batched.stats == scalar.stats
+
+    def test_push_many_accepts_a_generator(self):
+        channel = Channel()
+        assert channel.push_many((i,) for i in range(4)) == 4
+        assert channel.stats.pushed == 4
+        assert channel.stats.max_depth == 4
+
+    def test_pop_many_all_and_limited(self):
+        channel = Channel()
+        channel.push_many([(i,) for i in range(5)])
+        assert channel.pop_many(2) == [(0,), (1,)]
+        assert channel.stats.popped == 2
+        assert channel.pop_many() == [(2,), (3,), (4,)]
+        assert channel.stats.popped == 5
+        assert not channel
+
+    def test_pop_many_limit_beyond_depth(self):
+        channel = Channel()
+        channel.push((1,))
+        assert channel.pop_many(10) == [(1,)]
+        assert channel.pop_many() == []
+        assert channel.stats.popped == 1
+
+    def test_pop_many_preserves_token_positions(self):
+        channel = Channel()
+        channel.push_many([(0,), Punctuation({0: 1.0}), (1,), FLUSH])
+        items = channel.pop_many()
+        assert isinstance(items[1], Punctuation)
+        assert isinstance(items[3], FlushToken)
+        assert [x for x in items if isinstance(x, tuple)] == [(0,), (1,)]
+
+
 class TestPunctuation:
     def test_bound_lookup(self):
         punct = Punctuation({0: 5.0, 3: 9.0})
