@@ -79,8 +79,21 @@ def _build_parser() -> argparse.ArgumentParser:
                              "[,drop=P] | channel_storm:at=T,duration=D"
                              "[,capacity=N] | clock_skew:iface=I,skew=S | "
                              "heartbeat_silence:at=T,duration=D | "
-                             "operator_error:node=NAME[,at_tuple=N]; "
+                             "operator_error:node=NAME[,at_tuple=N]"
+                             "[,times=K]; "
                              "prints each injector's ledger after the run")
+    parser.add_argument("--recover", action="store_true",
+                        help="enable checkpoint/restore recovery: crashed "
+                             "operators restart from the last checkpoint "
+                             "with their input-journal gap replayed instead "
+                             "of being permanently quarantined")
+    parser.add_argument("--checkpoint-interval", type=float, metavar="SECS",
+                        help="virtual-time seconds between crash-consistent "
+                             "checkpoints (implies --recover; default 1.0)")
+    parser.add_argument("--max-restarts", type=int, metavar="N",
+                        help="restart attempts per node before degrading to "
+                             "permanent quarantine (implies --recover; "
+                             "default 3)")
     parser.add_argument("--shed", metavar="POLICY",
                         help="enable the overload control plane with this "
                              "shedding policy: none | static:RATE | adaptive; "
@@ -201,6 +214,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--trace-out requires --trace-sample")
     if args.batch_size is not None and args.batch_size <= 0:
         parser.error(f"--batch-size must be positive, got {args.batch_size}")
+    if args.checkpoint_interval is not None and args.checkpoint_interval <= 0:
+        parser.error(f"--checkpoint-interval must be positive, "
+                     f"got {args.checkpoint_interval}")
+    if args.max_restarts is not None and args.max_restarts < 0:
+        parser.error(f"--max-restarts must be >= 0, got {args.max_restarts}")
+    recover = (args.recover or args.checkpoint_interval is not None
+               or args.max_restarts is not None)
     engine = Gigascope(mode=args.mode,
                        channel_capacity=args.channel_capacity,
                        seed=args.seed,
@@ -236,7 +256,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             engine.inject_faults(args.fault)
         except (ValueError, KeyError, RegistryError) as error:
-            raise SystemExit(f"bad --fault: {error}")
+            parser.error(f"bad --fault: {error}")
 
     watched = args.subscribe or [n for n in names if not n.startswith("_")]
     subscriptions = {name: engine.subscribe(name) for name in watched}
@@ -247,6 +267,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         packets = _synthetic_packets(args.synthetic)
     else:
         parser.error("no packet source (use --pcap or --synthetic)")
+
+    if recover:
+        engine.enable_recovery(
+            checkpoint_interval=(args.checkpoint_interval
+                                 if args.checkpoint_interval is not None
+                                 else 1.0),
+            max_restarts=(args.max_restarts
+                          if args.max_restarts is not None else 3),
+        )
 
     engine.start()
     engine.feed(packets)
@@ -280,6 +309,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             for node_name, reason in sorted(engine.rts.quarantined.items()):
                 print(f"#  quarantined {node_name}: {reason}",
                       file=sys.stderr)
+    if recover:
+        report = engine.recovery_report()
+        print("# recovery report", file=sys.stderr)
+        print(f"#  checkpoints={report['checkpoints_taken']} "
+              f"({report['checkpoint_bytes']} bytes, "
+              f"{report['checkpoint_nodes']} nodes) "
+              f"restarts={report['restarts_total']} "
+              f"replayed={report['replayed_items']} "
+              f"suppressed={report['suppressed_rows']} "
+              f"exhausted={report['retries_exhausted']}", file=sys.stderr)
+        for node_name, count in report["restarts"].items():
+            print(f"#  restarted {node_name}: {count} attempt(s)",
+                  file=sys.stderr)
     if args.stats:
         # The same canonical snapshot the metrics exposition exports
         # (repro.obs.collectors), rendered one node per line.

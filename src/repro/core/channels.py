@@ -167,3 +167,15 @@ class Channel:
 
     def __iter__(self) -> Iterator[Any]:
         return iter(self._queue)
+
+
+def all_quiescent(channels: Iterable["Channel"]) -> bool:
+    """True when no channel holds in-flight items.
+
+    A checkpoint is crash-consistent only if it is cut at a quiescent
+    point -- operator state alone describes the computation, with no
+    half-delivered items living in channels (DESIGN section 11).  The
+    recovery supervisor checks this before cutting a checkpoint at a
+    pump boundary.
+    """
+    return all(not channel for channel in channels)

@@ -289,6 +289,39 @@ class Gigascope:
         from repro.control.controller import overload_snapshot
         return overload_snapshot(self.rts)
 
+    # -- recovery (repro.recovery) -------------------------------------------
+    def enable_recovery(self, checkpoint_interval: float = 1.0,
+                        max_restarts: int = 3, backoff_base: float = 0.25,
+                        backoff_factor: float = 2.0) -> "RecoverySupervisor":
+        """Switch on checkpoint/restore and supervised node recovery.
+
+        The supervisor cuts a crash-consistent snapshot of every
+        operator's state each ``checkpoint_interval`` seconds of
+        virtual time (at pump boundaries, where channels are
+        quiescent), journals inputs between checkpoints, and upgrades
+        permanent quarantine into bounded-retry restart: restore the
+        last checkpoint, replay the journal gap, suppress re-emission
+        of already-delivered rows.  After ``max_restarts`` failed
+        attempts (retried with exponential backoff in virtual time) the
+        node degrades to the permanent quarantine of
+        :meth:`overload_report`'s containment ledger.
+        """
+        from repro.recovery.supervisor import RecoverySupervisor
+        return RecoverySupervisor(
+            self.rts,
+            checkpoint_interval=checkpoint_interval,
+            max_restarts=max_restarts,
+            backoff_base=backoff_base,
+            backoff_factor=backoff_factor,
+        )
+
+    def recovery_report(self) -> Optional[Dict[str, Any]]:
+        """The supervisor's ledger (checkpoints, restarts, replay),
+        or None when recovery is not enabled."""
+        if self.rts.supervisor is None:
+            return None
+        return self.rts.supervisor.report()
+
     # -- fault injection (repro.faults) --------------------------------------
     def inject_faults(self, faults: Iterable[Any],
                       nics: Iterable = ()) -> List[Any]:

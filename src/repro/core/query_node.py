@@ -163,6 +163,47 @@ class QueryNode:
     def flush(self) -> None:
         """Emit any remaining state (end of stream)."""
 
+    # -- checkpoint/restore (DESIGN section 11) -------------------------------
+    def snapshot_state(self) -> dict:
+        """The node's mutable state as a tree of snapshot primitives.
+
+        Stateful operators override this (and :meth:`restore_state`),
+        call ``super()``, and add their own fields.  Callers must
+        encode the result (``repro.recovery.wire.encode_snapshot``)
+        before the node runs again: the tree may alias live mutable
+        state, and the encoded bytes are what isolate the checkpoint
+        from later mutation.
+        """
+        stats = self.stats
+        return {
+            "stats": (stats.tuples_in, stats.tuples_out,
+                      stats.punctuations_in, stats.punctuations_out,
+                      stats.discarded),
+            "flushed": self.flushed,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Reset the node to a state produced by :meth:`snapshot_state`."""
+        stats = self.stats
+        (stats.tuples_in, stats.tuples_out, stats.punctuations_in,
+         stats.punctuations_out, stats.discarded) = state["stats"]
+        self.flushed = state["flushed"]
+
+    def recovery_marks(self) -> dict:
+        """Output counters the supervisor uses to size emit suppression."""
+        return {
+            "tuples_out": self.stats.tuples_out,
+            "punctuations_out": self.stats.punctuations_out,
+        }
+
+    def begin_replay(self, crash_marks: dict) -> None:
+        """Hook called after restore, before journal replay.
+
+        ``crash_marks`` is :meth:`recovery_marks` captured at the moment
+        of the crash.  Sinks use it to suppress re-writing rows that
+        already reached the output (exactly-once re-emission).
+        """
+
     # -- blocked-operator support ----------------------------------------------
     def request_heartbeat(self) -> None:
         """Ask the manager for an on-demand ordering-update token."""

@@ -112,6 +112,8 @@ class RuntimeSystem:
         self.nodes_quarantined = 0
         #: the overload control plane, if enabled (see repro.control)
         self.controller = None
+        #: the recovery supervisor, if enabled (see repro.recovery)
+        self.supervisor = None
         #: the sampled-lineage tracer, if enabled (see repro.obs.tracing)
         self.tracer = None
         #: virtual-time cost model for latency accounting (lazy default)
@@ -268,9 +270,32 @@ class RuntimeSystem:
         for channel in node.subscribers:
             channel.push(FLUSH)
 
+    def _contain(self, node: QueryNode, error: Exception) -> bool:
+        """Offer a failing node to the recovery supervisor, else quarantine.
+
+        True means the caller's loop may continue past the node: it was
+        either recovered in place (restored from the last checkpoint
+        with its journal gap replayed) or suspended for a backoff retry
+        (its ``quarantined`` marker makes every scheduler skip it until
+        the supervisor resumes it).  False is today's permanent
+        quarantine, with identical containment accounting.
+        """
+        supervisor = self.supervisor
+        if supervisor is not None and supervisor.on_failure(node, error):
+            tracer = self.tracer
+            if (tracer is not None and tracer.current is not None
+                    and node.quarantined is None):
+                tracer.event(tracer.current, "recovered", node.name,
+                             self._stream_time)
+            return True
+        self._quarantine(node, error)
+        return False
+
     # -- lifecycle ---------------------------------------------------------------
     def start(self) -> None:
         self._started = True
+        if self.supervisor is not None:
+            self.supervisor.on_start()
 
     def stop(self) -> None:
         """Stop so the LFTA set can change ("we can change the RTS in seconds")."""
@@ -335,6 +360,10 @@ class RuntimeSystem:
         self.bytes_fed += packet.caplen
         if packet.timestamp > self._stream_time:
             self._stream_time = packet.timestamp
+        if self.supervisor is not None:
+            # Journal-before-dispatch: the journal must cover the very
+            # packet a consumer crashes on (DESIGN section 11).
+            self.supervisor.journal_packet(packet)
         tracer = self.tracer
         trace = None
         if tracer is not None:
@@ -363,7 +392,7 @@ class RuntimeSystem:
                 else:
                     node.accept_packet(packet)
             except Exception as error:
-                self._quarantine(node, error)
+                self._contain(node, error)
         if trace is not None:
             tracer.current = None
         if (
@@ -390,6 +419,8 @@ class RuntimeSystem:
         self.bytes_fed += total_bytes
         self._stream_time = stream_time
         self.batches_fed += 1
+        if self.supervisor is not None:
+            self.supervisor.journal_packets(packets)
         # Split into per-interface runs, preserving arrival order within
         # each; an "any" consumer sees every packet, so it gets the whole
         # block (its global arrival order) in one call.
@@ -440,7 +471,11 @@ class RuntimeSystem:
                     for packet in packets:
                         accept(packet)
             except Exception as error:
-                self._quarantine(node, error)
+                # Containment keeps the rest of the block intact for
+                # sibling consumers (each entry gets its own dispatch of
+                # the same immutable run); a recovered node already
+                # re-processed the whole journaled block, tail included.
+                self._contain(node, error)
 
     def feed(self, packets: Iterable[CapturedPacket], pump_every: int = 256) -> None:
         """Feed a packet iterable, pumping HFTAs periodically.
@@ -521,13 +556,20 @@ class RuntimeSystem:
                 return
         self._last_heartbeat = stream_time
         self.heartbeats_sent += 1
+        if self.supervisor is not None:
+            self.supervisor.journal_heartbeat(stream_time)
         for node in list(self._all_consumers):
+            # A supervisor-suspended node stays in _all_consumers but
+            # must not see live heartbeats: it catches up from the
+            # journal when it resumes.
+            if node.quarantined is not None:
+                continue
             on_heartbeat = getattr(node, "on_heartbeat", None)
             if on_heartbeat is not None:
                 try:
                     on_heartbeat(stream_time)
                 except Exception as error:
-                    self._quarantine(node, error)
+                    self._contain(node, error)
 
     def heartbeat_requested(self, node: QueryNode) -> None:
         """An operator suspects it is blocked: serve a token at next pump."""
@@ -545,12 +587,19 @@ class RuntimeSystem:
             fault.on_cycle(self._stream_time, self)
         if self.controller is not None:
             self.controller.on_cycle(self._stream_time)
+        supervisor = self.supervisor
+        if supervisor is not None:
+            # Retry suspended nodes whose backoff expired (virtual time).
+            supervisor.on_pump_begin(self._stream_time)
         tracer = self.tracer
         # The batched drain needs per-item tracer lookups disabled and
         # must not bypass a fault injector's per-tuple wraps, so either
         # one forces the scalar drain.
         if self.batch_size > 1 and tracer is None and not self.faults:
-            return self._pump_batched()
+            processed = self._pump_batched()
+            if supervisor is not None:
+                supervisor.on_pump_end(self._stream_time)
+            return processed
         processed = 0
         while True:
             if self._heartbeat_wanted:
@@ -565,6 +614,8 @@ class RuntimeSystem:
                 for input_index, channel in enumerate(node.inputs):
                     while channel:
                         item = channel.pop()
+                        if supervisor is not None:
+                            supervisor.journal_item(node, item, input_index)
                         if tracer is not None:
                             trace = tracer.lookup(item)
                             if trace is not None:
@@ -578,11 +629,14 @@ class RuntimeSystem:
                         try:
                             node.dispatch(item, input_index)
                         except Exception as error:
-                            # A failing node is quarantined -- counted,
-                            # detached, downstream flushed -- instead of
+                            # A failing node is contained -- recovered by
+                            # the supervisor, or quarantined (counted,
+                            # detached, downstream flushed) -- instead of
                             # unwinding pump() and starving its siblings.
-                            self._quarantine(node, error)
-                            break
+                            if not self._contain(node, error):
+                                break
+                            if node.quarantined is not None:
+                                break  # suspended: resumes after backoff
                         processed += 1
                         progress = True
                     if node.quarantined is not None:
@@ -594,6 +648,11 @@ class RuntimeSystem:
         if self._pump_cycle_hist is not None and processed:
             self._pump_cycle_hist.observe(
                 processed * self.cost_model.hfta_tuple_us)
+        if supervisor is not None:
+            # The pump boundary is the crash-consistent cut point: every
+            # channel is quiescent here, so operator state alone
+            # describes the computation.
+            supervisor.on_pump_end(self._stream_time)
         return processed
 
     def _pump_batched(self) -> int:
@@ -605,6 +664,7 @@ class RuntimeSystem:
         dispatched singly at their original positions.  Only called
         with no tracer and no armed faults (see :meth:`pump`).
         """
+        supervisor = self.supervisor
         processed = 0
         while True:
             if self._heartbeat_wanted:
@@ -620,6 +680,8 @@ class RuntimeSystem:
                 for input_index, channel in enumerate(node.inputs):
                     while channel:
                         items = channel.pop_many()
+                        if supervisor is not None:
+                            supervisor.journal_items(node, items, input_index)
                         try:
                             if batched:
                                 dispatch_batch = node.dispatch_batch
@@ -639,12 +701,15 @@ class RuntimeSystem:
                                 for item in items:
                                     dispatch(item, input_index)
                         except Exception as error:
-                            # Same containment as the scalar drain; the
-                            # rest of the popped block dies with the
-                            # node (it would never be scheduled again
-                            # anyway).
-                            self._quarantine(node, error)
-                            break
+                            # Same containment as the scalar drain; on
+                            # recovery the whole journaled block (tail
+                            # included) was replayed, on quarantine or
+                            # suspension the rest of the popped block
+                            # waits in the journal / dies with the node.
+                            if not self._contain(node, error):
+                                break
+                            if node.quarantined is not None:
+                                break  # suspended: resumes after backoff
                         processed += len(items)
                         progress = True
                     if node.quarantined is not None:
@@ -662,8 +727,13 @@ class RuntimeSystem:
 
         A node that fails *while flushing* is quarantined like any
         other failure (its downstream still receives FLUSH), so one bad
-        operator cannot abort teardown for the rest.
+        operator cannot abort teardown for the rest.  Flush events are
+        not journaled, so the supervisor first forces every pending
+        retry (a node must not end the run suspended), and flush-time
+        crashes keep permanent quarantine semantics.
         """
+        if self.supervisor is not None:
+            self.supervisor.finalize()
         for node in list(self._all_consumers):
             if not node.flushed and node.quarantined is None:
                 node.flushed = True

@@ -29,6 +29,12 @@ Command line (via the :mod:`repro.replay` shim)::
 
     python -m repro.replay run    --scenario mixed --seed 7
     python -m repro.replay verify --scenario mixed --seed 7
+    python -m repro.replay verify-recovery --scenario recovery_agg
+
+``verify-recovery`` is the recovery plane's acceptance gate: a run
+that crashes an operator mid-stream and recovers it (checkpoint
+restore + journal replay, see :mod:`repro.recovery`) must be
+byte-identical to the run without the crash.
 """
 
 from __future__ import annotations
@@ -189,6 +195,147 @@ def _e4_scenario(seed: int) -> Dict[str, Any]:
     return snapshot_engine(gs, subs)
 
 
+# -- recovery scenarios ------------------------------------------------------
+#
+# Each runs in two arms, selected by the GS_RECOVERY_CRASH environment
+# variable: "1" arms a transient OperatorFault (raises once, then
+# heals) against the named node; anything else runs clean.  Both arms
+# enable the recovery supervisor with identical settings, so the
+# checkpoint cadence -- and therefore everything the supervisor does on
+# the clean path -- is the same; the only difference is the crash and
+# the restore/replay that repairs it.  ``verify_recovery`` diffs the
+# two arms: recovery is correct exactly when they are byte-identical.
+# batch_size=1 keeps both arms on the scalar path (the crash arm is
+# forced scalar by the armed fault anyway; the clean arm must match).
+
+_RECOVERY_CRASH_ENV = "GS_RECOVERY_CRASH"
+
+# The most recent recovery scenario's supervisor, kept for post-mortem
+# artifact dumps (CI writes its checkpoint blobs on a verify failure).
+_LAST_SUPERVISOR: Dict[str, Any] = {}
+
+
+def _crash_arm() -> bool:
+    return os.environ.get(_RECOVERY_CRASH_ENV) == "1"
+
+
+def _arm_transient_crash(gs, node: str, at_tuple: int) -> None:
+    from repro.faults.injectors import OperatorFault
+    gs.inject_faults([OperatorFault(node, at_tuple=at_tuple, times=1)])
+
+
+@scenario("recovery_agg")
+def _recovery_agg_scenario(seed: int) -> Dict[str, Any]:
+    """Aggregation crash mid-stream: HFTA group state restored+replayed."""
+    from repro.core.engine import Gigascope
+    from repro.workloads.flows import ZipfFlowWorkload
+
+    gs = Gigascope(seed=seed, lfta_table_size=64, channel_capacity=256,
+                   heartbeat_interval=0.5, batch_size=1)
+    gs.add_query("""
+        DEFINE query_name flows;
+        Select tb, srcIP, srcPort, count(*), sum(len)
+        From tcp
+        Group by time/5 as tb, srcIP, srcPort
+    """)
+    subs = {"flows": gs.subscribe("flows")}
+    _LAST_SUPERVISOR["supervisor"] = gs.enable_recovery(
+        checkpoint_interval=0.4)
+    gs.start()
+    if _crash_arm():
+        _arm_transient_crash(gs, "flows", at_tuple=400)
+    workload = ZipfFlowWorkload(num_flows=400, alpha=1.1,
+                                seed=derive_seed(seed, "workload.zipf"))
+    gs.feed(workload.packets(4000, pps=2000.0), pump_every=64)
+    gs.flush()
+    return snapshot_engine(gs, subs)
+
+
+@scenario("recovery_join")
+def _recovery_join_scenario(seed: int) -> Dict[str, Any]:
+    """Join crash mid-stream: window buffers restored, pairs replayed."""
+    from repro.core.engine import Gigascope
+    from repro.net.build import build_tcp_frame, capture
+
+    gs = Gigascope(seed=seed, channel_capacity=512,
+                   heartbeat_interval=0.5, batch_size=1)
+    gs.add_query("""
+        DEFINE query_name j;
+        Select B.time, B.destPort From eth0.tcp B, eth1.tcp C
+        Where B.time = C.time and B.destPort = C.destPort
+    """)
+    subs = {"j": gs.subscribe("j")}
+    _LAST_SUPERVISOR["supervisor"] = gs.enable_recovery(
+        checkpoint_interval=0.5)
+    gs.start()
+    if _crash_arm():
+        _arm_transient_crash(gs, "j", at_tuple=150)
+    rng = rng_for(seed, "recovery_join.workload")
+    ports = (25, 80, 443, 8080)
+    packets = []
+    for i in range(600):
+        t = i * 0.005
+        packets.append(capture(build_tcp_frame(
+            "10.0.0.1", "10.0.0.2", 1000 + i % 50, rng.choice(ports)),
+            t, "eth0"))
+        packets.append(capture(build_tcp_frame(
+            "10.1.0.1", "10.1.0.2", 2000 + i % 50, rng.choice(ports)),
+            t, "eth1"))
+    gs.feed(packets, pump_every=32)
+    gs.flush()
+    return snapshot_engine(gs, subs)
+
+
+@scenario("recovery_tcp")
+def _recovery_tcp_scenario(seed: int) -> Dict[str, Any]:
+    """TCP-reassembly crash: flow tables and out-of-order buffers survive.
+
+    A packet consumer, so the repair replays the *global packet
+    journal* -- the path exercised when the crashing node sits on the
+    card side of the split rather than behind a channel.
+    """
+    from repro.core.engine import Gigascope
+    from repro.net.build import build_tcp_frame, capture
+    from repro.net.tcp import FLAG_ACK, FLAG_SYN
+    from repro.operators.tcp_reassembly import TcpReassemblyNode
+
+    gs = Gigascope(seed=seed, heartbeat_interval=0.5, batch_size=1)
+    gs.add_node(TcpReassemblyNode("tcpre0"), interface="eth0")
+    subs = {"tcpre0": gs.subscribe("tcpre0")}
+    _LAST_SUPERVISOR["supervisor"] = gs.enable_recovery(
+        checkpoint_interval=0.5)
+    gs.start()
+    if _crash_arm():
+        _arm_transient_crash(gs, "tcpre0", at_tuple=300)
+    rng = rng_for(seed, "recovery_tcp.workload")
+    packets = []
+    t = 0.0
+    seqs = {}
+    for i in range(700):
+        t += 0.004
+        sport = 1000 + rng.randrange(8)
+        if sport not in seqs:
+            packets.append(capture(build_tcp_frame(
+                "10.0.0.1", "10.0.0.9", sport, 80,
+                seq=100, flags=FLAG_SYN), t, "eth0"))
+            seqs[sport] = 101
+            continue
+        payload = bytes([65 + rng.randrange(26)]) * (1 + rng.randrange(8))
+        segment = capture(build_tcp_frame(
+            "10.0.0.1", "10.0.0.9", sport, 80, payload=payload,
+            seq=seqs[sport], flags=FLAG_ACK), t, "eth0")
+        seqs[sport] += len(payload)
+        # One packet in eight arrives before its predecessor: swap them
+        # so the out-of-order buffer is live state at the crash.
+        if packets and rng.random() < 0.125:
+            packets.insert(len(packets) - 1, segment)
+        else:
+            packets.append(segment)
+    gs.feed(packets, pump_every=32)
+    gs.flush()
+    return snapshot_engine(gs, subs)
+
+
 def resolve_scenario(name: str) -> Callable[[int], Dict[str, Any]]:
     """A registered scenario, or a ``module:callable`` dotted path."""
     if name in SCENARIOS:
@@ -276,6 +423,60 @@ def strip_batch_metrics(snapshot: Dict[str, Any]) -> Dict[str, Any]:
     return snapshot
 
 
+def strip_recovery_artifacts(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Drop the crash arm's instrumentation from a scenario snapshot.
+
+    ``gs_recovery*`` metric families count checkpoints, restarts, and
+    replay work -- the crash arm restarts a node and the clean arm does
+    not, so they differ *by design*.  The ``faults`` entry of the drop
+    ledger describes the injected crash itself (the experiment's
+    instrument, absent from the clean arm).  Everything else -- rows,
+    drop ledger, statistics, metrics -- must be byte-identical.
+    """
+    metrics = snapshot.get("metrics")
+    if isinstance(metrics, dict) and isinstance(metrics.get("metrics"), list):
+        metrics["metrics"] = [
+            family for family in metrics["metrics"]
+            if not str(family.get("name", "")).startswith("gs_recovery")
+        ]
+    drops = snapshot.get("drops")
+    if isinstance(drops, dict):
+        drops.pop("faults", None)
+    return snapshot
+
+
+def verify_recovery(scenario_name: str, seed: int = 0,
+                    hash_seeds: Tuple[str, ...] = ("1", "2")
+                    ) -> List[ReplayReport]:
+    """Crash-vs-clean differential: run a recovery scenario with and
+    without its transient crash (in subprocesses) and diff everything
+    but the recovery instrumentation, under each ``PYTHONHASHSEED``.
+
+    A passing report means restore + journal replay + exactly-once
+    re-emission reconstructed the uninterrupted run byte-for-byte:
+    same sink rows, same drop ledger, same per-node statistics, same
+    channel counters, same metrics.
+    """
+    reports = []
+    for hash_seed in hash_seeds:
+        clean = strip_recovery_artifacts(
+            _subprocess_snapshot(scenario_name, seed, hash_seed,
+                                 {_RECOVERY_CRASH_ENV: "0"}))
+        crashed = strip_recovery_artifacts(
+            _subprocess_snapshot(scenario_name, seed, hash_seed,
+                                 {_RECOVERY_CRASH_ENV: "1"}))
+        diffs: List[str] = []
+        _diff_paths(clean, crashed, "$", diffs)
+        reports.append(ReplayReport(
+            scenario=scenario_name, seed=seed,
+            hash_seeds=(f"clean (PYTHONHASHSEED={hash_seed})",
+                        f"crash+recover (PYTHONHASHSEED={hash_seed})"),
+            ok=not diffs, diffs=diffs, snapshots=(clean, crashed),
+            axis="crash recovery",
+        ))
+    return reports
+
+
 def verify_batch_equivalence(scenario_name: str, seed: int = 0,
                              batch_size: Optional[int] = None) -> ReplayReport:
     """Run a scenario scalar (``GS_BATCH=0``) and batched (``GS_BATCH=1``)
@@ -353,12 +554,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     batch_cmd = commands.add_parser(
         "verify-batch",
         help="run a scenario scalar (GS_BATCH=0) and batched and diff")
-    for sub in (run_cmd, verify_cmd, batch_cmd):
+    recovery_cmd = commands.add_parser(
+        "verify-recovery",
+        help="run a recovery scenario clean and crashed+recovered and diff")
+    for sub in (run_cmd, verify_cmd, batch_cmd, recovery_cmd):
         sub.add_argument("--scenario", default="mixed",
                          help=f"one of {sorted(SCENARIOS)} or module:callable")
         sub.add_argument("--seed", type=int, default=0)
-    verify_cmd.add_argument("--hash-seeds", nargs=2, default=("1", "2"),
-                            metavar=("A", "B"))
+    for sub in (verify_cmd, recovery_cmd):
+        sub.add_argument("--hash-seeds", nargs=2, default=("1", "2"),
+                         metavar=("A", "B"))
+    recovery_cmd.set_defaults(scenario="recovery_agg")
     batch_cmd.add_argument("--batch-size", type=int, default=None,
                            help="block size for the batched run "
                                 "(default: engine default)")
@@ -368,6 +574,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         json.dump(snapshot, sys.stdout, sort_keys=True)
         sys.stdout.write("\n")
         return 0
+    if args.command == "verify-recovery":
+        reports = verify_recovery(args.scenario, args.seed,
+                                  hash_seeds=tuple(args.hash_seeds))
+        for report in reports:
+            print(report.describe())
+        return 0 if all(report.ok for report in reports) else 1
     if args.command == "verify-batch":
         report = verify_batch_equivalence(args.scenario, args.seed,
                                           batch_size=args.batch_size)

@@ -237,17 +237,26 @@ class OperatorFault(FaultInjector):
     for an LFTA) raises ``RuntimeError``.  The RTS quarantines the node
     -- counts it, detaches it, flushes its downstream -- and keeps every
     sibling running; see ``RuntimeSystem._quarantine``.
+
+    ``times`` bounds how often the fault fires (default: forever once
+    tripped).  A transient crash -- ``times=1`` -- is what the recovery
+    supervisor is built for: the restart's journal replay passes the
+    already-spent injector and completes the gap repair.
     """
 
     kind = "operator_error"
 
     def __init__(self, node: str, at_tuple: int = 1,
-                 message: Optional[str] = None) -> None:
+                 message: Optional[str] = None,
+                 times: Optional[int] = None) -> None:
         super().__init__(0.0, math.inf)
         if at_tuple < 1:
             raise ValueError("at_tuple must be >= 1")
+        if times is not None and times < 1:
+            raise ValueError("times must be >= 1")
         self.node = node
         self.at_tuple = at_tuple
+        self.times = times
         self.message = message or f"injected fault in {node!r}"
         self.triggered = 0
         self._count = 0
@@ -258,7 +267,8 @@ class OperatorFault(FaultInjector):
 
         def check(self=self):
             self._count += 1
-            if self._count >= self.at_tuple:
+            if self._count >= self.at_tuple and (
+                    self.times is None or self.triggered < self.times):
                 self.triggered += 1
                 raise RuntimeError(self.message)
 
@@ -283,7 +293,7 @@ class OperatorFault(FaultInjector):
     def report(self) -> Dict[str, Any]:
         out = super().report()
         out.update(node=self.node, at_tuple=self.at_tuple,
-                   triggered=self.triggered)
+                   times=self.times, triggered=self.triggered)
         return out
 
 

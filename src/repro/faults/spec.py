@@ -10,6 +10,7 @@ left as strings.  Examples::
     clock_skew:iface=eth1,skew=0.25
     heartbeat_silence:at=2.0,duration=3.0
     operator_error:node=flows,at_tuple=100
+    operator_error:node=flows,at_tuple=100,times=1   # transient crash
 """
 
 from __future__ import annotations
@@ -80,8 +81,10 @@ def parse_fault_spec(spec: str, seed: int = 0) -> FaultInjector:
                                 duration=options["duration"])
     if kind == "operator_error":
         _require(options, kind, "node")
+        times = options.get("times")
         return OperatorFault(node=str(options["node"]),
-                             at_tuple=options.get("at_tuple", 1))
+                             at_tuple=options.get("at_tuple", 1),
+                             times=int(times) if times is not None else None)
     raise ValueError(
         f"unknown fault kind {kind!r}; known: ring_burst, channel_storm, "
         f"clock_skew, heartbeat_silence, operator_error"

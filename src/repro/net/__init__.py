@@ -17,7 +17,7 @@ from repro.net.ethernet import EthernetHeader, ETHERTYPE_IPV4
 from repro.net.ip import IPv4Header, PROTO_TCP, PROTO_UDP, PROTO_ICMP
 from repro.net.tcp import TCPHeader
 from repro.net.udp import UDPHeader
-from repro.net.pcap import PcapReader, PcapWriter
+from repro.net.pcap import CaptureTruncated, PcapReader, PcapWriter
 from repro.net.netflow import NetflowRecord, NetflowExporter, pack_netflow_v5, unpack_netflow_v5
 from repro.net.bgp import BGPUpdate
 from repro.net.lpm import PrefixTable
@@ -36,6 +36,7 @@ __all__ = [
     "PROTO_ICMP",
     "TCPHeader",
     "UDPHeader",
+    "CaptureTruncated",
     "PcapReader",
     "PcapWriter",
     "NetflowRecord",

@@ -24,6 +24,15 @@ class PcapError(ValueError):
     """Raised for malformed pcap files."""
 
 
+class CaptureTruncated(PcapError):
+    """The capture ends mid-structure (short header or record body).
+
+    Subclasses :class:`PcapError` so existing ``except PcapError``
+    handlers keep working; callers that want to treat a cut-off trace
+    as "end of data" can catch this type specifically.
+    """
+
+
 class PcapWriter:
     """Write :class:`CapturedPacket` objects to a pcap file.
 
@@ -72,7 +81,7 @@ class PcapReader:
         self.interface = interface
         header = fileobj.read(_GLOBAL_HDR.size)
         if len(header) < _GLOBAL_HDR.size:
-            raise PcapError("truncated pcap global header")
+            raise CaptureTruncated("truncated pcap global header")
         magic_le = struct.unpack_from("<I", header)[0]
         if magic_le == MAGIC_USEC:
             self._rec = _REC_HDR
@@ -93,11 +102,11 @@ class PcapReader:
         if not header:
             raise StopIteration
         if len(header) < self._rec.size:
-            raise PcapError("truncated pcap record header")
+            raise CaptureTruncated("truncated pcap record header")
         seconds, microseconds, caplen, orig_len = self._rec.unpack(header)
         data = self._file.read(caplen)
         if len(data) < caplen:
-            raise PcapError("truncated pcap record body")
+            raise CaptureTruncated("truncated pcap record body")
         return CapturedPacket(
             timestamp=seconds + microseconds / 1_000_000,
             data=data,

@@ -17,6 +17,7 @@ import struct
 from typing import BinaryIO, Dict, Iterator, List, Optional
 
 from repro.net.packet import CapturedPacket
+from repro.net.pcap import CaptureTruncated as _PcapCaptureTruncated
 
 SHB_TYPE = 0x0A0D0D0A
 IDB_TYPE = 0x00000001
@@ -32,6 +33,15 @@ LINKTYPE_ETHERNET = 1
 
 class PcapngError(ValueError):
     """Raised for malformed pcapng files."""
+
+
+class CaptureTruncated(_PcapCaptureTruncated, PcapngError):
+    """The capture ends mid-block (short header, body, or option).
+
+    Subclasses both :class:`PcapngError` and the pcap module's
+    :class:`~repro.net.pcap.CaptureTruncated`, so one ``except``
+    covers cut-off traces in either container format.
+    """
 
 
 class _Interface:
@@ -76,14 +86,14 @@ class PcapngReader:
         if not header:
             return None
         if len(header) < 8:
-            raise PcapngError("truncated block header")
+            raise CaptureTruncated("truncated block header")
         block_type = struct.unpack_from(self._endian + "I", header, 0)[0]
         if block_type == SHB_TYPE:
             # Total length endianness is defined by the section itself:
             # peek at the byte-order magic first.
             magic_raw = self._file.read(4)
             if len(magic_raw) < 4:
-                raise PcapngError("truncated section header")
+                raise CaptureTruncated("truncated section header")
             if struct.unpack("<I", magic_raw)[0] == BYTE_ORDER_MAGIC:
                 self._endian = "<"
             elif struct.unpack(">I", magic_raw)[0] == BYTE_ORDER_MAGIC:
@@ -91,9 +101,11 @@ class PcapngReader:
             else:
                 raise PcapngError("bad byte-order magic")
             total_length = struct.unpack(self._endian + "I", header[4:8])[0]
+            if total_length < 12 or total_length % 4:
+                raise PcapngError(f"bad block length {total_length}")
             body = self._file.read(total_length - 12)
             if len(body) < total_length - 12:
-                raise PcapngError("truncated section header block")
+                raise CaptureTruncated("truncated section header block")
             self._interfaces = []  # a new section resets interfaces
             self._started = True
             return (SHB_TYPE, b"")
@@ -102,7 +114,7 @@ class PcapngReader:
             raise PcapngError(f"bad block length {total_length}")
         body = self._file.read(total_length - 8)
         if len(body) < total_length - 8:
-            raise PcapngError("truncated block body")
+            raise CaptureTruncated("truncated block body")
         return (block_type, body[:-4])  # strip trailing total length
 
     def __iter__(self) -> Iterator[CapturedPacket]:
@@ -116,22 +128,28 @@ class PcapngReader:
             if not self._started:
                 raise PcapngError("file does not start with a section header")
             if block_type == IDB_TYPE:
+                if len(body) < 8:
+                    raise CaptureTruncated(
+                        "truncated interface description block")
                 _linktype, _reserved, _snaplen = struct.unpack_from(
                     self._endian + "HHI", body, 0)
                 options = _parse_options(body[8:], self._endian)
                 name = options.get(_OPT_IF_NAME, b"").split(b"\x00")[0].decode(
                     "utf-8", "replace")
-                tsresol = options.get(_OPT_IF_TSRESOL, b"\x06")[0]
+                tsresol_raw = options.get(_OPT_IF_TSRESOL) or b"\x06"
+                tsresol = tsresol_raw[0]
                 if not name:
                     name = f"{self._prefix}{len(self._interfaces)}"
                 self._interfaces.append(_Interface(name, tsresol))
                 continue
             if block_type == EPB_TYPE:
+                if len(body) < 20:
+                    raise CaptureTruncated("truncated enhanced packet block")
                 (iface_id, ts_high, ts_low, caplen, orig_len) = \
                     struct.unpack_from(self._endian + "IIIII", body, 0)
                 data = body[20 : 20 + caplen]
                 if len(data) < caplen:
-                    raise PcapngError("truncated packet data")
+                    raise CaptureTruncated("truncated packet data")
                 if iface_id >= len(self._interfaces):
                     raise PcapngError(f"EPB references unknown interface "
                                       f"{iface_id}")

@@ -177,6 +177,52 @@ def install_engine_metrics(registry: MetricsRegistry, rts) -> None:
     registry.add_collector(collect)
 
 
+def install_recovery_metrics(registry: MetricsRegistry, supervisor) -> None:
+    """Export the recovery supervisor's ledger through ``registry``.
+
+    All families carry the distinctive ``gs_recovery`` prefix: the
+    crash/clean differential harness (``replay verify-recovery``) strips
+    ``gs_recovery*`` before diffing snapshots, since a crash run restarts
+    nodes and a clean run does not (these counters differ by design).
+    """
+    checkpoints = registry.counter(
+        "gs_recovery_checkpoints_total",
+        "crash-consistent checkpoints cut at pump boundaries")
+    checkpoint_bytes = registry.gauge(
+        "gs_recovery_checkpoint_bytes",
+        "encoded size of the latest full checkpoint")
+    restarts = registry.counter(
+        "gs_recovery_restarts_total",
+        "restore-and-replay attempts across all nodes")
+    replayed = registry.counter(
+        "gs_recovery_replayed_items_total",
+        "journal entries re-dispatched during gap repair")
+    suppressed = registry.counter(
+        "gs_recovery_suppressed_rows_total",
+        "already-delivered rows suppressed during replay (exactly-once)")
+    exhausted = registry.counter(
+        "gs_recovery_retries_exhausted_total",
+        "nodes degraded to permanent quarantine after the retry budget")
+    suspended = registry.gauge(
+        "gs_recovery_nodes_suspended",
+        "nodes awaiting a backoff retry")
+    journal_len = registry.gauge(
+        "gs_recovery_journal_len",
+        "journal entries retained since the last checkpoint")
+
+    def collect() -> None:
+        checkpoints.set(supervisor.checkpoints_taken)
+        checkpoint_bytes.set(supervisor.checkpoint_bytes)
+        restarts.set(supervisor.restarts_total)
+        replayed.set(supervisor.replayed_items)
+        suppressed.set(supervisor.suppressed_rows)
+        exhausted.set(supervisor.retries_exhausted)
+        suspended.set(len(supervisor._suspended))
+        journal_len.set(supervisor.journal_len)
+
+    registry.add_collector(collect)
+
+
 def bind_nic(registry: MetricsRegistry, nic, name: str = "nic0") -> None:
     """Export a simulated NIC's ring occupancy and drop counters."""
     counters = {

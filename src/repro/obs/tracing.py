@@ -41,7 +41,7 @@ TRACE_PROBE_BYTES = 32
 #: terminal on the card -- distinct so trace reconstruction can tell
 #: an accounted rejection from an accounted loss
 STAGES = ("nic", "nic_drop", "nic_filtered", "feed", "lfta", "emit",
-          "hfta", "sink", "app")
+          "hfta", "sink", "app", "recovered")
 
 
 def trace_key(packet) -> int:

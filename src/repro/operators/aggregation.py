@@ -209,6 +209,24 @@ class AggregationNode(QueryNode):
         if self._high_water is None or low_water > self._high_water - self._window_band:
             self._flush_below(low_water)
 
+    # -- checkpoint/restore (DESIGN section 11) ----------------------------
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["groups"] = dict(self._groups)
+        state["high_water"] = self._high_water
+        state["groups_emitted"] = self.groups_emitted
+        state["sample_rng"] = (self._sample_rng.getstate()
+                               if self._sample_rng is not None else None)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._groups = dict(state["groups"])
+        self._high_water = state["high_water"]
+        self.groups_emitted = state["groups_emitted"]
+        if self._sample_rng is not None and state["sample_rng"] is not None:
+            self._sample_rng.setstate(state["sample_rng"])
+
     def flush(self) -> None:
         """Emit every remaining group (explicit flush / end of stream)."""
         keys = list(self._groups)

@@ -129,5 +129,52 @@ class DefragNode(QueryNode):
     def flush(self) -> None:
         self._pending.clear()
 
+    # -- checkpoint/restore (DESIGN section 11) ----------------------------
+    # Parsed headers are snapshotted field-by-field: IPv4Header keeps a
+    # plain __dict__ (the _rebuild constructor round-trip above relies
+    # on it) and EthernetHeader is __slots__-only, so each side has an
+    # explicit encoding here.
+    _ETH_SLOTS = ("_dst", "_src", "_dst_raw", "_src_raw", "ethertype")
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        pending = {}
+        for key, reassembly in self._pending.items():
+            header = reassembly.header
+            eth = reassembly.eth
+            pending[key] = (
+                reassembly.first_seen,
+                dict(vars(header)) if header is not None else None,
+                (tuple(getattr(eth, slot) for slot in self._ETH_SLOTS)
+                 if eth is not None else None),
+                dict(reassembly.chunks),
+                reassembly.total_len,
+            )
+        state["pending"] = pending
+        state["datagrams_reassembled"] = self.datagrams_reassembled
+        state["fragments_seen"] = self.fragments_seen
+        state["timed_out"] = self.timed_out
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._pending = {}
+        for key, (first_seen, header_fields, eth_fields,
+                  chunks, total_len) in state["pending"].items():
+            header = (IPv4Header(**header_fields)
+                      if header_fields is not None else None)
+            eth = None
+            if eth_fields is not None:
+                eth = object.__new__(EthernetHeader)
+                for slot, value in zip(self._ETH_SLOTS, eth_fields):
+                    setattr(eth, slot, value)
+            self._pending[key] = _Reassembly(
+                first_seen=first_seen, header=header, eth=eth,
+                chunks=dict(chunks), total_len=total_len,
+            )
+        self.datagrams_reassembled = state["datagrams_reassembled"]
+        self.fragments_seen = state["fragments_seen"]
+        self.timed_out = state["timed_out"]
+
     def on_tuple(self, row: tuple, input_index: int) -> None:
         raise TypeError("DefragNode accepts packets, not tuples")

@@ -245,6 +245,34 @@ class JoinNode(QueryNode):
             self._last_bounds.update(improved)
             self.emit_punctuation(Punctuation(improved))
 
+    # -- checkpoint/restore (DESIGN section 11) ----------------------------
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["buffers"] = [list(self._buffers[0]), list(self._buffers[1])]
+        state["values"] = [list(self._values[0]), list(self._values[1])]
+        state["low_water"] = list(self._low_water)
+        state["done"] = list(self._done)
+        state["last_bounds"] = dict(self._last_bounds)
+        state["reorder"] = list(self._reorder)
+        state["reorder_seq"] = self._reorder_seq
+        state["reorder_peak"] = self.reorder_peak
+        state["pairs_emitted"] = self.pairs_emitted
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._buffers = [list(state["buffers"][0]), list(state["buffers"][1])]
+        self._values = [list(state["values"][0]), list(state["values"][1])]
+        self._low_water = list(state["low_water"])
+        self._done = list(state["done"])
+        self._last_bounds = dict(state["last_bounds"])
+        # Heap invariant survives the round trip: entries come back in
+        # the same list order they were snapshotted in.
+        self._reorder = list(state["reorder"])
+        self._reorder_seq = state["reorder_seq"]
+        self.reorder_peak = state["reorder_peak"]
+        self.pairs_emitted = state["pairs_emitted"]
+
     def on_flush(self, input_index: int) -> None:
         self._done[input_index] = True
         self._low_water[input_index] = math.inf

@@ -281,6 +281,34 @@ class LftaNode(QueryNode):
             if self._window_index >= 0:
                 self._flush_below(low_water)
 
+    # -- checkpoint/restore (DESIGN section 11) ----------------------------
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["packets_seen"] = self.packets_seen
+        state["sampled_out"] = self.sampled_out
+        state["shed_rate"] = self.shed_rate
+        state["shed_packets"] = self.shed_packets
+        state["shed_rng"] = self._shed_rng.getstate()
+        state["sample_rng"] = (self._sample_rng.getstate()
+                               if self._sample_rng is not None else None)
+        if self.mode == "partial_aggregation":
+            state["table"] = self.table.snapshot_state()
+            state["high_water"] = self._high_water
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self.packets_seen = state["packets_seen"]
+        self.sampled_out = state["sampled_out"]
+        self.shed_rate = state["shed_rate"]
+        self.shed_packets = state["shed_packets"]
+        self._shed_rng.setstate(state["shed_rng"])
+        if self._sample_rng is not None and state["sample_rng"] is not None:
+            self._sample_rng.setstate(state["sample_rng"])
+        if self.mode == "partial_aggregation":
+            self.table.restore_state(state["table"])
+            self._high_water = state["high_water"]
+
     # -- end of stream --------------------------------------------------------
     def flush(self) -> None:
         if self.mode == "partial_aggregation" and self.table is not None:

@@ -98,6 +98,31 @@ class DirectMappedTable:
                 self.occupied -= 1
         return evicted
 
+    # -- checkpoint/restore (DESIGN section 11) --------------------------
+    def snapshot_state(self) -> dict:
+        """Table contents and accounting as snapshot primitives.
+
+        The caller encodes the result immediately (slot entries alias
+        live group-state lists until then).
+        """
+        return {
+            "size": self.size,
+            "slots": list(self._slots),
+            "occupied": self.occupied,
+            "collisions": self.collisions,
+            "lookups": self.lookups,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state["size"] != self.size:
+            raise ValueError(
+                f"snapshot is for a table of size {state['size']}, "
+                f"this table has size {self.size}")
+        self._slots = list(state["slots"])
+        self.occupied = state["occupied"]
+        self.collisions = state["collisions"]
+        self.lookups = state["lookups"]
+
     def __len__(self) -> int:
         return self.occupied
 

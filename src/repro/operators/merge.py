@@ -143,6 +143,22 @@ class MergeNode(QueryNode):
             self.flushed = True
             self.emit_flush()
 
+    # -- checkpoint/restore (DESIGN section 11) ----------------------------
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["buffers"] = [list(buffer) for buffer in self._buffers]
+        state["low_water"] = list(self._low_water)
+        state["done"] = list(self._done)
+        state["dropped"] = self.dropped
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._buffers = [list(buffer) for buffer in state["buffers"]]
+        self._low_water = list(state["low_water"])
+        self._done = list(state["done"])
+        self.dropped = state["dropped"]
+
     def flush(self) -> None:
         """Force out everything buffered, in merge order."""
         for done in range(len(self._done)):

@@ -156,5 +156,26 @@ class SessionizeNode(QueryNode):
     def open_sessions(self) -> int:
         return len(self._sessions)
 
+    # -- checkpoint/restore (DESIGN section 11) ----------------------------
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["sessions"] = {
+            key: (session.start, session.last, session.packets,
+                  session.octets, session.tcpflags)
+            for key, session in self._sessions.items()
+        }
+        state["sessions_emitted"] = self.sessions_emitted
+        state["last_sweep"] = self._last_sweep
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._sessions = {
+            key: _Session(*values)
+            for key, values in state["sessions"].items()
+        }
+        self.sessions_emitted = state["sessions_emitted"]
+        self._last_sweep = state["last_sweep"]
+
     def on_tuple(self, row: tuple, input_index: int) -> None:
         raise TypeError("SessionizeNode accepts packets, not tuples")

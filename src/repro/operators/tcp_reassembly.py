@@ -128,6 +128,30 @@ class TcpReassemblyNode(QueryNode):
     def flush(self) -> None:
         self._flows.clear()
 
+    # -- checkpoint/restore (DESIGN section 11) ----------------------------
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["flows"] = {
+            key: (flow.next_seq, flow.base_seq, dict(flow.out_of_order),
+                  flow.delivered)
+            for key, flow in self._flows.items()
+        }
+        state["chunks_emitted"] = self.chunks_emitted
+        state["segments_dropped"] = self.segments_dropped
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._flows = {
+            key: _FlowState(next_seq=next_seq, base_seq=base_seq,
+                            out_of_order=dict(out_of_order),
+                            delivered=delivered)
+            for key, (next_seq, base_seq, out_of_order, delivered)
+            in state["flows"].items()
+        }
+        self.chunks_emitted = state["chunks_emitted"]
+        self.segments_dropped = state["segments_dropped"]
+
     def on_tuple(self, row: tuple, input_index: int) -> None:
         raise TypeError("TcpReassemblyNode accepts packets, not tuples")
 

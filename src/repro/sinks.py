@@ -21,7 +21,50 @@ from repro.gsql.types import IP
 from repro.net.packet import int_to_ip
 
 
-class CsvSink(QueryNode):
+class _RecoverableSink(QueryNode):
+    """Recovery support shared by the file sinks (DESIGN section 11).
+
+    A sink's side effect (the written line) cannot be rolled back by a
+    checkpoint restore, so recovery replay must not re-write rows that
+    already reached the file.  The supervisor calls
+    :meth:`begin_replay` with the counters captured at the crash; the
+    sink skips exactly the rows the journal re-delivers that were
+    already written, keeping output exactly-once.
+    """
+
+    def __init__(self, name: str, schema: StreamSchema) -> None:
+        super().__init__(name, schema)
+        self.rows_written = 0
+        self._replay_skip = 0
+
+    def _skip_replayed(self) -> bool:
+        """True if this row was already written before the crash."""
+        if self._replay_skip:
+            self._replay_skip -= 1
+            self.rows_written += 1
+            return True
+        return False
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["rows_written"] = self.rows_written
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self.rows_written = state["rows_written"]
+        self._replay_skip = 0
+
+    def recovery_marks(self) -> dict:
+        marks = super().recovery_marks()
+        marks["rows_written"] = self.rows_written
+        return marks
+
+    def begin_replay(self, crash_marks: dict) -> None:
+        self._replay_skip = crash_marks["rows_written"] - self.rows_written
+
+
+class CsvSink(_RecoverableSink):
     """Write every received tuple as a CSV row (with a header)."""
 
     def __init__(self, name: str, schema: StreamSchema, fileobj: IO[str],
@@ -31,7 +74,6 @@ class CsvSink(QueryNode):
         self._writer = csv.writer(fileobj)
         self._writer.writerow(schema.names)
         self.flush_every = flush_every
-        self.rows_written = 0
         self._formatters = []
         for attribute in schema.attributes:
             if pretty_ip and attribute.gsql_type is IP:
@@ -45,6 +87,8 @@ class CsvSink(QueryNode):
                 self._formatters.append(None)
 
     def on_tuple(self, row: tuple, input_index: int) -> None:
+        if self._skip_replayed():
+            return
         rendered = [
             fn(value) if fn is not None else value
             for fn, value in zip(self._formatters, row)
@@ -58,7 +102,7 @@ class CsvSink(QueryNode):
         self._file.flush()
 
 
-class JsonlSink(QueryNode):
+class JsonlSink(_RecoverableSink):
     """Write every received tuple as one JSON object per line."""
 
     def __init__(self, name: str, schema: StreamSchema, fileobj: IO[str],
@@ -67,9 +111,10 @@ class JsonlSink(QueryNode):
         self._file = fileobj
         self._names = schema.names
         self.flush_every = flush_every
-        self.rows_written = 0
 
     def on_tuple(self, row: tuple, input_index: int) -> None:
+        if self._skip_replayed():
+            return
         record = {}
         for name, value in zip(self._names, row):
             if isinstance(value, bytes):

@@ -244,3 +244,59 @@ class TestMultiplePcaps:
         assert len(body) == 11  # header + 10 merged rows
         times = [int(line.split(",")[0]) for line in body[1:]]
         assert times == sorted(times)
+
+
+class TestRecoveryFlags:
+    QUERY = ("DEFINE query_name q; Select tb, count(*) "
+             "From tcp Group by time/5 as tb")
+
+    def test_recover_runs_and_prints_report(self, trace, capsys):
+        code, out, err = run_cli(
+            ["--pcap", trace, "--query", self.QUERY, "--recover",
+             "--fault", "operator_error:node=q,at_tuple=3,times=1"],
+            capsys)
+        assert code == 0
+        assert "# recovery report" in err
+        assert "restarted q: 1 attempt(s)" in err
+        # Output identical to an undisturbed run.
+        clean_code, clean_out, _ = run_cli(
+            ["--pcap", trace, "--query", self.QUERY], capsys)
+        assert clean_code == 0
+        assert out == clean_out
+
+    def test_checkpoint_interval_implies_recover(self, trace, capsys):
+        code, _out, err = run_cli(
+            ["--pcap", trace, "--query", self.QUERY,
+             "--checkpoint-interval", "2.5"],
+            capsys)
+        assert code == 0
+        assert "# recovery report" in err
+
+    def test_bad_checkpoint_interval_exits_2_naming_field(self, trace,
+                                                          capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--pcap", trace, "--query", self.QUERY,
+                  "--checkpoint-interval", "0"])
+        assert excinfo.value.code == 2
+        assert "--checkpoint-interval" in capsys.readouterr().err
+
+    def test_bad_max_restarts_exits_2_naming_field(self, trace, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--pcap", trace, "--query", self.QUERY,
+                  "--max-restarts", "-1"])
+        assert excinfo.value.code == 2
+        assert "--max-restarts" in capsys.readouterr().err
+
+    def test_bad_fault_exits_2_naming_field(self, trace, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--pcap", trace, "--query", self.QUERY,
+                  "--fault", "operator_error:junk"])
+        assert excinfo.value.code == 2
+        assert "bad --fault" in capsys.readouterr().err
+
+    def test_unknown_fault_kind_exits_2(self, trace, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--pcap", trace, "--query", self.QUERY,
+                  "--fault", "gremlins:at=1"])
+        assert excinfo.value.code == 2
+        assert "unknown fault kind" in capsys.readouterr().err

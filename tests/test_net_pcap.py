@@ -7,6 +7,7 @@ import pytest
 
 from repro.net.packet import CapturedPacket
 from repro.net.pcap import (
+    CaptureTruncated,
     MAGIC_USEC,
     PcapError,
     PcapReader,
@@ -99,3 +100,42 @@ class TestErrors:
         buffer.seek(0)
         (packet,) = list(PcapReader(buffer))
         assert abs(packet.timestamp - 2.0) < 1e-5
+
+
+class TestCaptureTruncated:
+    """Cut-off traces raise the typed CaptureTruncated, never a bare
+    struct.error -- the recovery path catches it to treat a torn tail
+    as end-of-data."""
+
+    def _blob(self, n=3):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        for packet in _packets(n):
+            writer.write(packet)
+        return buffer.getvalue()
+
+    def test_short_global_header(self):
+        with pytest.raises(CaptureTruncated):
+            PcapReader(io.BytesIO(self._blob()[:12]))
+
+    def test_cut_in_record_header(self):
+        blob = self._blob(1)
+        with pytest.raises(CaptureTruncated):
+            list(PcapReader(io.BytesIO(blob[:24 + 7])))
+
+    def test_cut_in_record_body(self):
+        with pytest.raises(CaptureTruncated):
+            list(PcapReader(io.BytesIO(self._blob(1)[:-3])))
+
+    def test_is_a_pcap_error(self):
+        assert issubclass(CaptureTruncated, PcapError)
+
+    def test_every_cut_point_raises_typed_error(self):
+        blob = self._blob()
+        for cut in range(len(blob)):
+            reader_input = io.BytesIO(blob[:cut])
+            try:
+                list(PcapReader(reader_input))
+            except CaptureTruncated:
+                pass
+            # Any other exception type (struct.error above all) fails.

@@ -8,6 +8,7 @@ import pytest
 from repro.net.packet import CapturedPacket
 from repro.net.pcapng import (
     BYTE_ORDER_MAGIC,
+    CaptureTruncated,
     EPB_TYPE,
     IDB_TYPE,
     PcapngError,
@@ -145,3 +146,39 @@ class TestCliIntegration:
         gs.feed(read_pcapng(path))
         gs.flush()
         assert len(sub.poll()) == 10
+
+
+class TestCaptureTruncated:
+    """Cut-off traces raise the typed CaptureTruncated, never a bare
+    struct.error, and the type is shared with the pcap reader."""
+
+    def _blob(self):
+        buffer = io.BytesIO()
+        writer = PcapngWriter(buffer)
+        for packet in _packets():
+            writer.write(packet)
+        return buffer.getvalue()
+
+    def test_short_section_header(self):
+        with pytest.raises(CaptureTruncated):
+            list(PcapngReader(io.BytesIO(self._blob()[:10])))
+
+    def test_cut_in_block_body(self):
+        with pytest.raises(CaptureTruncated):
+            list(PcapngReader(io.BytesIO(self._blob()[:-9])))
+
+    def test_shared_with_pcap_reader(self):
+        from repro.net import CaptureTruncated as shared
+        from repro.net.pcap import CaptureTruncated as pcap_truncated
+        assert issubclass(CaptureTruncated, pcap_truncated)
+        assert issubclass(CaptureTruncated, shared)
+        assert issubclass(CaptureTruncated, PcapngError)
+
+    def test_every_cut_point_raises_typed_error(self):
+        blob = self._blob()
+        for cut in range(0, len(blob), 3):
+            try:
+                list(PcapngReader(io.BytesIO(blob[:cut])))
+            except (CaptureTruncated, PcapngError):
+                pass
+            # struct.error or IndexError here fails the test.
