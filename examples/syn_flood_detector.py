@@ -1,44 +1,28 @@
 #!/usr/bin/env python
-"""Network attack monitoring: a SYN-flood / scan detector in GSQL.
+"""Network attack monitoring: a SYN-flood detector on the alert layer.
 
 The paper lists "network attack and intrusion detection and monitoring
 (e.g. distributed denial of service attacks)" among Gigascope's target
-applications.  This example watches for destination hosts receiving an
-abnormal number of TCP SYNs per 5-second bucket -- the classic SYN
-flood signature -- using only filtering + aggregation + HAVING, with a
-query parameter so the alarm threshold can be changed on the fly.
+applications.  The GSQL query stays a plain per-victim SYN aggregate;
+the declarative trigger layer (``repro.alerts``) owns the threshold,
+the hysteresis, and the RAISE/CLEAR alert edges, and the labeled
+scenario corpus (``repro.workloads.scenarios``) supplies an attack
+whose ground truth is known -- so the printed alerts can be checked
+against when and where the flood actually happened.
 
 Run:  python examples/syn_flood_detector.py
 """
 
-import random
-
 from repro import Gigascope
-from repro.net.build import build_tcp_frame, capture
 from repro.net.packet import int_to_ip
-from repro.net.tcp import FLAG_ACK, FLAG_SYN
-from repro.workloads.generators import background_pool, merge_streams, packet_stream
-
-
-def attack_stream(victim="192.168.9.9", start=20.0, duration=15.0,
-                  pps=2000.0, seed=5):
-    """Spoofed-source SYNs aimed at one victim."""
-    rng = random.Random(seed)
-    now = start
-    end = start + duration
-    while now < end:
-        src = f"{rng.randrange(1, 224)}.{rng.randrange(256)}." \
-              f"{rng.randrange(256)}.{rng.randrange(1, 255)}"
-        frame = build_tcp_frame(src, victim, rng.randrange(1024, 65535), 80,
-                                flags=FLAG_SYN, seq=rng.randrange(1 << 31))
-        yield capture(frame, now)
-        now += (0.5 + rng.random()) / pps
+from repro.workloads.scenarios import syn_flood
 
 
 def main() -> None:
-    gs = Gigascope()
+    gs = Gigascope(heartbeat_interval=0.5)
 
-    # tcpflags & 0x12 = 0x02 selects SYN-without-ACK segments.
+    # tcpflags & 0x12 = 0x02 selects SYN-without-ACK segments; no
+    # Having clause -- thresholding moved into the trigger below.
     gs.add_query(
         """
         DEFINE query_name syn_watch;
@@ -46,27 +30,33 @@ def main() -> None:
         From tcp
         Where tcpflags & 18 = 2
         Group by time/5 as tb, destIP
-        Having count(*) > $threshold
-        """,
-        params={"threshold": 100},
+        """
     )
-    print(gs.explain("syn_watch"))
-    print()
 
-    alerts = gs.subscribe("syn_watch")
+    gs.enable_alerts([
+        "synflood:on=syn_watch,key=destIP,when=sum(syns) > 400,"
+        "epoch=5,raise_for=1,clear_for=2,severity=critical",
+    ])
+
+    alerts = gs.subscribe("alerts")
     gs.start()
 
-    background = packet_stream(background_pool(seed=1), rate_mbps=20.0,
-                               duration_s=60.0, seed=3)
-    gs.feed(merge_streams(background, attack_stream()))
+    scenario = syn_flood(duration_s=50.0, background_mbps=6.0, pps=800.0)
+    gs.feed(scenario.packets, pump_every=64)
     gs.flush()
 
-    print("ALERTS (threshold: >100 SYNs / 5s to one host)")
-    print("bucket  victim            SYN count")
-    for tb, victim, syns in alerts.poll():
-        print(f"{tb:>6}  {int_to_ip(victim):<16}  {syns:>9}")
-    print("\nThe attack window (t=20..35s -> buckets 4..6) stands out; "
-          "normal traffic never crosses the threshold.")
+    print("ALERTS (sum(syns) > 400 per 5 s epoch, per destination)")
+    print("time    kind   severity  victim            SYNs")
+    for time, epoch, trigger, kind, severity, key, value, _ in alerts.poll():
+        print(f"{time:>6.1f}  {kind.decode():<5}  {severity.decode():<8}  "
+              f"{key.decode():<16}  {value:>6.0f}")
+
+    lo, hi = scenario.window
+    print(f"\nGround truth: {scenario.kind} against "
+          f"{int_to_ip(scenario.subject_ip)} during t={lo:.0f}..{hi:.0f} s.")
+    print("The RAISE lands in the first attack epoch; after the flood "
+          "stops,\ntwo quiet epochs (clear_for=2) end the alert with a "
+          "CLEAR.")
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ Quick start::
     rows = sub.poll()
 """
 
+from repro.alerts import AlertEngine, AlertSpecError, TriggerSpec, parse_alert_spec
 from repro.control import (
     AimdShedding,
     NoShedding,
@@ -41,10 +42,14 @@ from repro.gsql.schema import Attribute, ProtocolSchema, StreamSchema
 from repro.net.packet import CapturedPacket
 from repro.obs import MetricsRegistry, Tracer
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Gigascope",
+    "AlertEngine",
+    "AlertSpecError",
+    "TriggerSpec",
+    "parse_alert_spec",
     "RuntimeSystem",
     "Subscription",
     "QueryNode",

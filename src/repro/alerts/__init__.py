@@ -1,0 +1,37 @@
+"""Alerting/trigger subsystem (DESIGN section 12).
+
+Declarative trigger specs over any GSQL subscription, evaluated in
+virtual time at pump boundaries, emitting typed RAISE/CLEAR alert
+streams with hysteresis and rate limiting.  Enable with
+:meth:`repro.core.engine.Gigascope.enable_alerts`.
+"""
+
+from repro.alerts.engine import (
+    AlertBusNode,
+    AlertEngine,
+    EpochTick,
+    TriggerNode,
+    alert_schema,
+)
+from repro.alerts.spec import (
+    MAX_WINDOW_EPOCHS,
+    SEVERITIES,
+    AlertSpecError,
+    TriggerSpec,
+    parse_alert_spec,
+    parse_condition,
+)
+
+__all__ = [
+    "AlertBusNode",
+    "AlertEngine",
+    "AlertSpecError",
+    "EpochTick",
+    "MAX_WINDOW_EPOCHS",
+    "SEVERITIES",
+    "TriggerNode",
+    "TriggerSpec",
+    "alert_schema",
+    "parse_alert_spec",
+    "parse_condition",
+]

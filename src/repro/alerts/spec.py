@@ -1,0 +1,650 @@
+"""The declarative trigger-spec language of :mod:`repro.alerts`.
+
+A trigger watches one GSQL query's output stream and fires typed
+RAISE/CLEAR alerts when a condition over *epochs* of that stream holds.
+Specs are compact strings in the same ``NAME:key=value,...`` shape as
+the ``--fault`` injector specs::
+
+    synflood:on=syn_watch,key=destIP,when=sum(syns) > 1000,
+             epoch=5,raise_for=1,clear_for=2,severity=critical,
+             min_interval=30
+
+The condition grammar (the RTLOLA-flavored core, kept deliberately
+small)::
+
+    expr  := term ('or' term)*
+    term  := atom ('and' atom)*
+    atom  := '(' expr ')'
+           | 'absent' '(' INT ')'                    # N empty epochs
+           | 'delta' '(' agg ',' INT ')' CMP NUMBER  # trend over N epochs
+           | agg CMP NUMBER                          # threshold
+    agg   := ('count'|'sum'|'min'|'max'|'avg') '(' FIELD ')'
+           | 'count' '(' '*' ')'
+           | FIELD                                   # shorthand: max(FIELD)
+    CMP   := > >= < <= = !=
+
+Aggregates summarize the rows the watched query emitted during one
+evaluation epoch (per ``key=`` group when keyed).  ``delta(a, N)`` is
+the current epoch's value of ``a`` minus its value ``N`` epochs ago;
+``absent(N)`` is true after ``N`` consecutive epochs with no rows.
+
+**Bounded memory.**  Every spec is validated against the same ordering
+reasoning GSQL uses to unblock operators (:mod:`repro.gsql.ordering`):
+the epoch clock is derived from stream time, whose ordering property is
+``increasing`` -- ``usable_for_windows`` -- so closed epochs can be
+evicted.  The spec's *retention* (the largest lookback any part of it
+needs: delta windows, absence spans, hysteresis streaks) must be a
+finite number of epochs; a spec that would need unbounded history is
+rejected at parse time with the offending field named.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.gsql.ordering import Ordering
+
+#: hard ceiling on any lookback window, in epochs; larger (or infinite)
+#: windows are "unbounded" for the purposes of the memory argument
+MAX_WINDOW_EPOCHS = 4096
+
+SEVERITIES = ("info", "warning", "critical")
+
+_AGG_FNS = ("count", "sum", "min", "max", "avg")
+_CMP_OPS = (">=", "<=", "!=", ">", "<", "=")
+
+_KNOWN_OPTIONS = ("on", "when", "key", "severity", "epoch",
+                  "raise_for", "clear_for", "min_interval")
+
+
+class AlertSpecError(ValueError):
+    """A malformed trigger spec; the message names the bad field."""
+
+    def __init__(self, field_name: str, message: str) -> None:
+        self.field = field_name
+        super().__init__(f"{field_name}: {message}")
+
+
+# ---------------------------------------------------------------------------
+# Condition AST
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Agg:
+    """One epoch aggregate: ``fn(field)`` (field None for ``count(*)``)."""
+
+    fn: str
+    field: Optional[str]
+
+    @property
+    def key(self) -> str:
+        return f"{self.fn}({self.field or '*'})"
+
+    def value(self, ctx: "EpochContext") -> Optional[float]:
+        if self.fn == "count":
+            if self.field is None:
+                return float(ctx.rows)
+            acc = ctx.fields.get(self.field.lower())
+            return float(acc[0]) if acc is not None else 0.0
+        acc = ctx.fields.get(self.field.lower())
+        if self.fn == "sum":
+            return float(acc[1]) if acc is not None else 0.0
+        if acc is None:  # min/max/avg of an empty epoch are undefined
+            return None
+        if self.fn == "min":
+            return float(acc[2])
+        if self.fn == "max":
+            return float(acc[3])
+        return float(acc[1]) / acc[0]  # avg
+
+    def __str__(self) -> str:
+        return self.key
+
+
+class EpochContext:
+    """What one (key, epoch) pair exposes to condition evaluation.
+
+    ``fields`` maps a lowercased field name to its ``[count, total,
+    min, max]`` accumulator for the epoch; ``history`` maps a delta
+    expression's key to the values of *previous* epochs (most recent
+    last); ``idle`` counts consecutive empty epochs ending with this
+    one.
+    """
+
+    __slots__ = ("rows", "fields", "history", "idle")
+
+    def __init__(self, rows: int, fields: Dict[str, list],
+                 history: Dict[str, List[Optional[float]]], idle: int) -> None:
+        self.rows = rows
+        self.fields = fields
+        self.history = history
+        self.idle = idle
+
+
+def _compare(left: Optional[float], op: str, right: float) -> bool:
+    if left is None:
+        return False
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == "=":
+        return left == right
+    return left != right  # !=
+
+
+@dataclass(frozen=True)
+class Threshold:
+    """``agg CMP number``."""
+
+    agg: Agg
+    op: str
+    bound: float
+
+    def evaluate(self, ctx: EpochContext) -> bool:
+        return _compare(self.agg.value(ctx), self.op, self.bound)
+
+    def observed(self, ctx: EpochContext) -> Optional[float]:
+        return self.agg.value(ctx)
+
+    @property
+    def window(self) -> int:
+        return 0
+
+    def deltas(self) -> List["Delta"]:
+        return []
+
+    def __str__(self) -> str:
+        return f"{self.agg} {self.op} {self.bound:g}"
+
+
+@dataclass(frozen=True)
+class Delta:
+    """``delta(agg, N) CMP number``: trend over a sliding N-epoch window."""
+
+    agg: Agg
+    lookback: int
+    op: str
+    bound: float
+
+    @property
+    def key(self) -> str:
+        return f"delta({self.agg.key},{self.lookback})"
+
+    def current_minus_past(self, ctx: EpochContext) -> Optional[float]:
+        current = self.agg.value(ctx)
+        history = ctx.history.get(self.key, ())
+        if current is None or len(history) < self.lookback:
+            return None
+        past = history[-self.lookback]
+        if past is None:
+            return None
+        return current - past
+
+    def evaluate(self, ctx: EpochContext) -> bool:
+        return _compare(self.current_minus_past(ctx), self.op, self.bound)
+
+    def observed(self, ctx: EpochContext) -> Optional[float]:
+        return self.current_minus_past(ctx)
+
+    @property
+    def window(self) -> int:
+        return self.lookback
+
+    def deltas(self) -> List["Delta"]:
+        return [self]
+
+    def __str__(self) -> str:
+        return f"delta({self.agg},{self.lookback}) {self.op} {self.bound:g}"
+
+
+@dataclass(frozen=True)
+class Absent:
+    """``absent(N)``: the watched stream produced nothing for N epochs."""
+
+    span: int
+
+    def evaluate(self, ctx: EpochContext) -> bool:
+        return ctx.idle >= self.span
+
+    def observed(self, ctx: EpochContext) -> Optional[float]:
+        return float(ctx.idle)
+
+    @property
+    def window(self) -> int:
+        return self.span
+
+    def deltas(self) -> List[Delta]:
+        return []
+
+    def __str__(self) -> str:
+        return f"absent({self.span})"
+
+
+@dataclass(frozen=True)
+class Composite:
+    """AND/OR of sub-conditions."""
+
+    op: str  # "and" | "or"
+    parts: Tuple[object, ...]
+
+    def evaluate(self, ctx: EpochContext) -> bool:
+        if self.op == "and":
+            return all(part.evaluate(ctx) for part in self.parts)
+        return any(part.evaluate(ctx) for part in self.parts)
+
+    def observed(self, ctx: EpochContext) -> Optional[float]:
+        return self.parts[0].observed(ctx)
+
+    @property
+    def window(self) -> int:
+        return max(part.window for part in self.parts)
+
+    def deltas(self) -> List[Delta]:
+        out: List[Delta] = []
+        for part in self.parts:
+            out.extend(part.deltas())
+        return out
+
+    def __str__(self) -> str:
+        return f" {self.op} ".join(
+            f"({part})" if isinstance(part, Composite) else str(part)
+            for part in self.parts)
+
+
+# ---------------------------------------------------------------------------
+# Condition parser
+# ---------------------------------------------------------------------------
+
+_TOKEN = re.compile(r"""
+    \s*(
+        >=|<=|!=|[><=(),*]
+      | [A-Za-z_][A-Za-z0-9_.]*
+      | -?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?
+      | -?inf
+    )""", re.VERBOSE)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            if text[position:].strip():
+                raise AlertSpecError(
+                    "when", f"cannot tokenize {text[position:].strip()!r}")
+            break
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+class _ConditionParser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.position = 0
+
+    def peek(self) -> Optional[str]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def take(self, expected: Optional[str] = None) -> str:
+        token = self.peek()
+        if token is None:
+            raise AlertSpecError(
+                "when", f"unexpected end of condition {self.text!r}")
+        if expected is not None and token != expected:
+            raise AlertSpecError(
+                "when", f"expected {expected!r}, got {token!r} "
+                        f"in {self.text!r}")
+        self.position += 1
+        return token
+
+    def parse(self):
+        condition = self.parse_or()
+        if self.peek() is not None:
+            raise AlertSpecError(
+                "when", f"trailing input {self.peek()!r} in {self.text!r}")
+        return condition
+
+    def parse_or(self):
+        parts = [self.parse_and()]
+        while self.peek() is not None and self.peek().lower() == "or":
+            self.take()
+            parts.append(self.parse_and())
+        if len(parts) == 1:
+            return parts[0]
+        return Composite("or", tuple(parts))
+
+    def parse_and(self):
+        parts = [self.parse_atom()]
+        while self.peek() is not None and self.peek().lower() == "and":
+            self.take()
+            parts.append(self.parse_atom())
+        if len(parts) == 1:
+            return parts[0]
+        return Composite("and", tuple(parts))
+
+    def parse_atom(self):
+        token = self.peek()
+        if token == "(":
+            self.take()
+            inner = self.parse_or()
+            self.take(")")
+            return inner
+        if token is not None and token.lower() == "absent":
+            self.take()
+            self.take("(")
+            span = self._window(self.take(), "absent")
+            self.take(")")
+            return Absent(span)
+        if token is not None and token.lower() == "delta":
+            self.take()
+            self.take("(")
+            agg = self.parse_agg()
+            self.take(",")
+            lookback = self._window(self.take(), "delta")
+            self.take(")")
+            op, bound = self.parse_comparison()
+            return Delta(agg, lookback, op, bound)
+        agg = self.parse_agg()
+        op, bound = self.parse_comparison()
+        return Threshold(agg, op, bound)
+
+    def parse_agg(self) -> Agg:
+        token = self.take()
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_.]*", token):
+            raise AlertSpecError(
+                "when", f"expected an aggregate or field, got {token!r}")
+        if token.lower() in _AGG_FNS and self.peek() == "(":
+            fn = token.lower()
+            self.take("(")
+            inner = self.take()
+            if inner == "*":
+                if fn != "count":
+                    raise AlertSpecError(
+                        "when", f"'*' is only valid in count(*), not {fn}(*)")
+                field_name = None
+            else:
+                field_name = inner
+            self.take(")")
+            return Agg(fn, field_name)
+        # A bare field is shorthand for max(field): "did any row this
+        # epoch exceed the bound".
+        return Agg("max", token)
+
+    def parse_comparison(self) -> Tuple[str, float]:
+        op = self.take()
+        if op not in _CMP_OPS:
+            raise AlertSpecError(
+                "when", f"expected a comparison operator "
+                        f"({'/'.join(_CMP_OPS)}), got {op!r}")
+        literal = self.take()
+        try:
+            bound = float(literal)
+        except ValueError:
+            raise AlertSpecError(
+                "when", f"expected a number after {op!r}, got {literal!r}"
+            ) from None
+        if not math.isfinite(bound):
+            raise AlertSpecError(
+                "when", f"comparison bound must be finite, got {literal!r}")
+        return op, bound
+
+    def _window(self, literal: str, construct: str) -> int:
+        """A window length in epochs: a positive, finite, bounded int.
+
+        This is where the bounded-memory rejection happens for
+        conditions: an infinite or absurdly large lookback would defeat
+        epoch eviction.
+        """
+        try:
+            value = float(literal)
+        except ValueError:
+            raise AlertSpecError(
+                "when", f"{construct} window must be a number of epochs, "
+                        f"got {literal!r}") from None
+        if not math.isfinite(value):
+            raise AlertSpecError(
+                "when", f"{construct} window is unbounded ({literal}); "
+                        f"evaluation state must be bounded-memory")
+        if value != int(value) or value < 1:
+            raise AlertSpecError(
+                "when", f"{construct} window must be a whole number of "
+                        f"epochs >= 1, got {literal!r}")
+        if value > MAX_WINDOW_EPOCHS:
+            raise AlertSpecError(
+                "when", f"{construct} window of {int(value)} epochs exceeds "
+                        f"the bounded-memory ceiling of {MAX_WINDOW_EPOCHS}")
+        return int(value)
+
+
+def parse_condition(text: str):
+    """Parse a ``when=`` condition into its AST."""
+    if not text.strip():
+        raise AlertSpecError("when", "condition is empty")
+    return _ConditionParser(text).parse()
+
+
+# ---------------------------------------------------------------------------
+# The trigger spec
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TriggerSpec:
+    """One parsed, validated trigger definition."""
+
+    name: str
+    on: str
+    condition: object
+    key: Optional[str] = None
+    severity: str = "warning"
+    epoch: float = 1.0
+    raise_for: int = 1
+    clear_for: int = 1
+    min_interval: float = 0.0
+    #: epochs of per-key history/idleness to retain (the memory bound)
+    retention_epochs: int = field(init=False, default=1)
+
+    def __post_init__(self) -> None:
+        # Eviction forgets a key's ``last_raise`` timestamp, so retention
+        # must also span the rate-limit interval or an idle gap would
+        # reset the limiter.  Capped at the ceiling: memory stays
+        # bounded, and a limiter can outlast at most MAX_WINDOW_EPOCHS
+        # of idleness.
+        interval_epochs = 0
+        if (self.min_interval > 0 and math.isfinite(self.epoch)
+                and self.epoch > 0):
+            interval_epochs = min(MAX_WINDOW_EPOCHS,
+                                  math.ceil(self.min_interval / self.epoch))
+        self.retention_epochs = max(
+            1, self.condition.window, self.raise_for, self.clear_for,
+            interval_epochs)
+
+    def validate_bounded(self) -> None:
+        """The bounded-memory argument, executed.
+
+        The epoch clock is virtual stream time, whose ordering property
+        is ``increasing`` -- the same ``usable_for_windows`` test that
+        lets GSQL flush aggregation groups guarantees closed epochs can
+        be evicted here.  Retention must then be finitely many epochs.
+        """
+        clock = Ordering.increasing()
+        if not clock.usable_for_windows:  # pragma: no cover - invariant
+            raise AlertSpecError(
+                "when", "epoch clock ordering cannot bound state")
+        if not math.isfinite(self.epoch) or self.epoch <= 0:
+            raise AlertSpecError(
+                "epoch", f"must be a positive finite number of seconds, "
+                         f"got {self.epoch!r}")
+        if self.retention_epochs > MAX_WINDOW_EPOCHS:
+            raise AlertSpecError(
+                "when", f"retention of {self.retention_epochs} epochs "
+                        f"exceeds the bounded-memory ceiling of "
+                        f"{MAX_WINDOW_EPOCHS}")
+
+    def referenced_fields(self) -> List[str]:
+        """Every stream field the condition (and key) read."""
+        fields: List[str] = []
+
+        def walk(node) -> None:
+            if isinstance(node, Composite):
+                for part in node.parts:
+                    walk(part)
+            elif isinstance(node, (Threshold, Delta)):
+                if node.agg.field is not None:
+                    fields.append(node.agg.field)
+
+        walk(self.condition)
+        if self.key is not None:
+            fields.append(self.key)
+        return fields
+
+    def validate_fields(self, schema) -> None:
+        """Check every referenced field exists in the watched schema."""
+        for field_name in self.referenced_fields():
+            if field_name not in schema:
+                known = ", ".join(schema.names)
+                which = "key" if field_name == self.key else "when"
+                raise AlertSpecError(
+                    which, f"unknown field {field_name!r} in stream "
+                           f"{schema.name!r} (has: {known})")
+
+    def describe(self) -> str:
+        parts = [f"on={self.on}", f"when={self.condition}"]
+        if self.key:
+            parts.append(f"key={self.key}")
+        parts.append(f"severity={self.severity}")
+        parts.append(f"epoch={self.epoch:g}s")
+        if self.raise_for != 1 or self.clear_for != 1:
+            parts.append(f"hysteresis={self.raise_for}/{self.clear_for}")
+        if self.min_interval:
+            parts.append(f"min_interval={self.min_interval:g}s")
+        return f"{self.name}: " + " ".join(parts)
+
+
+def _split_options(text: str) -> List[str]:
+    """Split ``k=v,k=v`` on commas, ignoring commas inside parentheses
+    (the ``when=delta(x,3) > 5`` case)."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth = max(0, depth - 1)
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return [part for part in parts if part.strip()]
+
+
+def _positive_int(field_name: str, value: str) -> int:
+    try:
+        number = float(value)
+    except ValueError:
+        raise AlertSpecError(
+            field_name, f"must be a whole number of epochs, "
+                        f"got {value!r}") from None
+    if not math.isfinite(number):
+        raise AlertSpecError(
+            field_name, f"is unbounded ({value}); evaluation state must "
+                        f"be bounded-memory")
+    if number != int(number) or number < 1:
+        raise AlertSpecError(
+            field_name, f"must be a whole number of epochs >= 1, "
+                        f"got {value!r}")
+    if number > MAX_WINDOW_EPOCHS:
+        raise AlertSpecError(
+            field_name, f"of {int(number)} epochs exceeds the "
+                        f"bounded-memory ceiling of {MAX_WINDOW_EPOCHS}")
+    return int(number)
+
+
+def parse_alert_spec(text: str) -> TriggerSpec:
+    """Parse ``NAME:on=QUERY,when=COND[,key=F][,...]`` into a spec.
+
+    Raises :class:`AlertSpecError` naming the bad field on any problem.
+    """
+    name, separator, rest = text.partition(":")
+    name = name.strip()
+    if not separator or not name:
+        raise AlertSpecError(
+            "name", f"spec must look like 'NAME:on=...,when=...', "
+                    f"got {text!r}")
+    if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_-]*", name):
+        raise AlertSpecError(
+            "name", f"{name!r} is not a valid trigger name")
+    options: Dict[str, str] = {}
+    for part in _split_options(rest):
+        key, eq, value = part.partition("=")
+        key = key.strip().lower()
+        if not eq:
+            raise AlertSpecError(
+                key or "spec", f"option {part.strip()!r} is not KEY=VALUE")
+        if key not in _KNOWN_OPTIONS:
+            raise AlertSpecError(
+                key, f"unknown option; known: {', '.join(_KNOWN_OPTIONS)}")
+        if key in options:
+            raise AlertSpecError(key, "given more than once")
+        options[key] = value.strip()
+    if "on" not in options or not options["on"]:
+        raise AlertSpecError("on", "required: the query name to watch")
+    if "when" not in options:
+        raise AlertSpecError("when", "required: the trigger condition")
+    condition = parse_condition(options["when"])
+
+    severity = options.get("severity", "warning").lower()
+    if severity not in SEVERITIES:
+        raise AlertSpecError(
+            "severity", f"must be one of {'/'.join(SEVERITIES)}, "
+                        f"got {options['severity']!r}")
+
+    epoch_text = options.get("epoch", "1")
+    try:
+        epoch = float(epoch_text)
+    except ValueError:
+        raise AlertSpecError(
+            "epoch", f"must be a number of seconds, got {epoch_text!r}"
+        ) from None
+
+    interval_text = options.get("min_interval", "0")
+    try:
+        min_interval = float(interval_text)
+    except ValueError:
+        raise AlertSpecError(
+            "min_interval",
+            f"must be a number of seconds, got {interval_text!r}") from None
+    if not math.isfinite(min_interval) or min_interval < 0:
+        raise AlertSpecError(
+            "min_interval",
+            f"must be a finite number of seconds >= 0, got {interval_text!r}")
+
+    spec = TriggerSpec(
+        name=name,
+        on=options["on"],
+        condition=condition,
+        key=options.get("key") or None,
+        severity=severity,
+        epoch=epoch,
+        raise_for=_positive_int("raise_for", options.get("raise_for", "1")),
+        clear_for=_positive_int("clear_for", options.get("clear_for", "1")),
+        min_interval=min_interval,
+    )
+    spec.validate_bounded()
+    return spec

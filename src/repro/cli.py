@@ -82,6 +82,20 @@ def _build_parser() -> argparse.ArgumentParser:
                              "operator_error:node=NAME[,at_tuple=N]"
                              "[,times=K]; "
                              "prints each injector's ledger after the run")
+    parser.add_argument("--alert", action="append", default=[],
+                        metavar="SPEC",
+                        help="attach a declarative trigger to a named query "
+                             "(repeatable): NAME:on=QUERY,when=COND"
+                             "[,key=FIELD][,severity=info|warning|critical]"
+                             "[,epoch=SECS][,raise_for=N][,clear_for=N]"
+                             "[,min_interval=SECS], e.g. "
+                             "'flood:on=syn_watch,key=destIP,"
+                             "when=sum(syns) > 400'; RAISE/CLEAR rows land "
+                             "on the 'alerts' stream (--subscribe alerts) "
+                             "and the alert report prints after the run")
+    parser.add_argument("--alert-out", metavar="PATH",
+                        help="write the merged alert stream as JSON lines "
+                             "to PATH (requires --alert)")
     parser.add_argument("--recover", action="store_true",
                         help="enable checkpoint/restore recovery: crashed "
                              "operators restart from the last checkpoint "
@@ -214,6 +228,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--trace-out requires --trace-sample")
     if args.batch_size is not None and args.batch_size <= 0:
         parser.error(f"--batch-size must be positive, got {args.batch_size}")
+    if args.alert_out and not args.alert:
+        parser.error("--alert-out requires --alert")
     if args.checkpoint_interval is not None and args.checkpoint_interval <= 0:
         parser.error(f"--checkpoint-interval must be positive, "
                      f"got {args.checkpoint_interval}")
@@ -248,6 +264,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in names:
             print(engine.explain(name))
         return 0
+
+    alert_file = None
+    if args.alert:
+        # Triggers attach after the queries exist (``on=`` names one)
+        # and before faults are armed, so operator_error can target an
+        # alert node too.
+        from repro.alerts import AlertSpecError
+        try:
+            alert_engine = engine.enable_alerts(args.alert)
+        except AlertSpecError as error:
+            # AlertSpecError messages lead with the offending field
+            # name ("when: ..."), mirroring the --fault convention.
+            parser.error(f"bad --alert: {error}")
+        if args.alert_out:
+            from repro.sinks import JsonlSink, attach_sink
+            alert_file = open(args.alert_out, "w")
+            attach_sink(engine, alert_engine.bus.name, JsonlSink, alert_file)
 
     if args.fault:
         # Arm after the queries exist (operator_error names a node) and
@@ -322,6 +355,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         for node_name, count in report["restarts"].items():
             print(f"#  restarted {node_name}: {count} attempt(s)",
                   file=sys.stderr)
+    if args.alert:
+        report = engine.alert_report()
+        print("# alert report", file=sys.stderr)
+        print(f"#  bus={report['bus']} ticks={report['ticks_sent']} "
+              f"active={report['active_total']} "
+              f"raised={report['raised_total']} "
+              f"cleared={report['cleared_total']} "
+              f"suppressed={report['suppressed_total']}", file=sys.stderr)
+        for trigger_name, entry in report["triggers"].items():
+            print(f"#  trigger {trigger_name}: on={entry['on']} "
+                  f"when=[{entry['condition']}] "
+                  f"severity={entry['severity']} "
+                  f"active={entry['active']} raised={entry['raised']} "
+                  f"cleared={entry['cleared']} "
+                  f"suppressed={entry['suppressed']}", file=sys.stderr)
+        if alert_file is not None:
+            alert_file.close()
+            print(f"#  alert stream -> {args.alert_out}", file=sys.stderr)
     if args.stats:
         # The same canonical snapshot the metrics exposition exports
         # (repro.obs.collectors), rendered one node per line.

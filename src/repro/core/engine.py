@@ -322,6 +322,36 @@ class Gigascope:
             return None
         return self.rts.supervisor.report()
 
+    # -- alerting (repro.alerts) ---------------------------------------------
+    def enable_alerts(self, triggers: Iterable[Any] = (),
+                      bus_name: str = "alerts") -> "AlertEngine":
+        """Switch on the alert evaluation plane (DESIGN section 12).
+
+        ``triggers`` mixes :class:`~repro.alerts.spec.TriggerSpec`
+        instances and spec strings
+        (``"synflood:on=syn_watch,key=destIP,when=sum(syns) > 1000"``;
+        see :func:`repro.alerts.parse_alert_spec`).  Each trigger
+        watches one query's output stream and fires typed RAISE/CLEAR
+        alerts, unioned onto the ``bus_name`` stream -- subscribe to it
+        or attach a sink like any other query output.  More triggers
+        can be added later via the returned engine's ``add_trigger``,
+        as long as the watched queries exist.
+        """
+        from repro.alerts.engine import AlertEngine
+        if self.rts.alert_engine is not None:
+            raise RegistryError("alerts already enabled")
+        alert_engine = AlertEngine(self, bus_name=bus_name)
+        for trigger in triggers:
+            alert_engine.add_trigger(trigger)
+        return alert_engine
+
+    def alert_report(self) -> Optional[Dict[str, Any]]:
+        """The alert plane's ledger (triggers, raised/cleared/suppressed
+        counts), or None when alerting is not enabled."""
+        if self.rts.alert_engine is None:
+            return None
+        return self.rts.alert_engine.report()
+
     # -- fault injection (repro.faults) --------------------------------------
     def inject_faults(self, faults: Iterable[Any],
                       nics: Iterable = ()) -> List[Any]:

@@ -114,6 +114,8 @@ class RuntimeSystem:
         self.controller = None
         #: the recovery supervisor, if enabled (see repro.recovery)
         self.supervisor = None
+        #: the alert evaluation plane, if enabled (see repro.alerts)
+        self.alert_engine = None
         #: the sampled-lineage tracer, if enabled (see repro.obs.tracing)
         self.tracer = None
         #: virtual-time cost model for latency accounting (lazy default)
@@ -587,6 +589,11 @@ class RuntimeSystem:
             fault.on_cycle(self._stream_time, self)
         if self.controller is not None:
             self.controller.on_cycle(self._stream_time)
+        if self.alert_engine is not None:
+            # The epoch clock ticks at pump boundaries in virtual time;
+            # ticks travel through (journaled) channels so the drain
+            # below delivers them like any other stream item.
+            self.alert_engine.on_cycle(self._stream_time)
         supervisor = self.supervisor
         if supervisor is not None:
             # Retry suspended nodes whose backoff expired (virtual time).

@@ -30,11 +30,15 @@ Command line (via the :mod:`repro.replay` shim)::
     python -m repro.replay run    --scenario mixed --seed 7
     python -m repro.replay verify --scenario mixed --seed 7
     python -m repro.replay verify-recovery --scenario recovery_agg
+    python -m repro.replay verify-alerts
 
 ``verify-recovery`` is the recovery plane's acceptance gate: a run
 that crashes an operator mid-stream and recovers it (checkpoint
 restore + journal replay, see :mod:`repro.recovery`) must be
-byte-identical to the run without the crash.
+byte-identical to the run without the crash.  ``verify-alerts`` is the
+alert plane's: the SYN-flood and port-scan alert streams must be
+byte-identical across ``PYTHONHASHSEED`` values *and* across a
+crash/restore of the trigger node itself.
 """
 
 from __future__ import annotations
@@ -336,6 +340,90 @@ def _recovery_tcp_scenario(seed: int) -> Dict[str, Any]:
     return snapshot_engine(gs, subs)
 
 
+# -- alert scenarios ---------------------------------------------------------
+#
+# The alert plane's determinism contract (DESIGN section 12): trigger
+# evaluation is a pure function of journaled channel items (query rows
+# and EpochTicks both travel through the trigger's input channels), so
+# the emitted alert stream must be byte-identical across hash seeds
+# (verify) and across a crash/restore of the trigger node itself
+# (verify-recovery, crashing ``alert_<trigger>``).  batch_size=1 for
+# the same reason as the recovery scenarios.
+
+@scenario("alerts_syn_flood")
+def _alerts_syn_flood_scenario(seed: int) -> Dict[str, Any]:
+    """SYN-flood detection through the trigger layer, crash-restartable."""
+    from repro.core.engine import Gigascope
+    from repro.workloads.scenarios import syn_flood
+
+    gs = Gigascope(seed=seed, heartbeat_interval=0.5, batch_size=1,
+                   channel_capacity=512)
+    gs.add_query("""
+        DEFINE query_name syn_watch;
+        Select tb, destIP, count(*) as syns
+        From tcp Where tcpflags & 18 = 2
+        Group by time/5 as tb, destIP
+    """)
+    # 8s between checkpoints puts the first RAISE (stream time ~25)
+    # inside the journal gap of a crash at the second row (~30), so the
+    # repair must re-evaluate the raising epoch and the emit gate must
+    # suppress the already-delivered alert row (exactly-once).
+    _LAST_SUPERVISOR["supervisor"] = gs.enable_recovery(
+        checkpoint_interval=8.0)
+    gs.enable_alerts([
+        "synflood:on=syn_watch,key=destIP,when=sum(syns) > 400,epoch=5,"
+        "raise_for=1,clear_for=2,severity=critical",
+    ])
+    subs = {"syn_watch": gs.subscribe("syn_watch"),
+            "alerts": gs.subscribe("alerts")}
+    gs.start()
+    if _crash_arm():
+        # The second row the trigger sees: after the first RAISE-able
+        # epoch closed, with live hysteresis/raised state to restore.
+        _arm_transient_crash(gs, "alert_synflood", at_tuple=2)
+    attack = syn_flood(seed=derive_seed(seed, "alerts.synflood"),
+                       duration_s=40.0, background_mbps=6.0, pps=800.0)
+    gs.feed(attack.packets, pump_every=64)
+    gs.flush()
+    return snapshot_engine(gs, subs)
+
+
+@scenario("alerts_port_scan")
+def _alerts_port_scan_scenario(seed: int) -> Dict[str, Any]:
+    """Port-scan detection through the trigger layer, crash-restartable."""
+    from repro.core.engine import Gigascope
+    from repro.workloads.scenarios import port_scan
+
+    gs = Gigascope(seed=seed, heartbeat_interval=0.5, batch_size=1,
+                   channel_capacity=512)
+    gs.add_query("""
+        DEFINE query_name scan_watch;
+        Select tb, srcIP, count(*) as probes
+        From tcp Where tcpflags & 18 = 2
+        Group by time/5 as tb, srcIP
+    """)
+    _LAST_SUPERVISOR["supervisor"] = gs.enable_recovery(
+        checkpoint_interval=8.0)
+    gs.enable_alerts([
+        "portscan:on=scan_watch,key=srcIP,when=sum(probes) > 150,epoch=5,"
+        "raise_for=1,clear_for=2,severity=warning",
+    ])
+    subs = {"scan_watch": gs.subscribe("scan_watch"),
+            "alerts": gs.subscribe("alerts")}
+    gs.start()
+    if _crash_arm():
+        _arm_transient_crash(gs, "alert_portscan", at_tuple=2)
+    attack = port_scan(seed=derive_seed(seed, "alerts.portscan"),
+                       duration_s=40.0, background_mbps=6.0)
+    gs.feed(attack.packets, pump_every=64)
+    gs.flush()
+    return snapshot_engine(gs, subs)
+
+
+#: the scenarios ``verify-alerts`` gates on
+ALERT_SCENARIOS = ("alerts_syn_flood", "alerts_port_scan")
+
+
 def resolve_scenario(name: str) -> Callable[[int], Dict[str, Any]]:
     """A registered scenario, or a ``module:callable`` dotted path."""
     if name in SCENARIOS:
@@ -524,6 +612,23 @@ def _diff_paths(a: Any, b: Any, path: str, out: List[str],
         out.append(f"{path}: {a!r} != {b!r}")
 
 
+def verify_alerts(seed: int = 0, hash_seeds: Tuple[str, ...] = ("1", "2"),
+                  scenarios: Tuple[str, ...] = ALERT_SCENARIOS
+                  ) -> List[ReplayReport]:
+    """The alert plane's acceptance gate.
+
+    For each alert scenario, check the emitted alert stream (and the
+    whole engine snapshot around it) is byte-identical (a) across two
+    ``PYTHONHASHSEED`` values and (b) across a crash/restore of the
+    trigger node under the RecoverySupervisor, per hash seed.
+    """
+    reports: List[ReplayReport] = []
+    for name in scenarios:
+        reports.append(verify_replay(name, seed, hash_seeds=hash_seeds[:2]))
+        reports.extend(verify_recovery(name, seed, hash_seeds=hash_seeds))
+    return reports
+
+
 def verify_replay(scenario_name: str, seed: int = 0,
                   hash_seeds: Tuple[str, str] = ("1", "2")) -> ReplayReport:
     """Run ``scenario_name`` twice under different ``PYTHONHASHSEED``
@@ -557,6 +662,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     recovery_cmd = commands.add_parser(
         "verify-recovery",
         help="run a recovery scenario clean and crashed+recovered and diff")
+    alerts_cmd = commands.add_parser(
+        "verify-alerts",
+        help="verify alert streams across hash seeds and across a "
+             "crash/restore of the trigger node")
+    alerts_cmd.add_argument("--seed", type=int, default=0)
+    alerts_cmd.add_argument("--hash-seeds", nargs=2, default=("1", "2"),
+                            metavar=("A", "B"))
+    alerts_cmd.add_argument("--scenarios", nargs="+",
+                            default=list(ALERT_SCENARIOS),
+                            help=f"alert scenarios to gate on "
+                                 f"(default: {' '.join(ALERT_SCENARIOS)})")
     for sub in (run_cmd, verify_cmd, batch_cmd, recovery_cmd):
         sub.add_argument("--scenario", default="mixed",
                          help=f"one of {sorted(SCENARIOS)} or module:callable")
@@ -577,6 +693,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "verify-recovery":
         reports = verify_recovery(args.scenario, args.seed,
                                   hash_seeds=tuple(args.hash_seeds))
+        for report in reports:
+            print(report.describe())
+        return 0 if all(report.ok for report in reports) else 1
+    if args.command == "verify-alerts":
+        reports = verify_alerts(args.seed,
+                                hash_seeds=tuple(args.hash_seeds),
+                                scenarios=tuple(args.scenarios))
         for report in reports:
             print(report.describe())
         return 0 if all(report.ok for report in reports) else 1

@@ -12,6 +12,7 @@ from repro.obs.collectors import (
     NODE_EXTRA_ATTRS,
     bind_nic,
     engine_snapshot,
+    install_alert_metrics,
     install_engine_metrics,
     node_snapshot,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "NODE_EXTRA_ATTRS",
     "bind_nic",
     "engine_snapshot",
+    "install_alert_metrics",
     "install_engine_metrics",
     "node_snapshot",
 ]

@@ -34,6 +34,11 @@ NODE_EXTRA_ATTRS = (
     "reorder_peak",      # sorted band join: reorder-buffer high water
     "sampled_out",       # DEFINE sample p: packets thinned by the analyst
     "shed_packets",      # overload control: packets shed by the gate
+    "alerts_raised",     # trigger node: RAISE events emitted
+    "alerts_cleared",    # trigger node: CLEAR events emitted
+    "alerts_suppressed", # trigger node: raises withheld by min_interval
+    "alerts_active",     # trigger node: keys currently in the raised set
+    "epochs_evaluated",  # trigger node: epochs closed so far
 )
 
 
@@ -219,6 +224,44 @@ def install_recovery_metrics(registry: MetricsRegistry, supervisor) -> None:
         exhausted.set(supervisor.retries_exhausted)
         suspended.set(len(supervisor._suspended))
         journal_len.set(supervisor.journal_len)
+
+    registry.add_collector(collect)
+
+
+def install_alert_metrics(registry: MetricsRegistry, alert_engine) -> None:
+    """Export the alert plane's ledger through ``registry``.
+
+    Per-trigger families carry a ``trigger`` label; the label set is
+    rebuilt each collection so removed triggers do not linger.
+    """
+    triggers = registry.gauge(
+        "gs_alert_triggers", "trigger definitions installed")
+    ticks = registry.counter(
+        "gs_alert_ticks_total", "epoch-clock ticks sent at pump boundaries")
+    active = registry.gauge(
+        "gs_alert_active", "keys currently raised", labels=("trigger",))
+    raised = registry.counter(
+        "gs_alert_raised_total", "RAISE events emitted", labels=("trigger",))
+    cleared = registry.counter(
+        "gs_alert_cleared_total", "CLEAR events emitted", labels=("trigger",))
+    suppressed = registry.counter(
+        "gs_alert_suppressed_total",
+        "raises withheld by per-trigger rate limiting", labels=("trigger",))
+    epochs = registry.counter(
+        "gs_alert_epochs_evaluated_total",
+        "evaluation epochs closed", labels=("trigger",))
+
+    def collect() -> None:
+        triggers.set(len(alert_engine.triggers))
+        ticks.set(alert_engine.ticks_sent)
+        for family in (active, raised, cleared, suppressed, epochs):
+            family.clear()
+        for name, node in alert_engine.triggers.items():
+            active.labels(trigger=name).set(node.alerts_active)
+            raised.labels(trigger=name).set(node.alerts_raised)
+            cleared.labels(trigger=name).set(node.alerts_cleared)
+            suppressed.labels(trigger=name).set(node.alerts_suppressed)
+            epochs.labels(trigger=name).set(node.epochs_evaluated)
 
     registry.add_collector(collect)
 

@@ -81,4 +81,27 @@ def engine_report(engine: Gigascope) -> str:
     for name, info in dropped:
         lines.append(f"  channel {name}: dropped={info['dropped']} "
                      f"max_depth={info['max_depth']} cap={info['capacity']}")
+
+    # Alerts section: per-trigger counters come out of the same stats
+    # snapshot as the node table above, so the two can never disagree
+    # about what the trigger nodes did; the alert engine only supplies
+    # the static trigger metadata (watched query, condition).
+    alert_engine = rts.alert_engine
+    if alert_engine is not None:
+        lines.append("")
+        lines.append("alerts")
+        lines.append(f"  bus: {alert_engine.bus.name}"
+                     f"  triggers: {len(alert_engine.triggers)}"
+                     f"  ticks: {alert_engine.ticks_sent}")
+        for trigger_name, node in alert_engine.triggers.items():
+            entry = stats.get(node.name, {})
+            lines.append(
+                f"  {trigger_name}: on={node.spec.on} "
+                f"when=[{node.spec.condition}] "
+                f"severity={node.spec.severity} "
+                f"active={entry.get('alerts_active', 0)} "
+                f"raised={entry.get('alerts_raised', 0)} "
+                f"cleared={entry.get('alerts_cleared', 0)} "
+                f"suppressed={entry.get('alerts_suppressed', 0)} "
+                f"epochs={entry.get('epochs_evaluated', 0)}")
     return "\n".join(lines)

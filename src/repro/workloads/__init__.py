@@ -7,6 +7,9 @@
   temporal locality (for the LFTA hash-table experiment)
 * :mod:`repro.workloads.netflow_source` -- Netflow v5 export datagrams
   synthesized from a flow population (banded start times)
+* :mod:`repro.workloads.scenarios` -- labeled attack/anomaly scenarios
+  with ground truth (SYN flood, port scan, ping sweep, DNS
+  amplification, flash crowd), the corpus E14 scores detectors against
 """
 
 from repro.workloads.generators import (
@@ -19,8 +22,22 @@ from repro.workloads.generators import (
 )
 from repro.workloads.flows import ZipfFlowWorkload
 from repro.workloads.netflow_source import netflow_export_stream
+from repro.workloads.scenarios import (
+    Scenario,
+    dns_amplification,
+    flash_crowd,
+    ping_sweep,
+    port_scan,
+    syn_flood,
+)
 
 __all__ = [
+    "Scenario",
+    "dns_amplification",
+    "flash_crowd",
+    "ping_sweep",
+    "port_scan",
+    "syn_flood",
     "PacketPool",
     "background_pool",
     "http_port80_pool",

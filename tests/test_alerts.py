@@ -1,0 +1,511 @@
+"""Tests for the alerting/trigger subsystem (:mod:`repro.alerts`).
+
+Covers the spec language (parsing, field-naming errors, the
+bounded-memory rejection), epoch evaluation on a bare
+:class:`TriggerNode` (hysteresis, rate limiting, absence, delta,
+eviction, snapshot/restore), and the wired-up path through
+:meth:`Gigascope.enable_alerts` -- alert rows on the bus, the
+``gs_alert*`` metrics, the engine-report section, and detection
+surviving Horvitz-Thompson-weighted shedding.
+"""
+
+import pytest
+
+from repro import Gigascope
+from repro.alerts import (
+    MAX_WINDOW_EPOCHS,
+    AlertSpecError,
+    EpochTick,
+    TriggerNode,
+    parse_alert_spec,
+    parse_condition,
+)
+from repro.alerts.spec import Absent, Agg, Composite, Delta, EpochContext, Threshold
+from repro.core.stream_manager import RegistryError
+from repro.gsql.schema import Attribute, StreamSchema
+from repro.gsql.types import IP, UINT
+from repro.net.packet import ip_to_int
+from repro.recovery.wire import decode_snapshot, encode_snapshot
+from repro.workloads.scenarios import flash_crowd, syn_flood
+
+FLOWS = StreamSchema("flows", [
+    Attribute("tb", UINT),
+    Attribute("host", IP),
+    Attribute("hits", UINT),
+])
+
+HOST_A = ip_to_int("10.0.0.1")
+HOST_B = ip_to_int("10.0.0.2")
+
+
+def err(spec_text):
+    with pytest.raises(AlertSpecError) as excinfo:
+        parse_alert_spec(spec_text)
+    return excinfo.value
+
+
+class TestSpecParsing:
+    def test_threshold_spec(self):
+        spec = parse_alert_spec(
+            "flood:on=q,key=host,when=sum(hits) > 400,epoch=5,"
+            "raise_for=2,clear_for=3,severity=critical,min_interval=30")
+        assert spec.name == "flood"
+        assert spec.on == "q"
+        assert spec.key == "host"
+        assert isinstance(spec.condition, Threshold)
+        assert spec.condition.agg == Agg("sum", "hits")
+        assert spec.epoch == 5.0
+        assert (spec.raise_for, spec.clear_for) == (2, 3)
+        assert spec.severity == "critical"
+        assert spec.min_interval == 30.0
+        # max(window=0, raise_for=2, clear_for=3, min_interval/epoch=6)
+        assert spec.retention_epochs == 6
+
+    def test_defaults(self):
+        spec = parse_alert_spec("t:on=q,when=count(*) > 1")
+        assert spec.key is None
+        assert spec.severity == "warning"
+        assert spec.epoch == 1.0
+        assert (spec.raise_for, spec.clear_for) == (1, 1)
+        assert spec.retention_epochs == 1
+
+    def test_bare_field_is_max_shorthand(self):
+        condition = parse_condition("hits > 9")
+        assert condition == Threshold(Agg("max", "hits"), ">", 9.0)
+
+    def test_delta_and_absent(self):
+        condition = parse_condition("delta(sum(hits), 3) >= 100 or absent(4)")
+        assert isinstance(condition, Composite)
+        assert condition.op == "or"
+        delta, absent = condition.parts
+        assert delta == Delta(Agg("sum", "hits"), 3, ">=", 100.0)
+        assert absent == Absent(4)
+        assert condition.window == 4
+
+    def test_and_binds_tighter_than_or(self):
+        condition = parse_condition(
+            "count(*) > 1 or count(*) > 2 and count(*) > 3")
+        assert condition.op == "or"
+        assert isinstance(condition.parts[1], Composite)
+        assert condition.parts[1].op == "and"
+
+    def test_parenthesized_grouping(self):
+        condition = parse_condition(
+            "(count(*) > 1 or absent(2)) and sum(hits) < 5")
+        assert condition.op == "and"
+
+    def test_condition_str_round_trips(self):
+        text = "delta(sum(hits),3) >= 100 or absent(4)"
+        assert str(parse_condition(str(parse_condition(text)))) == \
+            str(parse_condition(text))
+
+    def test_retention_covers_delta_window(self):
+        spec = parse_alert_spec("t:on=q,when=delta(count(*), 7) > 5")
+        assert spec.retention_epochs == 7
+
+    # -- every rejection names the offending field ---------------------
+    def test_missing_on(self):
+        assert err("t:when=count(*) > 1").field == "on"
+
+    def test_missing_when(self):
+        assert err("t:on=q").field == "when"
+
+    def test_bad_name(self):
+        assert err("9bad:on=q,when=count(*) > 1").field == "name"
+
+    def test_unknown_option(self):
+        assert err("t:on=q,when=count(*) > 1,wat=1").field == "wat"
+
+    def test_duplicate_option(self):
+        assert err("t:on=q,on=r,when=count(*) > 1").field == "on"
+
+    def test_bad_severity(self):
+        assert err("t:on=q,when=count(*) > 1,severity=panic"
+                   ).field == "severity"
+
+    def test_bad_epoch(self):
+        assert err("t:on=q,when=count(*) > 1,epoch=soon").field == "epoch"
+
+    def test_nonpositive_epoch(self):
+        assert err("t:on=q,when=count(*) > 1,epoch=0").field == "epoch"
+
+    def test_bad_raise_for(self):
+        assert err("t:on=q,when=count(*) > 1,raise_for=0").field == "raise_for"
+
+    def test_negative_min_interval(self):
+        assert err("t:on=q,when=count(*) > 1,min_interval=-5"
+                   ).field == "min_interval"
+
+    def test_bad_comparison_bound(self):
+        error = err("t:on=q,when=count(*) > soon")
+        assert error.field == "when"
+
+    def test_star_only_in_count(self):
+        assert err("t:on=q,when=sum(*) > 1").field == "when"
+
+    # -- the bounded-memory rejections ---------------------------------
+    def test_infinite_delta_window_rejected(self):
+        error = err("t:on=q,when=delta(count(*), inf) > 5")
+        assert error.field == "when"
+        assert "unbounded" in str(error)
+
+    def test_oversized_delta_window_rejected(self):
+        error = err(f"t:on=q,when=delta(count(*), "
+                    f"{MAX_WINDOW_EPOCHS + 1}) > 5")
+        assert error.field == "when"
+        assert "bounded-memory" in str(error)
+
+    def test_infinite_hysteresis_rejected(self):
+        error = err("t:on=q,when=count(*) > 1,clear_for=inf")
+        assert error.field == "clear_for"
+        assert "unbounded" in str(error)
+
+    def test_absent_zero_rejected(self):
+        assert err("t:on=q,when=absent(0)").field == "when"
+
+    def test_field_validation_names_key_and_when(self):
+        spec = parse_alert_spec("t:on=flows,key=ghost,when=count(*) > 1")
+        with pytest.raises(AlertSpecError) as excinfo:
+            spec.validate_fields(FLOWS)
+        assert excinfo.value.field == "key"
+        spec = parse_alert_spec("t:on=flows,when=sum(ghost) > 1")
+        with pytest.raises(AlertSpecError) as excinfo:
+            spec.validate_fields(FLOWS)
+        assert excinfo.value.field == "when"
+
+
+class TestConditionEvaluation:
+    def ctx(self, rows=0, fields=None, history=None, idle=0):
+        return EpochContext(rows, fields or {}, history or {}, idle)
+
+    def test_empty_epoch_aggregates(self):
+        ctx = self.ctx()
+        assert Agg("count", None).value(ctx) == 0.0
+        assert Agg("count", "hits").value(ctx) == 0.0
+        assert Agg("sum", "hits").value(ctx) == 0.0
+        assert Agg("min", "hits").value(ctx) is None
+        assert Agg("max", "hits").value(ctx) is None
+        assert Agg("avg", "hits").value(ctx) is None
+
+    def test_accumulator_readout(self):
+        ctx = self.ctx(rows=3, fields={"hits": [3, 60, 10, 30]})
+        assert Agg("count", "hits").value(ctx) == 3.0
+        assert Agg("sum", "hits").value(ctx) == 60.0
+        assert Agg("min", "hits").value(ctx) == 10.0
+        assert Agg("max", "hits").value(ctx) == 30.0
+        assert Agg("avg", "hits").value(ctx) == 20.0
+
+    def test_none_never_satisfies_a_threshold(self):
+        condition = parse_condition("min(hits) < 100")
+        assert condition.evaluate(self.ctx()) is False
+
+    def test_delta_needs_full_history(self):
+        delta = Delta(Agg("sum", "hits"), 2, ">", 5.0)
+        ctx = self.ctx(fields={"hits": [1, 100, 100, 100]},
+                       history={delta.key: [10.0]})
+        assert delta.current_minus_past(ctx) is None
+        ctx = self.ctx(fields={"hits": [1, 100, 100, 100]},
+                       history={delta.key: [10.0, 50.0]})
+        assert delta.current_minus_past(ctx) == 90.0
+        assert delta.evaluate(ctx) is True
+
+
+def make_node(spec_text):
+    """A TriggerNode with its emits captured (no engine around it)."""
+    spec = parse_alert_spec(spec_text)
+    node = TriggerNode(spec, FLOWS)
+    emitted = []
+    node.emit = emitted.append
+    return node, emitted
+
+
+def kinds(emitted):
+    return [(row[3].decode(), row[5].decode()) for row in emitted]
+
+
+class TestTriggerNode:
+    def test_hysteresis_raise_and_clear(self):
+        node, emitted = make_node(
+            "t:on=flows,key=host,when=sum(hits) > 10,epoch=1,"
+            "raise_for=2,clear_for=2")
+        node.on_tick(0.5)                       # opens epoch 0
+        node.on_tuple((0, HOST_A, 20), 0)
+        node.on_tick(1.5)                       # closes epoch 0: streak 1
+        assert emitted == []
+        node.on_tuple((1, HOST_A, 20), 0)
+        node.on_tick(2.5)                       # closes epoch 1: streak 2
+        assert kinds(emitted) == [("RAISE", "10.0.0.1")]
+        assert node.alerts_active == 1
+        node.on_tick(3.5)                       # quiet epoch 2: false 1
+        assert len(emitted) == 1
+        node.on_tick(4.5)                       # quiet epoch 3: false 2
+        assert kinds(emitted) == [("RAISE", "10.0.0.1"),
+                                  ("CLEAR", "10.0.0.1")]
+        assert node.alerts_active == 0
+        assert (node.alerts_raised, node.alerts_cleared) == (1, 1)
+
+    def test_alert_row_shape(self):
+        node, emitted = make_node(
+            "t:on=flows,key=host,when=sum(hits) > 10,epoch=1,"
+            "severity=critical")
+        node.on_tick(0.5)
+        node.on_tuple((0, HOST_A, 42), 0)
+        node.on_tick(1.5)
+        (row,) = emitted
+        time, epoch, trigger, kind, severity, key, value, context = row
+        assert time == 1.0 and epoch == 0
+        assert trigger == b"t" and kind == b"RAISE"
+        assert severity == b"critical"
+        assert key == b"10.0.0.1"               # IP key rendered dotted
+        assert value == 42.0                    # the observed sum
+        assert b"42" in context                 # the triggering tuple
+
+    def test_rate_limit_suppresses_reraise(self):
+        node, emitted = make_node(
+            "t:on=flows,key=host,when=sum(hits) > 10,epoch=1,"
+            "min_interval=10")
+        node.on_tick(0.5)
+        node.on_tuple((0, HOST_A, 20), 0)
+        node.on_tick(1.5)                       # RAISE at t=1
+        node.on_tick(2.5)                       # quiet: CLEAR at t=2
+        node.on_tuple((2, HOST_A, 20), 0)
+        node.on_tick(3.5)                       # hot again at t=3: 3-1 < 10
+        assert kinds(emitted) == [("RAISE", "10.0.0.1"),
+                                  ("CLEAR", "10.0.0.1")]
+        assert node.alerts_suppressed == 1
+        assert node.alerts_active == 0          # suppressed, not raised
+        # Retention spans the rate-limit interval, so the idle gap here
+        # must NOT forget last_raise and reset the limiter early.
+        node.on_tick(11.5)
+        node.on_tuple((11, HOST_A, 20), 0)
+        node.on_tick(12.5)                      # t=12: 12-1 >= 10
+        assert kinds(emitted)[-1] == ("RAISE", "10.0.0.1")
+        assert node.alerts_suppressed == 1
+
+    def test_clear_is_never_rate_limited(self):
+        node, emitted = make_node(
+            "t:on=flows,key=host,when=sum(hits) > 10,epoch=1,"
+            "min_interval=100")
+        node.on_tick(0.5)
+        node.on_tuple((0, HOST_A, 20), 0)
+        node.on_tick(1.5)
+        node.on_tick(2.5)
+        assert [k for k, _ in kinds(emitted)] == ["RAISE", "CLEAR"]
+
+    def test_absence_fires_across_skipped_epochs(self):
+        node, emitted = make_node("t:on=flows,when=absent(3),epoch=1")
+        node.on_tick(0.5)
+        node.on_tuple((0, HOST_A, 1), 0)
+        # One tick far in the future closes epochs 0..4 one by one; the
+        # skipped quiet epochs accumulate idleness and fire mid-jump.
+        node.on_tick(5.5)
+        assert [row[3] for row in emitted] == [b"RAISE"]
+        assert emitted[0][0] == 4.0             # idle hit 3 at epoch 3
+        assert emitted[0][6] == 3.0             # observed = idle epochs
+        node.on_tuple((5, HOST_A, 1), 0)
+        node.on_tick(6.5)                       # traffic returns: CLEAR
+        assert [row[3] for row in emitted] == [b"RAISE", b"CLEAR"]
+
+    def test_delta_trend_trigger(self):
+        node, emitted = make_node(
+            "t:on=flows,when=delta(sum(hits), 1) > 50,epoch=1")
+        node.on_tick(0.5)
+        node.on_tuple((0, HOST_A, 10), 0)
+        node.on_tick(1.5)                       # no history yet: quiet
+        assert emitted == []
+        node.on_tuple((1, HOST_A, 100), 0)
+        node.on_tick(2.5)                       # 100 - 10 = 90 > 50
+        assert [row[3] for row in emitted] == [b"RAISE"]
+        assert emitted[0][6] == 90.0
+
+    def test_composite_and(self):
+        node, emitted = make_node(
+            "t:on=flows,key=host,when=count(*) > 1 and sum(hits) > 10,"
+            "epoch=1")
+        node.on_tick(0.5)
+        node.on_tuple((0, HOST_A, 100), 0)      # sum high, count(*) == 1
+        node.on_tick(1.5)
+        assert emitted == []
+        node.on_tuple((1, HOST_A, 6), 0)
+        node.on_tuple((1, HOST_A, 6), 0)        # both arms hold
+        node.on_tick(2.5)
+        assert [row[3] for row in emitted] == [b"RAISE"]
+
+    def test_keys_evaluated_deterministically_and_independently(self):
+        node, emitted = make_node(
+            "t:on=flows,key=host,when=sum(hits) > 10,epoch=1")
+        node.on_tick(0.5)
+        node.on_tuple((0, HOST_A, 20), 0)
+        node.on_tuple((0, HOST_B, 5), 0)        # below threshold
+        node.on_tick(1.5)
+        assert kinds(emitted) == [("RAISE", "10.0.0.1")]
+
+    def test_idle_keys_evicted_bounded_memory(self):
+        node, emitted = make_node(
+            "t:on=flows,key=host,when=sum(hits) > 1000000,epoch=1")
+        assert node.spec.retention_epochs == 1
+        node.on_tick(0.5)
+        for index in range(50):
+            node.on_tuple((0, ip_to_int("10.9.0.1") + index, 1), 0)
+        node.on_tick(1.5)                       # epoch 0 closes: idle 0
+        assert len(node._idle) == 50
+        node.on_tick(2.5)                       # idle 1 >= retention: evict
+        assert node._idle == {}
+        assert node._history == {}
+        assert node._context == {}
+        assert emitted == []
+
+    def test_raised_keys_survive_eviction(self):
+        node, emitted = make_node(
+            "t:on=flows,key=host,when=sum(hits) > 10,epoch=1,clear_for=99")
+        node.on_tick(0.5)
+        node.on_tuple((0, HOST_A, 20), 0)
+        node.on_tick(1.5)                       # RAISE
+        node.on_tick(10.5)                      # long quiet: no eviction
+        assert node.alerts_active == 1
+        assert HOST_A in node._idle
+
+    def test_flush_closes_the_partial_epoch(self):
+        node, emitted = make_node(
+            "t:on=flows,key=host,when=sum(hits) > 10,epoch=5")
+        node.on_tick(1.0)
+        node.on_tuple((0, HOST_A, 20), 0)
+        node.flush()                            # epoch 0 never saw a tick end
+        assert [row[3] for row in emitted] == [b"RAISE"]
+
+    def test_dispatch_routes_ticks_and_rows(self):
+        node, emitted = make_node(
+            "t:on=flows,key=host,when=sum(hits) > 10,epoch=1")
+        node.dispatch(EpochTick(0.5), 1)
+        node.dispatch((0, HOST_A, 20), 0)
+        node.dispatch(EpochTick(1.5), 1)
+        assert [row[3] for row in emitted] == [b"RAISE"]
+
+    def test_snapshot_restore_round_trip(self):
+        def drive_prefix(node):
+            node.on_tick(0.5)
+            node.on_tuple((0, HOST_A, 20), 0)
+            node.on_tick(1.5)
+            node.on_tuple((1, HOST_A, 20), 0)   # rows in the open epoch
+
+        def drive_suffix(node):
+            node.on_tick(2.5)
+            node.on_tick(3.5)
+            node.flush()
+
+        original, original_rows = make_node(
+            "t:on=flows,key=host,when=sum(hits) > 10,epoch=1,clear_for=2")
+        drive_prefix(original)
+        # The snapshot must survive the checkpoint wire format (only
+        # plain scalars/containers), like the supervisor stores it.
+        blob = encode_snapshot(original.snapshot_state())
+        restored, restored_rows = make_node(
+            "t:on=flows,key=host,when=sum(hits) > 10,epoch=1,clear_for=2")
+        restored.restore_state(decode_snapshot(blob))
+        assert restored.alerts_raised == original.alerts_raised
+        assert restored.alerts_active == original.alerts_active
+        drive_suffix(original)
+        drive_suffix(restored)
+        assert restored_rows == original_rows[len(original_rows)
+                                              - len(restored_rows):]
+        assert [row[3] for row in restored_rows] == [b"CLEAR"]
+
+
+def drive(gs, scenario, triggers, pump_every=64):
+    gs.add_query("""
+        DEFINE query_name syn_watch;
+        Select tb, destIP, count(*) as syns
+        From tcp Where tcpflags & 18 = 2
+        Group by time/5 as tb, destIP
+    """)
+    gs.enable_alerts(triggers)
+    alerts = gs.subscribe("alerts")
+    gs.start()
+    gs.feed(scenario.packets, pump_every=pump_every)
+    gs.flush()
+    return alerts.poll()
+
+
+SYN_TRIGGER = ("synflood:on=syn_watch,key=destIP,when=sum(syns) > 400,"
+               "epoch=5,raise_for=1,clear_for=2,severity=critical")
+
+
+class TestEndToEnd:
+    def test_syn_flood_raises_on_the_victim(self):
+        gs = Gigascope(heartbeat_interval=0.5)
+        scenario = syn_flood(duration_s=50.0, background_mbps=6.0, pps=800.0)
+        rows = drive(gs, scenario, [SYN_TRIGGER])
+        raises = [row for row in rows if row[3] == b"RAISE"]
+        assert len(raises) == 1
+        assert raises[0][5] == b"192.168.77.7"
+        # Detection latency: first RAISE within one epoch of the attack.
+        assert scenario.window[0] <= raises[0][0] \
+            <= scenario.window[0] + 5.0
+        # The flood ends at t=35; two quiet epochs end the alert.
+        clears = [row for row in rows if row[3] == b"CLEAR"]
+        assert len(clears) == 1
+
+        report = gs.alert_report()
+        assert report["raised_total"] == 1
+        assert report["cleared_total"] == 1
+        assert report["triggers"]["synflood"]["on"] == "syn_watch"
+
+        from repro.report import engine_report
+        text = engine_report(gs)
+        assert "alerts" in text
+        assert "synflood" in text
+        prom = gs.metrics.to_prometheus()
+        assert 'gs_alert_raised_total{trigger="synflood"} 1' in prom
+        assert "gs_alert_ticks_total" in prom
+
+    def test_flash_crowd_negative_control(self):
+        gs = Gigascope(heartbeat_interval=0.5)
+        scenario = flash_crowd(duration_s=40.0, background_mbps=6.0)
+        rows = drive(gs, scenario, [SYN_TRIGGER])
+        assert rows == []
+        assert gs.alert_report()["raised_total"] == 0
+
+    def test_detection_survives_ht_weighted_shedding(self):
+        # Half the packets are shed at the LFTA gate; kept ones carry
+        # Horvitz-Thompson weight 1/0.5 so sum(syns) still crosses the
+        # threshold and the alert fires on the same victim.
+        gs = Gigascope(heartbeat_interval=0.5)
+        gs.enable_shedding("static:0.5")
+        scenario = syn_flood(duration_s=50.0, background_mbps=6.0, pps=800.0)
+        rows = drive(gs, scenario, [SYN_TRIGGER])
+        assert gs.overload_report()["packets_shed"] > 0
+        raises = [row for row in rows if row[3] == b"RAISE"]
+        assert [row[5] for row in raises] == [b"192.168.77.7"]
+
+    def test_alert_report_none_when_disabled(self):
+        gs = Gigascope()
+        assert gs.alert_report() is None
+
+    def test_unknown_query_named_in_error(self):
+        gs = Gigascope()
+        with pytest.raises(AlertSpecError) as excinfo:
+            gs.enable_alerts(["t:on=ghost,when=count(*) > 1"])
+        assert excinfo.value.field == "on"
+
+    def test_unknown_key_field_named_in_error(self):
+        gs = Gigascope()
+        gs.add_query("DEFINE query_name q; Select tb, count(*) as hits "
+                     "From tcp Group by time/5 as tb")
+        with pytest.raises(AlertSpecError) as excinfo:
+            gs.enable_alerts(["t:on=q,key=ghost,when=count(*) > 1"])
+        assert excinfo.value.field == "key"
+
+    def test_duplicate_trigger_name_rejected(self):
+        gs = Gigascope()
+        gs.add_query("DEFINE query_name q; Select tb, count(*) as hits "
+                     "From tcp Group by time/5 as tb")
+        engine = gs.enable_alerts(["t:on=q,when=count(*) > 1"])
+        with pytest.raises(AlertSpecError) as excinfo:
+            engine.add_trigger("t:on=q,when=count(*) > 2")
+        assert excinfo.value.field == "name"
+
+    def test_enable_alerts_twice_rejected(self):
+        gs = Gigascope()
+        gs.enable_alerts()
+        with pytest.raises(RegistryError):
+            gs.enable_alerts()

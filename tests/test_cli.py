@@ -246,6 +246,72 @@ class TestMultiplePcaps:
         assert times == sorted(times)
 
 
+class TestAlertFlags:
+    QUERY = ("DEFINE query_name q; Select tb, count(*) as hits "
+             "From tcp Group by time/5 as tb")
+
+    def test_alert_raises_and_reports(self, trace, capsys):
+        code, out, err = run_cli(
+            ["--pcap", trace, "--query", self.QUERY,
+             "--alert", "burst:on=q,when=sum(hits) > 1,epoch=5",
+             "--subscribe", "alerts"],
+            capsys)
+        assert code == 0
+        assert "# alert report" in err
+        assert "trigger burst" in err
+        assert "when=[sum(hits) > 1]" in err
+        assert "RAISE" in out
+
+    def test_alert_out_writes_jsonl(self, trace, tmp_path, capsys):
+        import json
+        path = tmp_path / "alerts.jsonl"
+        code, _out, err = run_cli(
+            ["--pcap", trace, "--query", self.QUERY,
+             "--alert", "burst:on=q,when=sum(hits) > 1,epoch=5",
+             "--alert-out", str(path)],
+            capsys)
+        assert code == 0
+        assert "alert stream ->" in err
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert records
+        assert records[0]["trigger"] == "burst"
+        assert records[0]["kind"] == "RAISE"
+        assert records[0]["severity"] == "warning"
+
+    def test_bad_alert_condition_exits_2_naming_field(self, trace, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--pcap", trace, "--query", self.QUERY,
+                  "--alert", "burst:on=q,when=delta(count(*), inf) > 1"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "bad --alert" in err
+        assert "when" in err and "unbounded" in err
+
+    def test_unknown_alert_query_exits_2_naming_field(self, trace, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--pcap", trace, "--query", self.QUERY,
+                  "--alert", "burst:on=ghost,when=count(*) > 1"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "bad --alert" in err
+        assert "on: unknown query" in err
+
+    def test_bad_alert_severity_exits_2_naming_field(self, trace, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--pcap", trace, "--query", self.QUERY,
+                  "--alert", "burst:on=q,when=count(*) > 1,severity=panic"])
+        assert excinfo.value.code == 2
+        assert "severity" in capsys.readouterr().err
+
+    def test_alert_out_requires_alert(self, trace, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--pcap", trace, "--query", self.QUERY,
+                  "--alert-out", "alerts.jsonl"])
+        assert excinfo.value.code == 2
+        assert "--alert-out requires --alert" in capsys.readouterr().err
+
+
 class TestRecoveryFlags:
     QUERY = ("DEFINE query_name q; Select tb, count(*) "
              "From tcp Group by time/5 as tb")

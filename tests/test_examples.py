@@ -32,6 +32,15 @@ class TestFastExamples:
         assert "withdrawal storms" in out
         assert "7018" in out
 
+    def test_syn_flood_detector(self):
+        out = run_example("syn_flood_detector.py")
+        assert "ALERTS" in out
+        # The trigger layer must both raise on the scenario's victim
+        # and clear once the flood's quiet epochs accumulate.
+        assert "RAISE" in out
+        assert "CLEAR" in out
+        assert "192.168.77.7" in out
+
 
 @pytest.mark.skipif(SLOW, reason="set RUN_SLOW_EXAMPLES=1 to run")
 class TestSlowExamples:
@@ -46,10 +55,6 @@ class TestSlowExamples:
     def test_netflow_peering(self):
         out = run_example("netflow_peering.py", timeout=600)
         assert "banded_increasing" in out
-
-    def test_syn_flood_detector(self):
-        out = run_example("syn_flood_detector.py", timeout=600)
-        assert "ALERTS" in out
 
     def test_capture_path_study(self):
         out = run_example("capture_path_study.py", timeout=600)
