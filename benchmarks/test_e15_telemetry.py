@@ -1,0 +1,194 @@
+"""E15 (new) -- self-telemetry overhead and meta-alert detection.
+
+Gigascope monitors itself with its own query language: PR 7 publishes
+engine internals as first-class ``_gs_*`` GSQL streams sampled at pump
+boundaries, plus a sampling wall-clock profiler bracketing the pump
+drain.  Monitoring you cannot afford to leave on is useless, and
+monitoring that cannot see the engine's own failures is worse, so E15
+measures both halves:
+
+1. **Overhead**: E2 headline throughput with telemetry fully enabled
+   (all five streams sampled each virtual second, profiler timing every
+   pump cycle, live subscribers draining the rows) versus disabled.
+   Target: < 5%.
+
+2. **Meta-alert detection**: an injected channel-capacity storm
+   (``channel_storm`` fault) must be caught by an alert trigger that
+   reads *only* the ``_gs_channel`` telemetry stream -- no access to
+   the fault ledger or the data path -- with zero false positives on
+   the clean run, and the detection latency is reported in virtual
+   time.
+
+Results land in BENCH_E15.json; the storm run's telemetry rows land in
+TELEMETRY_E15.jsonl (the CI failure artifact).  ``GS_E15_SMOKE=1``
+shrinks the workload for CI.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import Gigascope
+from repro.workloads.generators import http_port80_pool, packet_stream
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SMOKE = os.environ.get("GS_E15_SMOKE") == "1"
+PACKET_COUNT = 4_000 if SMOKE else 20_000
+ROUNDS = 2 if SMOKE else 5
+
+QUERIES = """
+    DEFINE query_name link0;
+    Select time, destIP, len From eth0.tcp Where destPort = 80;
+
+    DEFINE query_name watch;
+    Select time, destIP From link0 Where len >= 0;
+
+    DEFINE query_name appmon;
+    Select tb, count(*), sum(len) From link0 Group by time/10 as tb
+"""
+
+STORM_AT = 3.0
+STORM_DURATION = 2.0
+STORM_TRIGGER = ("chanstorm:on=_gs_channel,key=channel,"
+                 "when=sum(dropped_delta) > 40,epoch=2,"
+                 "raise_for=1,clear_for=2,severity=warning")
+
+
+def _merge_results(section, payload):
+    path = REPO_ROOT / "BENCH_E15.json"
+    doc = {}
+    if path.exists():
+        try:
+            doc = json.loads(path.read_text())
+        except ValueError:
+            doc = {}
+    doc["experiment"] = "E15 self-telemetry"
+    doc["smoke"] = SMOKE
+    doc[section] = payload
+    path.write_text(json.dumps(doc, indent=2))
+
+
+def make_packets(count=PACKET_COUNT):
+    pool = http_port80_pool(seed=1)
+    stream = packet_stream(pool, rate_mbps=50.0, duration_s=60.0,
+                           interface="eth0", seed=3)
+    packets = []
+    for packet in stream:
+        packets.append(packet)
+        if len(packets) >= count:
+            break
+    return packets
+
+
+def _time_feed(packets, telemetry):
+    gs = Gigascope(heartbeat_interval=1.0)
+    if telemetry:
+        gs.enable_telemetry(interval=1.0, profile_every=1)
+    gs.add_queries(QUERIES)
+    gs.subscribe("appmon")
+    if telemetry:
+        # Live subscribers, so the sampled rows travel the full path.
+        gs.subscribe("_gs_channel")
+        gs.subscribe("_gs_operator")
+    gs.start()
+    start = time.perf_counter()
+    gs.feed(packets, pump_every=1024)
+    return time.perf_counter() - start
+
+
+def test_e15_telemetry_overhead():
+    packets = make_packets()
+    _time_feed(packets, True), _time_feed(packets, False)  # warmup
+    with_telemetry, without = [], []
+    for _ in range(ROUNDS):  # interleaved so drift hits both equally
+        with_telemetry.append(_time_feed(packets, True))
+        without.append(_time_feed(packets, False))
+    best_on, best_off = min(with_telemetry), min(without)
+    pps_on = len(packets) / best_on
+    pps_off = len(packets) / best_off
+    overhead = best_on / best_off - 1.0
+    print(f"\nE15 overhead: telemetry on {pps_on:,.0f} pps, "
+          f"off {pps_off:,.0f} pps -> {overhead:+.2%} overhead")
+
+    _merge_results("overhead", {
+        "packets": len(packets),
+        "rounds": ROUNDS,
+        "pps_telemetry_on": pps_on,
+        "pps_telemetry_off": pps_off,
+        "overhead_fraction": overhead,
+    })
+    assert overhead < 0.05, (
+        f"self-telemetry costs {overhead:.1%} (> 5%) on the E2 workload")
+
+
+def _detection_arm(storm):
+    """One detection run; the trigger sees nothing but _gs_channel."""
+    gs = Gigascope(seed=7, heartbeat_interval=0.5, channel_capacity=256)
+    gs.enable_telemetry(interval=0.5)
+    gs.add_query("""
+        DEFINE query_name pkts;
+        Select time, len
+        From tcp
+    """)
+    gs.enable_alerts([STORM_TRIGGER])
+    data = gs.subscribe("pkts")
+    alerts = gs.subscribe("alerts")
+    telemetry = gs.subscribe("_gs_channel")
+    if storm:
+        gs.inject_faults([
+            f"channel_storm:at={STORM_AT},duration={STORM_DURATION},"
+            f"capacity=4"])
+    gs.start()
+    pool = http_port80_pool(seed=7)
+    # Same 10 s stream in smoke mode: CLEAR needs clear_for=2 clean
+    # 2 s epochs after the storm window ends at t=5.
+    gs.feed(packet_stream(pool, rate_mbps=2.0, duration_s=10.0, seed=7),
+            pump_every=64)
+    gs.flush()
+    assert data.poll(), "data query produced nothing"
+    return alerts.poll(), telemetry.poll()
+
+
+def _dump_telemetry(rows):
+    from repro.obs.telemetry import telemetry_schema
+    names = telemetry_schema("_gs_channel").names
+    with open(REPO_ROOT / "TELEMETRY_E15.jsonl", "w") as handle:
+        for row in rows:
+            record = {"stream": "_gs_channel"}
+            for key, value in zip(names, row):
+                record[key] = (value.decode("utf-8", "replace")
+                               if isinstance(value, bytes) else value)
+            json.dump(record, handle)
+            handle.write("\n")
+
+
+def test_e15_meta_alert_detects_channel_storm():
+    clean_alerts, _clean_rows = _detection_arm(storm=False)
+    storm_alerts, storm_rows = _detection_arm(storm=True)
+    _dump_telemetry(storm_rows)
+
+    false_positives = [row for row in clean_alerts if row[3] == b"RAISE"]
+    raises = [row for row in storm_alerts if row[3] == b"RAISE"]
+    clears = [row for row in storm_alerts if row[3] == b"CLEAR"]
+    assert not false_positives, f"clean run raised: {false_positives}"
+    assert raises, "storm went undetected through the telemetry stream"
+    latency = raises[0][0] - STORM_AT
+    print(f"\nE15 detection: storm at t={STORM_AT}s detected at "
+          f"t={raises[0][0]}s (latency {latency:.1f}s virtual); "
+          f"{len(raises)} RAISE / {len(clears)} CLEAR; "
+          f"0 false positives on the clean run")
+    # The 2s evaluation epoch bounds the latency at two epochs.
+    assert 0.0 <= latency <= 4.0
+    assert clears, "storm alert never cleared after the fault window"
+
+    _merge_results("detection", {
+        "storm_at": STORM_AT,
+        "storm_duration": STORM_DURATION,
+        "first_raise_time": raises[0][0],
+        "latency_s": latency,
+        "raises": len(raises),
+        "clears": len(clears),
+        "false_positives_clean": len(false_positives),
+        "telemetry_rows": len(storm_rows),
+    })

@@ -120,6 +120,20 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="packets per block on the vectorized data "
                              "path (1 disables batching; default from "
                              "GS_BATCH/GS_BATCH_SIZE, else 256)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="publish engine internals as queryable _gs_* "
+                             "streams (_gs_channel, _gs_operator, _gs_shed, "
+                             "_gs_recovery, _gs_alert): GSQL queries and "
+                             "--alert triggers can read them like packet "
+                             "streams; prints the telemetry report (samples, "
+                             "per-stream rows, profiler attribution) after "
+                             "the run")
+    parser.add_argument("--telemetry-interval", type=float, metavar="SECS",
+                        help="virtual-time seconds between telemetry samples "
+                             "(implies --telemetry; default 1.0)")
+    parser.add_argument("--telemetry-out", metavar="PATH",
+                        help="write every telemetry stream row as JSON lines "
+                             "to PATH (requires --telemetry)")
     parser.add_argument("--metrics-out", metavar="PATH",
                         help="write a metrics snapshot (repro.obs registry) "
                              "to PATH after the run")
@@ -230,6 +244,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"--batch-size must be positive, got {args.batch_size}")
     if args.alert_out and not args.alert:
         parser.error("--alert-out requires --alert")
+    telemetry = (args.telemetry or args.telemetry_interval is not None)
+    if args.telemetry_out and not telemetry:
+        parser.error("--telemetry-out requires --telemetry")
+    if args.telemetry_interval is not None and args.telemetry_interval < 0:
+        parser.error(f"--telemetry-interval must be >= 0, "
+                     f"got {args.telemetry_interval}")
+    # Distinct artifacts must go to distinct files: writing two streams
+    # to one path silently clobbers the first, so it is a usage error.
+    seen_outputs: dict = {}
+    for flag, value in (("--trace-out", args.trace_out),
+                        ("--metrics-out", args.metrics_out),
+                        ("--telemetry-out", args.telemetry_out),
+                        ("--alert-out", args.alert_out)):
+        if not value:
+            continue
+        resolved = Path(value).resolve()
+        if resolved in seen_outputs:
+            parser.error(f"{seen_outputs[resolved]} and {flag} both "
+                         f"write to {value!r}; give each output its "
+                         f"own path")
+        seen_outputs[resolved] = flag
     if args.checkpoint_interval is not None and args.checkpoint_interval <= 0:
         parser.error(f"--checkpoint-interval must be positive, "
                      f"got {args.checkpoint_interval}")
@@ -252,6 +287,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             engine.enable_shedding(args.shed)
         except ValueError as error:
             raise SystemExit(f"bad --shed {args.shed!r}: {error}")
+    telemetry_hub = None
+    if telemetry:
+        # Before the queries compile, so "From _gs_channel" resolves
+        # like any packet protocol.
+        telemetry_hub = engine.enable_telemetry(
+            interval=(args.telemetry_interval
+                      if args.telemetry_interval is not None else 1.0))
     names: List[str] = []
     try:
         for text in query_texts:
@@ -293,6 +335,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     watched = args.subscribe or [n for n in names if not n.startswith("_")]
     subscriptions = {name: engine.subscribe(name) for name in watched}
+    telemetry_subs = {}
+    if args.telemetry_out:
+        telemetry_subs = {stream: engine.subscribe(stream)
+                          for stream in sorted(telemetry_hub.nodes)}
 
     if args.pcap:
         packets = _packets_from_pcaps(args.pcap)
@@ -373,6 +419,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         if alert_file is not None:
             alert_file.close()
             print(f"#  alert stream -> {args.alert_out}", file=sys.stderr)
+    if telemetry:
+        report = engine.telemetry_report()
+        print("# telemetry report", file=sys.stderr)
+        print(f"#  interval={report['interval']} "
+              f"samples={report['samples']} "
+              f"last_sample={report['last_sample_time']}", file=sys.stderr)
+        print(f"#  rows: " + " ".join(
+            f"{stream}={count}"
+            for stream, count in report["rows"].items()), file=sys.stderr)
+        profiler = report["profiler"]
+        print(f"#  profiler: cycles={profiler['cycles']} "
+              f"profiled={profiler['profiled_cycles']} "
+              f"(every {profiler['sample_every']})", file=sys.stderr)
+        for operator in profiler["virtual_us"]:
+            print(f"#  operator {operator}: "
+                  f"virtual_us={profiler['virtual_us'][operator]} "
+                  f"wall_us={profiler['wall_us'].get(operator, 0.0)}",
+                  file=sys.stderr)
+        if args.telemetry_out:
+            import json as json_module
+            with open(args.telemetry_out, "w") as handle:
+                for stream, subscription in telemetry_subs.items():
+                    schema = engine.schema_of(stream)
+                    for row in subscription.poll():
+                        record = {"stream": stream}
+                        for key, value in zip(schema.names, row):
+                            if isinstance(value, bytes):
+                                value = value.decode("utf-8", "replace")
+                            record[key] = value
+                        json_module.dump(record, handle)
+                        handle.write("\n")
+            print(f"#  telemetry streams -> {args.telemetry_out}",
+                  file=sys.stderr)
     if args.stats:
         # The same canonical snapshot the metrics exposition exports
         # (repro.obs.collectors), rendered one node per line.

@@ -352,6 +352,36 @@ class Gigascope:
             return None
         return self.rts.alert_engine.report()
 
+    # -- self-telemetry (repro.obs.telemetry) --------------------------------
+    def enable_telemetry(self, interval: float = 1.0,
+                         streams: Optional[Iterable[str]] = None,
+                         profile_every: int = 1) -> "TelemetryHub":
+        """Publish engine internals as first-class ``_gs_*`` GSQL streams.
+
+        Registers the typed telemetry streams (``_gs_channel``,
+        ``_gs_operator``, ``_gs_shed``, ``_gs_recovery``, ``_gs_alert``,
+        or the subset named in ``streams``) in the schema, so GSQL
+        queries and alert triggers subscribe to them exactly like packet
+        streams.  Samples are cut at pump boundaries every ``interval``
+        seconds of virtual time and carry only deterministic values, so
+        they replay byte-identically (``replay verify-telemetry``).
+        ``profile_every`` sets the sampling pump profiler's period (1 =
+        profile every cycle).  Enable *before* adding queries that read
+        the ``_gs_*`` streams.
+        """
+        from repro.obs.telemetry import TelemetryHub
+        if self.rts.telemetry is not None:
+            raise RegistryError("telemetry already enabled")
+        return TelemetryHub(self, interval=interval, streams=streams,
+                            profile_every=profile_every)
+
+    def telemetry_report(self) -> Optional[Dict[str, Any]]:
+        """The telemetry hub's ledger (samples, per-stream row counts,
+        profiler attribution), or None when telemetry is not enabled."""
+        if self.rts.telemetry is None:
+            return None
+        return self.rts.telemetry.report()
+
     # -- fault injection (repro.faults) --------------------------------------
     def inject_faults(self, faults: Iterable[Any],
                       nics: Iterable = ()) -> List[Any]:

@@ -21,6 +21,7 @@ operator asks (Section 3, "Unblocking Operators").
 from __future__ import annotations
 
 import math
+from time import perf_counter
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.channels import Channel
@@ -116,6 +117,8 @@ class RuntimeSystem:
         self.supervisor = None
         #: the alert evaluation plane, if enabled (see repro.alerts)
         self.alert_engine = None
+        #: the self-telemetry hub, if enabled (see repro.obs.telemetry)
+        self.telemetry = None
         #: the sampled-lineage tracer, if enabled (see repro.obs.tracing)
         self.tracer = None
         #: virtual-time cost model for latency accounting (lazy default)
@@ -589,6 +592,13 @@ class RuntimeSystem:
             fault.on_cycle(self._stream_time, self)
         if self.controller is not None:
             self.controller.on_cycle(self._stream_time)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            # Telemetry samples the engine *before* the drain so the
+            # emitted _gs_* rows travel through (journaled) channels
+            # this same cycle, exactly like alert epoch ticks below --
+            # which is what makes the streams replay byte-identically.
+            telemetry.on_cycle(self._stream_time)
         if self.alert_engine is not None:
             # The epoch clock ticks at pump boundaries in virtual time;
             # ticks travel through (journaled) channels so the drain
@@ -599,11 +609,16 @@ class RuntimeSystem:
             # Retry suspended nodes whose backoff expired (virtual time).
             supervisor.on_pump_begin(self._stream_time)
         tracer = self.tracer
+        # The sampling wall-clock profiler brackets each operator's
+        # share of the drain; it decides per cycle whether to time.
+        profiler = telemetry.profiler if telemetry is not None else None
+        if profiler is not None and not profiler.begin_cycle():
+            profiler = None
         # The batched drain needs per-item tracer lookups disabled and
         # must not bypass a fault injector's per-tuple wraps, so either
         # one forces the scalar drain.
         if self.batch_size > 1 and tracer is None and not self.faults:
-            processed = self._pump_batched()
+            processed = self._pump_batched(profiler)
             if supervisor is not None:
                 supervisor.on_pump_end(self._stream_time)
             return processed
@@ -618,6 +633,7 @@ class RuntimeSystem:
             for node in list(self._hfta_order):
                 if node.quarantined is not None:
                     continue
+                drain_began = perf_counter() if profiler is not None else 0.0
                 for input_index, channel in enumerate(node.inputs):
                     while channel:
                         item = channel.pop()
@@ -648,6 +664,11 @@ class RuntimeSystem:
                         progress = True
                     if node.quarantined is not None:
                         break
+                if profiler is not None:
+                    # Closed even when the node was quarantined or
+                    # suspended mid-drain: cost up to the failure is
+                    # still attributed, never dangling.
+                    profiler.add(node.name, perf_counter() - drain_began)
             if not progress and not self._heartbeat_wanted:
                 break
         if tracer is not None:
@@ -662,7 +683,7 @@ class RuntimeSystem:
             supervisor.on_pump_end(self._stream_time)
         return processed
 
-    def _pump_batched(self) -> int:
+    def _pump_batched(self, profiler=None) -> int:
         """The scalar drain loop moving items in blocks (DESIGN sec 10).
 
         Per-channel FIFO order is preserved exactly: a popped block is
@@ -684,6 +705,7 @@ class RuntimeSystem:
                 if node.quarantined is not None:
                     continue
                 batched = node.accepts_batch
+                drain_began = perf_counter() if profiler is not None else 0.0
                 for input_index, channel in enumerate(node.inputs):
                     while channel:
                         items = channel.pop_many()
@@ -721,6 +743,8 @@ class RuntimeSystem:
                         progress = True
                     if node.quarantined is not None:
                         break
+                if profiler is not None:
+                    profiler.add(node.name, perf_counter() - drain_began)
             if not progress and not self._heartbeat_wanted:
                 break
         if self._pump_cycle_hist is not None and processed:
@@ -750,6 +774,10 @@ class RuntimeSystem:
                     self._quarantine(node, error)
                 else:
                     node.emit_flush()
+        if self.telemetry is not None:
+            # Final sample + FLUSH on the _gs_* streams, so meta-query
+            # subscribers terminate like any packet-stream subscriber.
+            self.telemetry.on_stream_end(self._stream_time)
         self.pump()
 
     # -- introspection ----------------------------------------------------------------------------

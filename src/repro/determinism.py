@@ -31,6 +31,7 @@ Command line (via the :mod:`repro.replay` shim)::
     python -m repro.replay verify --scenario mixed --seed 7
     python -m repro.replay verify-recovery --scenario recovery_agg
     python -m repro.replay verify-alerts
+    python -m repro.replay verify-telemetry
 
 ``verify-recovery`` is the recovery plane's acceptance gate: a run
 that crashes an operator mid-stream and recovers it (checkpoint
@@ -38,7 +39,11 @@ restore + journal replay, see :mod:`repro.recovery`) must be
 byte-identical to the run without the crash.  ``verify-alerts`` is the
 alert plane's: the SYN-flood and port-scan alert streams must be
 byte-identical across ``PYTHONHASHSEED`` values *and* across a
-crash/restore of the trigger node itself.
+crash/restore of the trigger node itself.  ``verify-telemetry`` is the
+self-telemetry plane's: the ``_gs_*`` streams (and the meta-query and
+meta-alert outputs computed from them) must be byte-identical across
+``PYTHONHASHSEED`` values and across a mid-run crash/restore of the
+meta-query node.
 """
 
 from __future__ import annotations
@@ -424,6 +429,117 @@ def _alerts_port_scan_scenario(seed: int) -> Dict[str, Any]:
 ALERT_SCENARIOS = ("alerts_syn_flood", "alerts_port_scan")
 
 
+# -- telemetry scenarios -----------------------------------------------------
+#
+# The self-telemetry contract (DESIGN section 13): ``_gs_*`` rows carry
+# only deterministic values (virtual time, cumulative counters,
+# per-sample deltas) and travel through the same journaled channels as
+# every other stream item, so the streams -- and any GSQL meta-query or
+# meta-alert computed from them -- replay byte-identically across hash
+# seeds and across a crash/restore, with zero telemetry-specific
+# recovery code.  Wall-clock cost lives only in the profiler report and
+# the ``gs_telemetry_profile_wall*`` metric family, which
+# :func:`strip_wall_clock_metrics` removes before diffing.
+
+def strip_wall_clock_metrics(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Drop wall-clock profiler families from a scenario snapshot.
+
+    ``gs_telemetry_profile_wall*`` accumulates ``perf_counter`` spans
+    and so differs between any two runs *by nature*; every other
+    telemetry surface is virtual-time-deterministic and must not.
+    """
+    metrics = snapshot.get("metrics")
+    if isinstance(metrics, dict) and isinstance(metrics.get("metrics"), list):
+        metrics["metrics"] = [
+            family for family in metrics["metrics"]
+            if not str(family.get("name", "")).startswith(
+                "gs_telemetry_profile_wall")
+        ]
+    return snapshot
+
+
+def _telemetry_engine(seed: int, subscribe_streams: Tuple[str, ...]):
+    """The shared telemetry-scenario topology.
+
+    A selection query keeps per-packet pressure on its subscription
+    channel (so the injected storm produces real overflow drops), a
+    GSQL meta-query and a meta-alert trigger both read ``_gs_channel``
+    unmodified, and the recovery supervisor runs so ``_gs_recovery``
+    carries live counters.  Returns ``(gs, subs)`` ready to feed.
+    """
+    from repro.core.engine import Gigascope
+
+    gs = Gigascope(seed=seed, heartbeat_interval=0.5, batch_size=1,
+                   channel_capacity=256)
+    gs.enable_telemetry(interval=0.5)
+    gs.add_query("""
+        DEFINE query_name pkts;
+        Select time, len
+        From tcp
+    """)
+    gs.add_query("""
+        Select floor(time/2) as tb, sum(dropped_delta) as drops
+        From _gs_channel
+        Group by floor(time/2) as tb
+    """, name="chan_drops")
+    _LAST_SUPERVISOR["supervisor"] = gs.enable_recovery(
+        checkpoint_interval=8.0)
+    gs.enable_alerts([
+        "chanstorm:on=_gs_channel,key=channel,when=sum(dropped_delta) > 40,"
+        "epoch=2,raise_for=1,clear_for=2,severity=warning",
+    ])
+    subs = {name: gs.subscribe(name)
+            for name in ("pkts", "chan_drops", "alerts")}
+    for stream in subscribe_streams:
+        subs[stream] = gs.subscribe(stream)
+    gs.start()
+    return gs, subs
+
+
+def _feed_telemetry(gs, seed: int) -> None:
+    from repro.workloads.generators import http_port80_pool, packet_stream
+    pool = http_port80_pool(seed=derive_seed(seed, "telemetry.pool") & 0xFFFF)
+    gs.feed(packet_stream(pool, rate_mbps=2.0, duration_s=10.0,
+                          seed=derive_seed(seed, "telemetry.stream")),
+            pump_every=64)
+    gs.flush()
+
+
+@scenario("telemetry_meta")
+def _telemetry_meta_scenario(seed: int) -> Dict[str, Any]:
+    """Every ``_gs_*`` stream plus meta-query and meta-alert, under an
+    injected channel storm.  The hash-seed replay target: all five
+    telemetry streams are subscribed and snapshotted byte-for-byte."""
+    from repro.obs.telemetry import TELEMETRY_STREAMS
+
+    gs, subs = _telemetry_engine(seed, TELEMETRY_STREAMS)
+    gs.inject_faults(["channel_storm:at=3.0,duration=2.0,capacity=4"])
+    _feed_telemetry(gs, seed)
+    return strip_wall_clock_metrics(snapshot_engine(gs, subs))
+
+
+@scenario("telemetry_crash")
+def _telemetry_crash_scenario(seed: int) -> Dict[str, Any]:
+    """Meta-query crash mid-stream: telemetry rows are journaled channel
+    items like any other, so restore + replay must reconstruct the
+    clean run.  ``_gs_recovery`` is left unsubscribed -- its rows count
+    the repair itself, the one stream that differs across arms by
+    design (the same exclusion :func:`strip_recovery_artifacts` makes
+    for the ``gs_recovery*`` metric families)."""
+    gs, subs = _telemetry_engine(
+        seed, ("_gs_channel", "_gs_operator", "_gs_shed", "_gs_alert"))
+    if _crash_arm():
+        # Mid-run: chan_drops has seen ~half the telemetry rows and
+        # holds an open epoch of drop sums at the crash.
+        _arm_transient_crash(gs, "chan_drops", at_tuple=40)
+    _feed_telemetry(gs, seed)
+    return strip_wall_clock_metrics(snapshot_engine(gs, subs))
+
+
+#: the scenarios ``verify-telemetry`` gates on
+TELEMETRY_SCENARIOS = ("telemetry_meta", "telemetry_crash")
+
+
 def resolve_scenario(name: str) -> Callable[[int], Dict[str, Any]]:
     """A registered scenario, or a ``module:callable`` dotted path."""
     if name in SCENARIOS:
@@ -629,6 +745,24 @@ def verify_alerts(seed: int = 0, hash_seeds: Tuple[str, ...] = ("1", "2"),
     return reports
 
 
+def verify_telemetry(seed: int = 0, hash_seeds: Tuple[str, ...] = ("1", "2")
+                     ) -> List[ReplayReport]:
+    """The self-telemetry plane's acceptance gate.
+
+    (a) ``telemetry_meta``: all five ``_gs_*`` streams, the meta-query,
+    and the meta-alert stream are byte-identical across two
+    ``PYTHONHASHSEED`` values, storm included.  (b) ``telemetry_crash``:
+    the crash-invariant telemetry streams and everything computed from
+    them are byte-identical across a mid-run crash/restore of the
+    meta-query node, per hash seed.
+    """
+    reports: List[ReplayReport] = [
+        verify_replay("telemetry_meta", seed, hash_seeds=hash_seeds[:2])]
+    reports.extend(verify_recovery("telemetry_crash", seed,
+                                   hash_seeds=hash_seeds))
+    return reports
+
+
 def verify_replay(scenario_name: str, seed: int = 0,
                   hash_seeds: Tuple[str, str] = ("1", "2")) -> ReplayReport:
     """Run ``scenario_name`` twice under different ``PYTHONHASHSEED``
@@ -673,6 +807,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                             default=list(ALERT_SCENARIOS),
                             help=f"alert scenarios to gate on "
                                  f"(default: {' '.join(ALERT_SCENARIOS)})")
+    telemetry_cmd = commands.add_parser(
+        "verify-telemetry",
+        help="verify the _gs_* telemetry streams (and meta-query/"
+             "meta-alert outputs) across hash seeds and across a "
+             "crash/restore of the meta-query node")
+    telemetry_cmd.add_argument("--seed", type=int, default=0)
+    telemetry_cmd.add_argument("--hash-seeds", nargs=2, default=("1", "2"),
+                               metavar=("A", "B"))
     for sub in (run_cmd, verify_cmd, batch_cmd, recovery_cmd):
         sub.add_argument("--scenario", default="mixed",
                          help=f"one of {sorted(SCENARIOS)} or module:callable")
@@ -700,6 +842,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         reports = verify_alerts(args.seed,
                                 hash_seeds=tuple(args.hash_seeds),
                                 scenarios=tuple(args.scenarios))
+        for report in reports:
+            print(report.describe())
+        return 0 if all(report.ok for report in reports) else 1
+    if args.command == "verify-telemetry":
+        reports = verify_telemetry(args.seed,
+                                   hash_seeds=tuple(args.hash_seeds))
         for report in reports:
             print(report.describe())
         return 0 if all(report.ok for report in reports) else 1

@@ -6,6 +6,9 @@
   statistics snapshot every reporting surface is built on.
 * :mod:`repro.obs.tracing` -- sampled tuple-lineage tracing through the
   NIC -> LFTA -> channel -> HFTA -> sink path.
+* :mod:`repro.obs.telemetry` -- self-telemetry: the engine's internals
+  published as first-class ``_gs_*`` GSQL streams, plus the sampling
+  pump profiler.
 """
 
 from repro.obs.collectors import (
@@ -14,7 +17,15 @@ from repro.obs.collectors import (
     engine_snapshot,
     install_alert_metrics,
     install_engine_metrics,
+    install_telemetry_metrics,
     node_snapshot,
+)
+from repro.obs.telemetry import (
+    TELEMETRY_STREAMS,
+    PumpProfiler,
+    TelemetryHub,
+    TelemetryStreamNode,
+    telemetry_schema,
 )
 from repro.obs.registry import (
     Counter,
@@ -34,9 +45,15 @@ __all__ = [
     "Tracer",
     "trace_key",
     "NODE_EXTRA_ATTRS",
+    "TELEMETRY_STREAMS",
+    "PumpProfiler",
+    "TelemetryHub",
+    "TelemetryStreamNode",
     "bind_nic",
     "engine_snapshot",
     "install_alert_metrics",
     "install_engine_metrics",
+    "install_telemetry_metrics",
     "node_snapshot",
+    "telemetry_schema",
 ]

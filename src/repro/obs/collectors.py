@@ -16,6 +16,7 @@ is taken, so the packet path pays nothing for it.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict
 
 from repro.obs.registry import MetricsRegistry
@@ -262,6 +263,56 @@ def install_alert_metrics(registry: MetricsRegistry, alert_engine) -> None:
             cleared.labels(trigger=name).set(node.alerts_cleared)
             suppressed.labels(trigger=name).set(node.alerts_suppressed)
             epochs.labels(trigger=name).set(node.epochs_evaluated)
+
+    registry.add_collector(collect)
+
+
+def install_telemetry_metrics(registry: MetricsRegistry, hub) -> None:
+    """Export the telemetry hub's ledger through ``registry``.
+
+    Every family carries the ``gs_telemetry`` prefix so it can never
+    collide with the collector families above -- the ``_gs_*`` stream
+    *nodes* are ordinary registered nodes and already appear under
+    ``gs_node_*{node="_gs_channel"}`` etc.; these families cover only
+    what the hub adds on top (sampling cadence, per-stream row counts,
+    and the wall-clock profile, which is observability-only and never
+    enters the replayable streams).
+    """
+    samples = registry.counter(
+        "gs_telemetry_samples_total",
+        "telemetry samples taken at pump boundaries")
+    last_sample = registry.gauge(
+        "gs_telemetry_last_sample_time_seconds",
+        "virtual time of the latest telemetry sample")
+    rows = registry.counter(
+        "gs_telemetry_rows_total",
+        "rows emitted per telemetry stream", labels=("stream",))
+    profiled = registry.counter(
+        "gs_telemetry_profile_cycles_total",
+        "pump cycles the sampling profiler timed")
+    wall = registry.counter(
+        "gs_telemetry_profile_wall_us_total",
+        "wall-clock microseconds of pump-drain work attributed per "
+        "operator (sampled cycles only)", labels=("operator",))
+    virtual = registry.counter(
+        "gs_telemetry_profile_virtual_us_total",
+        "Section 4 virtual-time microseconds attributed per operator",
+        labels=("operator",))
+
+    def collect() -> None:
+        samples.set(hub.samples_taken)
+        if not math.isinf(hub._last_sample):
+            last_sample.set(hub._last_sample)
+        for stream, node in hub.nodes.items():
+            rows.labels(stream=stream).set(node.stats.tuples_out)
+        profiler = hub.profiler
+        profiled.set(profiler.profiled_cycles)
+        wall.clear()
+        for operator, value in profiler.wall_us().items():
+            wall.labels(operator=operator).set(value)
+        virtual.clear()
+        for operator, value in hub.virtual_us.items():
+            virtual.labels(operator=operator).set(value)
 
     registry.add_collector(collect)
 

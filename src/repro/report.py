@@ -104,4 +104,30 @@ def engine_report(engine: Gigascope) -> str:
                 f"cleared={entry.get('alerts_cleared', 0)} "
                 f"suppressed={entry.get('alerts_suppressed', 0)} "
                 f"epochs={entry.get('epochs_evaluated', 0)}")
+
+    # Telemetry section: sampler cadence, per-stream row counts, and
+    # the profiler's per-operator cost attribution (virtual time is
+    # replayable; wall time is measured and advisory).
+    telemetry = rts.telemetry
+    if telemetry is not None:
+        report = telemetry.report()
+        lines.append("")
+        lines.append("telemetry")
+        last = report["last_sample_time"]
+        lines.append(f"  interval: {report['interval']}s"
+                     f"  samples: {report['samples']}"
+                     f"  last: "
+                     + (f"{last:.3f} s" if last is not None else "-"))
+        lines.append("  rows: " + "  ".join(
+            f"{stream}={count}"
+            for stream, count in report["rows"].items()))
+        profiler = report["profiler"]
+        lines.append(f"  profiler: {profiler['profiled_cycles']}"
+                     f"/{profiler['cycles']} cycles "
+                     f"(every {profiler['sample_every']})")
+        for operator in profiler["virtual_us"]:
+            lines.append(
+                f"  operator {operator}: "
+                f"virtual_us={profiler['virtual_us'][operator]} "
+                f"wall_us={profiler['wall_us'].get(operator, 0.0)}")
     return "\n".join(lines)

@@ -366,3 +366,118 @@ class TestRecoveryFlags:
                   "--fault", "gremlins:at=1"])
         assert excinfo.value.code == 2
         assert "unknown fault kind" in capsys.readouterr().err
+
+
+class TestTelemetryFlags:
+    QUERY = ("DEFINE query_name q; Select tb, count(*) as hits "
+             "From tcp Group by time/5 as tb")
+
+    def test_telemetry_runs_and_prints_report(self, trace, capsys):
+        code, _out, err = run_cli(
+            ["--pcap", trace, "--query", self.QUERY, "--telemetry"],
+            capsys)
+        assert code == 0
+        assert "# telemetry report" in err
+        assert "_gs_channel" in err
+        assert "profiler:" in err
+
+    def test_meta_query_over_telemetry_stream(self, trace, capsys):
+        code, out, _err = run_cli(
+            ["--pcap", trace, "--telemetry",
+             "--query", self.QUERY,
+             "--query", "DEFINE query_name chan; "
+                        "Select time, channel, depth From _gs_channel",
+             "--subscribe", "chan"],
+            capsys)
+        assert code == 0
+        body = out.split("# chan\n")[1]
+        rows = list(csv.reader(io.StringIO(body)))
+        assert rows[0] == ["time", "channel", "depth"]
+        assert len(rows) > 1
+
+    def test_telemetry_out_writes_jsonl(self, trace, tmp_path, capsys):
+        import json
+        path = tmp_path / "telemetry.jsonl"
+        code, _out, err = run_cli(
+            ["--pcap", trace, "--query", self.QUERY,
+             "--telemetry", "--telemetry-out", str(path)],
+            capsys)
+        assert code == 0
+        assert "telemetry streams ->" in err
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert records
+        streams = {record["stream"] for record in records}
+        assert {"_gs_channel", "_gs_operator", "_gs_shed",
+                "_gs_recovery", "_gs_alert"} <= streams
+        operator = next(r for r in records
+                        if r["stream"] == "_gs_operator")
+        assert {"time", "operator", "tuples_in", "cost_us"} <= set(operator)
+
+    def test_telemetry_interval_implies_telemetry(self, trace, capsys):
+        code, _out, err = run_cli(
+            ["--pcap", trace, "--query", self.QUERY,
+             "--telemetry-interval", "0.5"],
+            capsys)
+        assert code == 0
+        assert "# telemetry report" in err
+
+    def test_telemetry_out_requires_telemetry(self, trace, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--pcap", trace, "--query", self.QUERY,
+                  "--telemetry-out", "t.jsonl"])
+        assert excinfo.value.code == 2
+        assert ("--telemetry-out requires --telemetry"
+                in capsys.readouterr().err)
+
+    def test_bad_telemetry_interval_exits_2(self, trace, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--pcap", trace, "--query", self.QUERY,
+                  "--telemetry-interval", "-1"])
+        assert excinfo.value.code == 2
+        assert "--telemetry-interval" in capsys.readouterr().err
+
+    def test_telemetry_and_metrics_same_path_exits_2_naming_both(
+            self, trace, tmp_path, capsys):
+        path = str(tmp_path / "out.txt")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--pcap", trace, "--query", self.QUERY,
+                  "--telemetry", "--telemetry-out", path,
+                  "--metrics-out", path])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--metrics-out" in err and "--telemetry-out" in err
+
+    def test_trace_and_metrics_same_path_exits_2_naming_both(
+            self, trace, tmp_path, capsys):
+        path = str(tmp_path / "out.txt")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--pcap", trace, "--query", self.QUERY,
+                  "--trace-sample", "0.5", "--trace-out", path,
+                  "--metrics-out", path])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--trace-out" in err and "--metrics-out" in err
+
+    def test_distinct_output_paths_accepted(self, trace, tmp_path, capsys):
+        code, _out, err = run_cli(
+            ["--pcap", trace, "--query", self.QUERY,
+             "--telemetry", "--telemetry-out", str(tmp_path / "t.jsonl"),
+             "--metrics-out", str(tmp_path / "m.prom")],
+            capsys)
+        assert code == 0
+        assert (tmp_path / "t.jsonl").exists()
+        assert (tmp_path / "m.prom").exists()
+
+    def test_meta_alert_over_telemetry_stream(self, trace, capsys):
+        # A PR 6 trigger reads a _gs_* stream unmodified: always-true
+        # condition over _gs_shed proves the wiring end to end.
+        code, out, err = run_cli(
+            ["--pcap", trace, "--query", self.QUERY, "--telemetry",
+             "--alert", "meta:on=_gs_shed,when=count(*) >= 1,epoch=5",
+             "--subscribe", "alerts"],
+            capsys)
+        assert code == 0
+        assert "# alert report" in err
+        assert "on=_gs_shed" in err
+        assert "RAISE" in out

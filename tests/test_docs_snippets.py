@@ -32,6 +32,10 @@ def test_sql_block_compiles(source, block):
     queries = parse_queries(block)
     assert queries, f"empty sql block in {source}"
     gs = Gigascope()
+    if "_gs_" in block:
+        # Meta-queries read the self-telemetry streams; enabling
+        # telemetry registers their schemas, just as a user must.
+        gs.enable_telemetry()
     params = {
         name: {"peers": "10.0.0.0/8 1", "minlen": 40, "port": 80}
         for name in re.findall(r"query_name\s+(\w+)", block)
@@ -45,3 +49,38 @@ def test_docs_mention_every_experiment():
     for path in sorted((ROOT / "benchmarks").glob("test_e*.py")):
         assert path.name in experiments or path.stem.split("_")[1] in \
             experiments.lower(), f"{path.name} undocumented"
+
+
+def test_readme_documents_every_metric_family():
+    """The README metrics-family table covers every family the engine
+    can register, across every plane (engine, NIC, shedding, batching,
+    recovery, alerts, telemetry)."""
+    from repro.faults.injectors import OperatorFault
+    from repro.nic.nic import Nic
+
+    gs = Gigascope(seed=3, heartbeat_interval=0.5, batch_size=4)
+    gs.observe_nic(Nic())
+    gs.enable_shedding("adaptive")
+    gs.enable_telemetry(interval=0.5)
+    gs.add_query("""
+        DEFINE query_name flows;
+        Select tb, count(*) as pkts
+        From tcp Group by time/2 as tb
+    """)
+    gs.enable_recovery(checkpoint_interval=1.0)
+    gs.enable_alerts(["t:on=flows,when=sum(pkts) > 1,epoch=2"])
+    gs.subscribe("flows")
+    gs.start()
+    gs.inject_faults([OperatorFault("flows", at_tuple=1, times=1)])
+    from tests.conftest import tcp_packet
+    for i in range(64):
+        gs.feed_packet(tcp_packet(ts=0.1 * i))
+        if i % 8 == 7:
+            gs.rts.pump()
+    gs.flush()
+    families = [family.name for family in gs.metrics.families()]
+    assert families, "no metric families registered"
+    readme = (ROOT / "README.md").read_text()
+    undocumented = [name for name in families if f"`{name}`" not in readme]
+    assert not undocumented, (
+        f"metric families missing from the README table: {undocumented}")

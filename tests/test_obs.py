@@ -351,3 +351,71 @@ class TestTracer:
         events = doc["traces"][str(trace)]
         assert [e["stage"] for e in events] == ["feed", "lfta"]
         assert events[0]["interface"] == "eth0"
+
+
+class TestTelemetryMetrics:
+    """The telemetry plane's metric families: registered once, fully
+    documented in exposition, round-trippable."""
+
+    def build(self):
+        gs = Gigascope(seed=3, heartbeat_interval=0.5)
+        gs.enable_telemetry(interval=0.5)
+        gs.add_query("""
+            DEFINE query_name flows;
+            Select tb, count(*) as pkts
+            From tcp Group by time/2 as tb
+        """)
+        gs.subscribe("flows")
+        gs.start()
+        for i in range(40):
+            gs.feed_packet(tcp_packet(ts=0.1 * i))
+            if i % 8 == 7:
+                gs.rts.pump()
+        gs.flush()
+        return gs
+
+    def test_telemetry_families_registered_and_set(self):
+        gs = self.build()
+        values = parse_prometheus(gs.metrics.to_prometheus())
+        assert values["gs_telemetry_samples_total"] > 0
+        assert values["gs_telemetry_last_sample_time_seconds"] > 0
+        assert values['gs_telemetry_rows_total{stream="_gs_channel"}'] > 0
+        assert values["gs_telemetry_profile_cycles_total"] > 0
+        assert any(key.startswith("gs_telemetry_profile_wall_us_total{")
+                   for key in values)
+        assert any(key.startswith("gs_telemetry_profile_virtual_us_total{")
+                   for key in values)
+
+    def test_no_double_registration_with_collector_metrics(self):
+        # Telemetry-stream-derived families must not collide with the
+        # collector families install_engine_metrics registered: every
+        # family name appears exactly once in the exposition.
+        gs = self.build()
+        text = gs.metrics.to_prometheus()
+        help_names = re.findall(r"^# HELP (\S+)", text, re.MULTILINE)
+        assert len(help_names) == len(set(help_names))
+        type_names = re.findall(r"^# TYPE (\S+)", text, re.MULTILINE)
+        assert sorted(type_names) == sorted(help_names)
+
+    def test_every_family_emits_help_and_type(self):
+        gs = self.build()
+        text = gs.metrics.to_prometheus()
+        help_names = set(re.findall(r"^# HELP (\S+)", text, re.MULTILINE))
+        sample_names = {key.partition("{")[0]
+                        for key in parse_prometheus(text)}
+        # Histogram samples use the family name plus a suffix.
+        base = {name.rsplit("_bucket", 1)[0].rsplit("_sum", 1)[0]
+                    .rsplit("_count", 1)[0]
+                for name in sample_names}
+        assert base <= help_names
+
+    def test_exposition_round_trips_through_parser(self):
+        gs = self.build()
+        first = parse_prometheus(gs.metrics.to_prometheus())
+        second = parse_prometheus(gs.metrics.to_prometheus())
+        # Collectors are pure reads of engine state: re-exposition after
+        # the run is stable for everything but wall-clock profiling.
+        stable = {key: value for key, value in first.items()
+                  if "profile_wall" not in key}
+        assert stable == {key: value for key, value in second.items()
+                         if "profile_wall" not in key}
