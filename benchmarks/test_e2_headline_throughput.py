@@ -114,9 +114,10 @@ def test_e2_throughput(benchmark):
         "speedup_vs_pre_batch_baseline": pps / PRE_BATCH_BASELINE_PPS,
     }, indent=2))
 
-    # Floor so regressions are caught; any working build exceeds this.
+    # Floor so regressions are caught; with columnar block execution the
+    # batched path clears this on any machine that runs the suite at all.
     # (CI additionally enforces 80% of the committed BENCH_E2.json.)
-    assert pps > 10_000
+    assert pps > 40_000
 
 
 def test_e2_reduction_structure():

@@ -120,6 +120,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="packets per block on the vectorized data "
                              "path (1 disables batching; default from "
                              "GS_BATCH/GS_BATCH_SIZE, else 256)")
+    parser.add_argument("--no-columnar", action="store_true",
+                        help="decode blocks row-by-row instead of into "
+                             "columnar blocks on the LFTA hot path "
+                             "(default from GS_COLUMNAR, else columnar)")
     parser.add_argument("--telemetry", action="store_true",
                         help="publish engine internals as queryable _gs_* "
                              "streams (_gs_channel, _gs_operator, _gs_shed, "
@@ -272,10 +276,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"--max-restarts must be >= 0, got {args.max_restarts}")
     recover = (args.recover or args.checkpoint_interval is not None
                or args.max_restarts is not None)
-    engine = Gigascope(mode=args.mode,
-                       channel_capacity=args.channel_capacity,
-                       seed=args.seed,
-                       batch_size=args.batch_size)
+    try:
+        engine = Gigascope(mode=args.mode,
+                           channel_capacity=args.channel_capacity,
+                           seed=args.seed,
+                           batch_size=args.batch_size,
+                           columnar=False if args.no_columnar else None)
+    except ValueError as error:
+        # A malformed GS_BATCH_SIZE in the environment is a usage
+        # error (exit 2), same as a bad --batch-size on the command
+        # line -- not a crash.
+        parser.error(str(error))
     tracer = None
     if args.trace_sample is not None:
         try:

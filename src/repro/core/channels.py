@@ -101,10 +101,13 @@ class Channel:
         """
         stats = self.stats
         queue = self._queue
-        capacity = self._effective_capacity()
-        if capacity is None:
-            if not isinstance(items, (list, tuple)):
-                items = list(items)
+        if (self.capacity is None and self.fault_capacity is None
+                and isinstance(items, (list, tuple))):
+            # Fast path: no bound applies and the block is already
+            # materialized, so no code runs mid-block that could
+            # install one.  A generator input gets the general loop --
+            # its body may set ``fault_capacity`` between items (fault
+            # injectors do), and per-push semantics must see that.
             queue.extend(items)
             accepted = len(items)
             stats.pushed += accepted
@@ -117,8 +120,14 @@ class Channel:
         accepted = 0
         dropped = 0
         control = 0
+        effective = self._effective_capacity
         for item in items:
-            if len(queue) >= capacity and type(item) is tuple:
+            # Re-read the bound per item, exactly as push() does: a
+            # fault injector tightening it mid-block must drop the
+            # same suffix a sequence of single pushes would.
+            capacity = effective()
+            if (capacity is not None and len(queue) >= capacity
+                    and type(item) is tuple):
                 dropped += 1
                 continue
             queue.append(item)

@@ -43,16 +43,39 @@ def resolve_batch_size(batch_size: Optional[int] = None) -> int:
 
     Explicit argument wins; otherwise ``GS_BATCH=0`` disables batching
     (pure scalar execution, the differential-test switch) and
-    ``GS_BATCH_SIZE`` overrides the default block size.
+    ``GS_BATCH_SIZE`` overrides the default block size.  A malformed or
+    non-positive ``GS_BATCH_SIZE`` raises ``ValueError`` -- silently
+    falling back to the default would run a different execution path
+    than the operator asked for (the CLI turns this into a usage error).
     """
     if batch_size is not None:
         return batch_size
     if os.environ.get("GS_BATCH", "1") in ("0", "false", "no"):
         return 1
-    try:
-        return int(os.environ.get("GS_BATCH_SIZE", DEFAULT_BATCH_SIZE))
-    except ValueError:
+    raw = os.environ.get("GS_BATCH_SIZE")
+    if raw is None:
         return DEFAULT_BATCH_SIZE
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"GS_BATCH_SIZE must be a positive integer, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ValueError(f"GS_BATCH_SIZE must be >= 1, got {raw!r}")
+    return value
+
+
+def resolve_columnar(columnar: Optional[bool] = None) -> bool:
+    """Whether LFTAs may use columnar block execution (DESIGN section 14).
+
+    Explicit argument wins; ``GS_COLUMNAR=0`` (or ``false``/``no``)
+    forces the row-based batch path -- the columnar differential-test
+    switch.  Default on.
+    """
+    if columnar is not None:
+        return bool(columnar)
+    return os.environ.get("GS_COLUMNAR", "1") not in ("0", "false", "no")
 from repro.gsql.codegen import ExprCompiler
 from repro.gsql.functions import FunctionRegistry, FunctionSpec, builtin_functions
 from repro.gsql.parser import parse_queries, parse_query
@@ -90,6 +113,7 @@ class Gigascope:
         metrics: bool = True,
         seed: int = 0,
         batch_size: Optional[int] = None,
+        columnar: Optional[bool] = None,
     ) -> None:
         self.mode = mode
         #: root of the seeded RNG registry (repro.determinism): every
@@ -105,6 +129,9 @@ class Gigascope:
         self.channel_capacity = channel_capacity
         self.schema_registry = schema_registry or builtin_registry()
         self.functions = functions or builtin_functions()
+        #: columnar block execution for eligible LFTAs (DESIGN section
+        #: 14); GS_COLUMNAR=0 forces the row-based batch path
+        self.columnar = resolve_columnar(columnar)
         self.rts = RuntimeSystem(heartbeat_interval=heartbeat_interval,
                                  on_demand_heartbeats=on_demand_heartbeats,
                                  metrics=metrics,
@@ -168,7 +195,8 @@ class Gigascope:
         nodes: List[QueryNode] = []
         for lfta_plan in plan.lftas:
             lfta = LftaNode(lfta_plan, analyzed, compiler,
-                            table_size=self.lfta_table_size, seed=self.seed)
+                            table_size=self.lfta_table_size, seed=self.seed,
+                            columnar=self.columnar)
             self.rts.register_node(lfta, packet_interface=lfta_plan.interface)
             self._streams[lfta.name] = lfta_plan.output_schema
             nodes.append(lfta)

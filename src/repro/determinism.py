@@ -682,25 +682,37 @@ def verify_recovery(scenario_name: str, seed: int = 0,
 
 
 def verify_batch_equivalence(scenario_name: str, seed: int = 0,
-                             batch_size: Optional[int] = None) -> ReplayReport:
+                             batch_size: Optional[int] = None,
+                             columnar: Optional[bool] = None,
+                             hash_seed: str = "0") -> ReplayReport:
     """Run a scenario scalar (``GS_BATCH=0``) and batched (``GS_BATCH=1``)
     in subprocesses and diff the snapshots after stripping the
     ``gs_batch*`` counters: the vectorized path must be byte-identical
     in rows, drop ledger, statistics, and every other metric.
+
+    ``columnar`` forces the batched arm's columnar block decode on or
+    off (``GS_COLUMNAR``); None leaves the engine default.  Both arms
+    run under the same ``hash_seed`` so the diff isolates the
+    execution path -- CI sweeps it to cross the batch differential
+    with the hash-seed matrix.
     """
     scalar_env = {"GS_BATCH": "0"}
     batched_env = {"GS_BATCH": "1"}
+    batched_label = "GS_BATCH=1"
     if batch_size is not None:
         batched_env["GS_BATCH_SIZE"] = str(batch_size)
+    if columnar is not None:
+        batched_env["GS_COLUMNAR"] = "1" if columnar else "0"
+        batched_label += f" GS_COLUMNAR={batched_env['GS_COLUMNAR']}"
     scalar = strip_batch_metrics(
-        _subprocess_snapshot(scenario_name, seed, "0", scalar_env))
+        _subprocess_snapshot(scenario_name, seed, hash_seed, scalar_env))
     batched = strip_batch_metrics(
-        _subprocess_snapshot(scenario_name, seed, "0", batched_env))
+        _subprocess_snapshot(scenario_name, seed, hash_seed, batched_env))
     diffs: List[str] = []
     _diff_paths(scalar, batched, "$", diffs)
     return ReplayReport(
         scenario=scenario_name, seed=seed,
-        hash_seeds=("GS_BATCH=0", "GS_BATCH=1"),
+        hash_seeds=("GS_BATCH=0", batched_label),
         ok=not diffs, diffs=diffs, snapshots=(scalar, batched),
         axis="execution path",
     )
@@ -826,6 +838,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     batch_cmd.add_argument("--batch-size", type=int, default=None,
                            help="block size for the batched run "
                                 "(default: engine default)")
+    batch_cmd.add_argument("--columnar", choices=("on", "off"), default=None,
+                           help="force the batched arm's columnar block "
+                                "decode on or off (default: engine default)")
+    batch_cmd.add_argument("--hash-seed", default="0", metavar="S",
+                           help="PYTHONHASHSEED for both arms (default 0)")
     args = parser.parse_args(argv)
     if args.command == "run":
         snapshot = run_scenario(args.scenario, args.seed)
@@ -852,8 +869,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(report.describe())
         return 0 if all(report.ok for report in reports) else 1
     if args.command == "verify-batch":
-        report = verify_batch_equivalence(args.scenario, args.seed,
-                                          batch_size=args.batch_size)
+        report = verify_batch_equivalence(
+            args.scenario, args.seed, batch_size=args.batch_size,
+            columnar=(None if args.columnar is None
+                      else args.columnar == "on"),
+            hash_seed=args.hash_seed)
     else:
         report = verify_replay(args.scenario, args.seed,
                                hash_seeds=tuple(args.hash_seeds))

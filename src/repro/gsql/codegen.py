@@ -100,6 +100,9 @@ class ExprCompiler:
         self.generated_sources: List[str] = []
         self._env: Dict[str, Any] = {"P": self.params, "DiscardTuple": DiscardTuple}
         self._counter = 0
+        #: when set, column references compile to columnar array reads
+        #: instead of tuple indexing: (template, used-slot set)
+        self._column_ref: Optional[Tuple[str, set]] = None
         self._handle_cache: Dict[Tuple[str, Any], str] = {}
         missing = [name for name in analyzed.params if name not in self.params]
         if missing:
@@ -209,6 +212,163 @@ class ExprCompiler:
         parts = [self._compile(e, slot_maps, 1) for e in group_exprs]
         key = "(" + ", ".join(parts) + ("," if len(parts) == 1 else "") + ")"
         return self._finalize_batch(pred_src, f"append(({key}, t))")
+
+    # -- columnar (block) entry points --------------------------------------
+    #
+    # The batched entry points above still loop tuple-at-a-time over a
+    # list of row tuples.  The columnar variants run over a decoded
+    # ColumnarBlock (repro.net.columnar) instead: predicate conjuncts
+    # are evaluated column-wise over a shrinking survivor index list
+    # (short-circuiting across conjuncts exactly like the scalar `and`
+    # chain), and only the final survivors' output columns are gathered
+    # -- the lazy-decode rule of DESIGN section 14.  Per-row semantics
+    # stay byte-identical: a row evaluates conjunct k iff it passed
+    # conjuncts 1..k-1, DiscardTuple counts the row discarded once, and
+    # expressions are pure so regrouping the evaluation order per
+    # conjunct is unobservable.
+
+    def columnar_select_fn(
+        self,
+        conjuncts: Sequence[Expr],
+        exprs: Sequence[Expr],
+        slot_maps: Sequence[SlotMap] = (None,),
+    ) -> Optional[Callable]:
+        """One fused ``f(block, rows, append) -> discarded`` for select
+        plans over a ColumnarBlock; ``rows`` is the initial survivor
+        index list.  Returns None in interpreted mode (no columnar
+        fallback chain -- the caller keeps the row-based path)."""
+        if self.mode == "interpreted":
+            return None
+        filter_src = self._columnar_filter_src(conjuncts, slot_maps)
+        build_slots: set = set()
+        parts = [
+            self._compile_columnar(e, slot_maps, "_o{slot}[j]", build_slots)
+            for e in exprs
+        ]
+        build = "(" + ", ".join(parts) + ("," if len(parts) == 1 else "") + ")"
+        gathers = "".join(
+            f"    _o{slot} = B.gather({slot}, rows)\n"
+            for slot in sorted(build_slots)
+        )
+        name = f"_g{self._counter}"
+        self._counter += 1
+        source = (
+            f"def {name}(B, rows, append):\n"
+            f"    d = 0\n"
+            f"{filter_src}"
+            f"{gathers}"
+            f"    for j in range(len(rows)):\n"
+            f"        try:\n"
+            f"            append({build})\n"
+            f"        except DiscardTuple:\n"
+            f"            d += 1\n"
+            f"    return d\n"
+        )
+        return self._finalize_source(name, source)
+
+    def columnar_key_fn(
+        self,
+        conjuncts: Sequence[Expr],
+        group_exprs: Sequence[Expr],
+        row_slots: Sequence[int],
+        width: int,
+        slot_maps: Sequence[SlotMap] = (None,),
+    ) -> Optional[Callable]:
+        """One fused ``f(block, rows) -> (discarded, keys, rows_out)``
+        for partial aggregation over a ColumnarBlock.
+
+        ``keys`` are the group-key tuples of the surviving rows and
+        ``rows_out`` their schema-width row tuples with only
+        ``row_slots`` (the slots the aggregate argument expressions
+        read) materialized -- the aggregate update keeps evaluating its
+        arguments per row, preserving partial-function semantics.
+        """
+        if self.mode == "interpreted":
+            return None
+        filter_src = self._columnar_filter_src(conjuncts, slot_maps)
+        gather_slots: set = set(row_slots)
+        key_parts = [
+            self._compile_columnar(e, slot_maps, "_o{slot}[j]", gather_slots)
+            for e in group_exprs
+        ]
+        key = "(" + ", ".join(key_parts) + ("," if len(key_parts) == 1 else "") + ")"
+        row_set = set(row_slots)
+        row_parts = [
+            (f"_o{slot}[j]" if slot in row_set else "None")
+            for slot in range(width)
+        ]
+        row = "(" + ", ".join(row_parts) + ("," if width == 1 else "") + ")"
+        gathers = "".join(
+            f"    _o{slot} = B.gather({slot}, rows)\n"
+            for slot in sorted(gather_slots)
+        )
+        name = f"_g{self._counter}"
+        self._counter += 1
+        source = (
+            f"def {name}(B, rows):\n"
+            f"    d = 0\n"
+            f"{filter_src}"
+            f"{gathers}"
+            f"    keys = []\n"
+            f"    out = []\n"
+            f"    _ka = keys.append\n"
+            f"    _oa = out.append\n"
+            f"    for j in range(len(rows)):\n"
+            f"        try:\n"
+            f"            _k = {key}\n"
+            f"        except DiscardTuple:\n"
+            f"            d += 1\n"
+            f"            continue\n"
+            f"        _ka(_k)\n"
+            f"        _oa({row})\n"
+            f"    return d, keys, out\n"
+        )
+        return self._finalize_source(name, source)
+
+    def _columnar_filter_src(
+        self, conjuncts: Sequence[Expr], slot_maps: Sequence[SlotMap]
+    ) -> str:
+        """Per-conjunct survivor-list filter loops (shared preamble)."""
+        lines: List[str] = []
+        declared: set = set()
+        for conjunct in conjuncts:
+            used: set = set()
+            src = self._compile_columnar(conjunct, slot_maps, "_c{slot}[i]", used)
+            for slot in sorted(used - declared):
+                lines.append(f"    _c{slot} = B.col({slot})\n")
+            declared |= used
+            lines.append(
+                "    keep = []\n"
+                "    _ka = keep.append\n"
+                "    for i in rows:\n"
+                "        try:\n"
+                f"            if ({src}):\n"
+                "                _ka(i)\n"
+                "            else:\n"
+                "                d += 1\n"
+                "        except DiscardTuple:\n"
+                "            d += 1\n"
+                "    rows = keep\n"
+            )
+        return "".join(lines)
+
+    def _compile_columnar(
+        self, expr: Expr, slot_maps: Sequence[SlotMap],
+        template: str, used: set,
+    ) -> str:
+        """Compile ``expr`` with column references rewritten to columnar
+        array reads (``template`` formats the slot); collects slots."""
+        self._column_ref = (template, used)
+        try:
+            return self._compile(expr, slot_maps, 1)
+        finally:
+            self._column_ref = None
+
+    def _finalize_source(self, name: str, source: str) -> Callable:
+        self.generated_sources.append(source)
+        code = compile(source, f"<gsql:{self.analyzed.name or 'anonymous'}>", "exec")
+        exec(code, self._env)
+        return self._env[name]
 
     def _finalize_batch(self, pred_src: str, action: str) -> Callable:
         name = f"_g{self._counter}"
@@ -321,6 +481,10 @@ class ExprCompiler:
             raise CodegenError(f"unbound column {expr}")
         slot_map = slot_maps[bound.source_index] if bound.source_index < len(slot_maps) else None
         slot = bound.attr_index if slot_map is None else slot_map[bound.attr_index]
+        if self._column_ref is not None:
+            template, used = self._column_ref
+            used.add(slot)
+            return template.format(slot=slot)
         names = _ARG_NAMES[arity]
         var = names[bound.source_index] if arity == 2 else names[0]
         return f"{var}[{slot}]"

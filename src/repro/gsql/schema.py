@@ -40,6 +40,7 @@ from repro.gsql.types import (
     parse_type,
 )
 from repro.net.bgp import BGPUpdate
+from repro.net.columnar import decoder_for as columnar_decoder_for
 from repro.net.ethernet import ETHERTYPE_IPV4, EthernetHeader
 from repro.net.icmp import ICMPHeader
 from repro.net.ip import IPv4Header, PROTO_ICMP, PROTO_TCP, PROTO_UDP
@@ -240,9 +241,15 @@ class ProtocolSchema(_BaseSchema):
         expander: Optional[Callable[[CapturedPacket], List[tuple]]] = None,
         clock_fields: Optional[Dict[str, Callable[[float], object]]] = None,
         guard: Optional[Callable[[PacketView], bool]] = None,
+        columnar_decoder: Optional[Callable] = None,
     ) -> None:
         super().__init__(name, attributes)
         self._expander = expander
+        #: whole-block columnar decoder (DESIGN section 14): decodes a
+        #: packet block into a ColumnarBlock whose rows are exactly the
+        #: packets the guard admits.  Only the built-in ip/tcp/udp
+        #: protocols ship one; None keeps the row-based path.
+        self.columnar_decoder = columnar_decoder
         #: membership test: does this packet belong to the protocol at
         #: all?  Checked before any field is interpreted, so a query
         #: that only touches capture metadata (e.g. ``time``) still
@@ -411,7 +418,8 @@ _IP_ATTRIBUTES = [
 
 def _make_ip_protocol() -> ProtocolSchema:
     return ProtocolSchema("ip", _IP_ATTRIBUTES, _ip_fields(),
-                          guard=lambda v: v.ip is not None)
+                          guard=lambda v: v.ip is not None,
+                          columnar_decoder=columnar_decoder_for("ip"))
 
 
 def _make_tcp_protocol() -> ProtocolSchema:
@@ -437,7 +445,8 @@ def _make_tcp_protocol() -> ProtocolSchema:
         Attribute("data", STRING),
     ]
     return ProtocolSchema("tcp", attributes, fields,
-                          guard=lambda v: v.ip is not None and v.tcp is not None)
+                          guard=lambda v: v.ip is not None and v.tcp is not None,
+                          columnar_decoder=columnar_decoder_for("tcp"))
 
 
 def _make_udp_protocol() -> ProtocolSchema:
@@ -457,7 +466,8 @@ def _make_udp_protocol() -> ProtocolSchema:
         Attribute("data", STRING),
     ]
     return ProtocolSchema("udp", attributes, fields,
-                          guard=lambda v: v.ip is not None and v.udp is not None)
+                          guard=lambda v: v.ip is not None and v.udp is not None,
+                          columnar_decoder=columnar_decoder_for("udp"))
 
 
 _ETHERNET_ATTRIBUTES = [

@@ -1,0 +1,313 @@
+"""Columnar packet blocks for the LFTA hot path (DESIGN section 14).
+
+The batched data path (DESIGN section 10) moves *blocks* of packets,
+but each block is still a list of per-packet objects and every field
+read goes through a :class:`~repro.gsql.schema.PacketView` property
+chain and a per-header parser object.  This module is the next rung of
+the MonetDB/X100 ladder: decode a whole block's header fields into
+parallel arrays with one combined ``struct`` unpack per packet, so the
+generated query kernels loop over plain Python lists.
+
+Byte-identity contract
+----------------------
+
+For the built-in ``ip``/``tcp``/``udp`` protocols a row *exists* if and
+only if the protocol guard passes (``v.ip``/``v.tcp``/``v.udp`` not
+None), and under the guard every field function is total -- none can
+return ``None`` (capture metadata always exists; IP fields exist when
+the IP header parsed; TCP/UDP fields, including the possibly-empty
+``data`` payload, exist when the L4 header parsed).  The decoders below
+reproduce the guard exactly -- the same truncation, IHL, fragment, and
+data-offset checks as :meth:`PacketView._parse` plus the header
+``parse`` classmethods -- so a block decode keeps exactly the packets
+the row-at-a-time interpreter would, in the same order.  Protocols
+outside this family (DDL-declared views, expander protocols, ipv6,
+icmp, ethernet) have no decoder here and stay on the row-based path.
+
+Lazy decode
+-----------
+
+Decoding fills only three parallel arrays -- the combined unpack tuple,
+the packet reference, and the payload offset (an ``array('l')``) -- per
+surviving row.  Actual field columns are materialized on first use:
+eagerly for the columns the predicate conjuncts touch (``col``), and
+only for the post-filter survivors for everything else (``gather``).
+A field no query expression touches is never decoded at all.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.net.packet import CapturedPacket
+
+#: eth(12 skipped MAC bytes + ethertype) + IPv4 fixed header
+_ETH_IP = struct.Struct("!12xHBBHHHBBHII")
+#: the same, with the 20-byte TCP fixed header appended (IHL == 5 fast path)
+_ETH_IP_TCP = struct.Struct("!12xHBBHHHBBHIIHHIIBBHHH")
+#: the same, with the 8-byte UDP header appended (IHL == 5 fast path)
+_ETH_IP_UDP = struct.Struct("!12xHBBHHHBBHIIHHHH")
+_TCP_FIXED = struct.Struct("!HHIIBBHHH")
+_UDP_FIXED = struct.Struct("!HHHH")
+
+# Combined-unpack tuple positions (shared by all three decoders):
+#   0 ethertype   1 ver_ihl   2 tos        3 total_length  4 identification
+#   5 flags_frag  6 ttl       7 protocol   8 checksum      9 src  10 dst
+# TCP suffix:  11 src_port  12 dst_port  13 seq  14 ack  15 offset_reserved
+#              16 flags     17 window    18 checksum  19 urgent
+# UDP suffix:  11 src_port  12 dst_port  13 length  14 checksum
+
+_ETHERTYPE_IPV4 = 0x0800
+_PROTO_TCP = 6
+_PROTO_UDP = 17
+
+
+class ColumnarBlock:
+    """One decoded packet block: parallel arrays plus lazy field columns.
+
+    ``n`` rows survived the protocol guard.  ``vals[i]`` is row *i*'s
+    combined header unpack, ``pkts[i]`` the originating packet, and
+    ``pay[i]`` the payload offset into its data.  ``columns`` caches
+    materialized field columns by attribute index.
+    """
+
+    __slots__ = ("n", "vals", "pkts", "pay", "columns", "_specs")
+
+    def __init__(self, vals: list, pkts: list, pay: array,
+                 specs: Dict[int, tuple]) -> None:
+        self.n = len(vals)
+        self.vals = vals
+        self.pkts = pkts
+        self.pay = pay
+        self.columns: Dict[int, list] = {}
+        self._specs = specs
+
+    def col(self, index: int) -> list:
+        """The full column for attribute ``index`` (cached)."""
+        column = self.columns.get(index)
+        if column is None:
+            column = self._materialize(index, None)
+            self.columns[index] = column
+        return column
+
+    def gather(self, index: int, rows: Sequence[int]) -> list:
+        """Attribute ``index`` for just ``rows``, aligned with ``rows``.
+
+        This is the lazy-decode entry point: columns untouched by the
+        prefilter are built here, for survivors only.  An already-cached
+        full column is sliced instead of re-decoded.
+        """
+        column = self.columns.get(index)
+        if column is not None:
+            return [column[i] for i in rows]
+        return self._materialize(index, rows)
+
+    def _materialize(self, index: int, rows: Optional[Sequence[int]]) -> list:
+        kind, j = self._specs[index]
+        vals = self.vals
+        pkts = self.pkts
+        if kind == "v":  # a straight pick out of the combined unpack
+            if rows is None:
+                return [v[j] for v in vals]
+            return [vals[i][j] for i in rows]
+        if kind == "time":
+            if rows is None:
+                return [int(p.timestamp) for p in pkts]
+            return [int(pkts[i].timestamp) for i in rows]
+        if kind == "timestamp":
+            if rows is None:
+                return [p.timestamp for p in pkts]
+            return [pkts[i].timestamp for i in rows]
+        if kind == "len":
+            if rows is None:
+                return [p.orig_len for p in pkts]
+            return [pkts[i].orig_len for i in rows]
+        if kind == "caplen":
+            if rows is None:
+                return [len(p.data) for p in pkts]
+            return [len(pkts[i].data) for i in rows]
+        if kind == "data":
+            pay = self.pay
+            if rows is None:
+                return [p.data[o:] for p, o in zip(pkts, pay)]
+            return [pkts[i].data[pay[i]:] for i in rows]
+        if kind == "ipversion":
+            if rows is None:
+                return [v[1] >> 4 for v in vals]
+            return [vals[i][1] >> 4 for i in rows]
+        if kind == "frag_offset":
+            if rows is None:
+                return [v[5] & 0x1FFF for v in vals]
+            return [vals[i][5] & 0x1FFF for i in rows]
+        if kind == "more_fragments":
+            if rows is None:
+                return [(v[5] >> 13) & 1 for v in vals]
+            return [(vals[i][5] >> 13) & 1 for i in rows]
+        raise KeyError(f"unknown column kind {kind!r}")
+
+
+# Field specs by attribute index, mirroring the built-in protocol
+# schemas in repro.gsql.schema (attribute order is part of the schema
+# contract; tests pin the correspondence).
+_IP_SPECS: Dict[int, tuple] = {
+    0: ("time", 0),
+    1: ("timestamp", 0),
+    2: ("ipversion", 0),
+    3: ("v", 7),        # protocol
+    4: ("v", 9),        # srcIP
+    5: ("v", 10),       # destIP
+    6: ("len", 0),
+    7: ("caplen", 0),
+    8: ("v", 6),        # ttl
+    9: ("v", 4),        # id
+    10: ("frag_offset", 0),
+    11: ("more_fragments", 0),
+}
+
+_TCP_SPECS: Dict[int, tuple] = dict(_IP_SPECS)
+_TCP_SPECS.update({
+    12: ("v", 11),      # srcPort
+    13: ("v", 12),      # destPort
+    14: ("v", 16),      # tcpflags
+    15: ("v", 13),      # seqno
+    16: ("v", 14),      # ackno
+    17: ("v", 17),      # tcpwindow
+    18: ("data", 0),
+})
+
+_UDP_SPECS: Dict[int, tuple] = dict(_IP_SPECS)
+_UDP_SPECS.update({
+    12: ("v", 11),      # srcPort
+    13: ("v", 12),      # destPort
+    14: ("v", 13),      # udplen
+    15: ("data", 0),
+})
+
+
+def _decode_tcp(packets: Sequence[CapturedPacket]) -> ColumnarBlock:
+    """Guard + decode for the ``tcp`` protocol, one combined unpack.
+
+    A row exists iff eth/IPv4/TCP all parse and the packet is not a
+    fragment -- the exact PacketView conditions: >= 14 bytes of frame,
+    ethertype IPv4, >= IHL*4 bytes of IP header with IHL >= 5,
+    fragment offset 0 (an MF first fragment still parses L4), protocol
+    TCP, and a data offset >= 20 that fits the capture.
+    """
+    vals: list = []
+    pay = array("l")
+    pkts: list = []
+    unpack54 = _ETH_IP_TCP.unpack_from
+    unpack_tcp = _TCP_FIXED.unpack_from
+    va = vals.append
+    pa = pkts.append
+    oa = pay.append
+    for p in packets:
+        d = p.data
+        n = len(d)
+        if n < 54:  # eth(14) + min IP(20) + min TCP(20): guard must fail
+            continue
+        v = unpack54(d)
+        if v[0] != _ETHERTYPE_IPV4 or v[7] != _PROTO_TCP or v[5] & 0x1FFF:
+            continue
+        ihl = v[1] & 0x0F
+        if ihl == 5:
+            doff = (v[15] >> 4) * 4
+            if doff < 20 or n - 34 < doff:
+                continue
+            o = 34 + doff
+        else:
+            if ihl < 5:
+                continue
+            l4 = 14 + ihl * 4
+            if n < l4 or n - l4 < 20:
+                continue
+            t = unpack_tcp(d, l4)
+            doff = (t[4] >> 4) * 4
+            if doff < 20 or n - l4 < doff:
+                continue
+            v = v[:11] + t
+            o = l4 + doff
+        va(v)
+        pa(p)
+        oa(o)
+    return ColumnarBlock(vals, pkts, pay, _TCP_SPECS)
+
+
+def _decode_udp(packets: Sequence[CapturedPacket]) -> ColumnarBlock:
+    """Guard + decode for the ``udp`` protocol (see :func:`_decode_tcp`)."""
+    vals: list = []
+    pay = array("l")
+    pkts: list = []
+    unpack42 = _ETH_IP_UDP.unpack_from
+    unpack_udp = _UDP_FIXED.unpack_from
+    va = vals.append
+    pa = pkts.append
+    oa = pay.append
+    for p in packets:
+        d = p.data
+        n = len(d)
+        if n < 42:  # eth(14) + min IP(20) + UDP(8)
+            continue
+        v = unpack42(d)
+        if v[0] != _ETHERTYPE_IPV4 or v[7] != _PROTO_UDP or v[5] & 0x1FFF:
+            continue
+        ihl = v[1] & 0x0F
+        if ihl == 5:
+            o = 42
+        else:
+            if ihl < 5:
+                continue
+            l4 = 14 + ihl * 4
+            if n < l4 or n - l4 < 8:
+                continue
+            v = v[:11] + unpack_udp(d, l4)
+            o = l4 + 8
+        va(v)
+        pa(p)
+        oa(o)
+    return ColumnarBlock(vals, pkts, pay, _UDP_SPECS)
+
+
+def _decode_ip(packets: Sequence[CapturedPacket]) -> ColumnarBlock:
+    """Guard + decode for the ``ip`` protocol: any parsed IPv4 header
+    (fragments included -- the guard does not require an L4 layer)."""
+    vals: list = []
+    pay = array("l")
+    pkts: list = []
+    unpack34 = _ETH_IP.unpack_from
+    va = vals.append
+    pa = pkts.append
+    for p in packets:
+        d = p.data
+        n = len(d)
+        if n < 34:  # eth(14) + min IP(20)
+            continue
+        v = unpack34(d)
+        if v[0] != _ETHERTYPE_IPV4:
+            continue
+        ihl = v[1] & 0x0F
+        if ihl < 5 or n - 14 < ihl * 4:
+            continue
+        va(v)
+        pa(p)
+    return ColumnarBlock(vals, pkts, pay, _IP_SPECS)
+
+
+BlockDecoder = Callable[[Sequence[CapturedPacket]], ColumnarBlock]
+
+_DECODERS: Dict[str, BlockDecoder] = {
+    "ip": _decode_ip,
+    "tcp": _decode_tcp,
+    "udp": _decode_udp,
+}
+
+
+def decoder_for(protocol_name: str) -> Optional[BlockDecoder]:
+    """The block decoder for a built-in protocol, or None.
+
+    Only protocols whose guard/field semantics are replicated above are
+    eligible; everything else falls back to the row-based interpreter.
+    """
+    return _DECODERS.get(protocol_name.lower())

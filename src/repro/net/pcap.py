@@ -104,6 +104,10 @@ class PcapReader:
         if len(header) < self._rec.size:
             raise CaptureTruncated("truncated pcap record header")
         seconds, microseconds, caplen, orig_len = self._rec.unpack(header)
+        if caplen == 0:
+            # A record with zero captured bytes: the capture stopped
+            # mid-packet (matches the pcapng reader's EPB treatment).
+            raise CaptureTruncated("zero-length pcap record")
         data = self._file.read(caplen)
         if len(data) < caplen:
             raise CaptureTruncated("truncated pcap record body")

@@ -61,6 +61,12 @@ def _parse_options(data: bytes, endian: str) -> Dict[int, bytes]:
         offset += 4
         if code == _OPT_END:
             break
+        if offset + length > len(data):
+            # The option claims more bytes than the block has left; a
+            # silent short slice here would hand callers a partial
+            # option value as if it were complete.
+            raise CaptureTruncated(
+                f"option {code} (length {length}) overruns its block")
         options[code] = data[offset : offset + length]
         offset += (length + 3) & ~3
     return options
@@ -147,6 +153,11 @@ class PcapngReader:
                     raise CaptureTruncated("truncated enhanced packet block")
                 (iface_id, ts_high, ts_low, caplen, orig_len) = \
                     struct.unpack_from(self._endian + "IIIII", body, 0)
+                if caplen == 0:
+                    # A packet record with zero captured bytes: the
+                    # capture stopped mid-packet.
+                    raise CaptureTruncated(
+                        "zero-length enhanced packet block payload")
                 data = body[20 : 20 + caplen]
                 if len(data) < caplen:
                     raise CaptureTruncated("truncated packet data")

@@ -120,6 +120,9 @@ def install_engine_metrics(registry: MetricsRegistry, rts) -> None:
         "packet blocks dispatched on the vectorized path")
     batch_size_gauge = registry.gauge(
         "gs_batch_size", "configured packets per block (<=1 means scalar)")
+    columnar_blocks = registry.counter(
+        "gs_batch_columnar_blocks_total",
+        "packet blocks decoded into columnar form by LFTAs")
     node_counters = {
         stat: registry.counter(
             f"gs_node_{stat}_total", f"per-node {stat}", labels=("node",))
@@ -151,6 +154,9 @@ def install_engine_metrics(registry: MetricsRegistry, rts) -> None:
         fault_dropped.set(rts.fault_dropped)
         batches.set(rts.batches_fed)
         batch_size_gauge.set(rts.batch_size)
+        columnar_blocks.set(sum(
+            getattr(node, "columnar_blocks", 0)
+            for _, node in rts.iter_nodes()))
         if rts.stream_time > float("-inf"):
             stream_time.set(rts.stream_time)
         # Nodes and channels come and go; rebuild the label sets so a

@@ -37,6 +37,7 @@ class LftaNode(QueryNode):
         compiler: ExprCompiler,
         table_size: int = DEFAULT_TABLE_SIZE,
         seed: int = 0,
+        columnar: bool = True,
     ) -> None:
         super().__init__(plan.name, plan.output_schema)
         self.plan = plan
@@ -65,6 +66,14 @@ class LftaNode(QueryNode):
         needed = self._needed_attr_indices(analyzed)
         self._interpret = self.protocol.sparse_interpreter(needed)
         self._clock_bounds = self.protocol.clock_bounds
+        # Columnar block execution (DESIGN section 14): available only
+        # for protocols with a block decoder (built-in ip/tcp/udp) and
+        # compiled codegen; everything else keeps the row-based path.
+        wants_columnar = columnar and self.protocol.columnar_decoder is not None
+        self._columnar_decode = None
+        self._columnar_select = None
+        self._columnar_key = None
+        self.columnar_blocks = 0
 
         if plan.mode == "projection":
             self._project = compiler.tuple_fn(plan.project_exprs, (None, None))
@@ -75,6 +84,11 @@ class LftaNode(QueryNode):
                 functions=compiler.functions,
             )
             self.table: Optional[DirectMappedTable] = None
+            if wants_columnar:
+                self._columnar_select = compiler.columnar_select_fn(
+                    plan.predicates, plan.project_exprs, (None, None))
+                if self._columnar_select is not None:
+                    self._columnar_decode = self.protocol.columnar_decoder
         elif plan.mode == "partial_aggregation":
             self._key_fn = compiler.tuple_fn(plan.group_exprs, (None, None))
             self._batch_key = compiler.batch_key_fn(
@@ -92,15 +106,33 @@ class LftaNode(QueryNode):
                 plan.group_exprs, plan.window_key_index, analyzed, (None, None),
                 functions=compiler.functions,
             )
+            if wants_columnar:
+                arg_slots = self._column_slots(
+                    analyzed,
+                    [agg.arg for agg in plan.aggregates if agg.arg is not None])
+                self._columnar_key = compiler.columnar_key_fn(
+                    plan.predicates, plan.group_exprs, arg_slots,
+                    len(self.protocol.attributes), (None, None))
+                if self._columnar_key is not None:
+                    self._columnar_decode = self.protocol.columnar_decoder
         else:
             raise ValueError(f"unknown LFTA mode {plan.mode!r}")
         self.mode = plan.mode
+        if self._columnar_decode is not None:
+            # The block decoder reads raw bytes; a shared PacketView
+            # would go untouched, so tell the RTS not to build one.
+            self.accepts_view = False
 
     def _needed_attr_indices(self, analyzed: AnalyzedQuery) -> List[int]:
         exprs = list(self.plan.predicates)
         exprs.extend(self.plan.project_exprs)
         exprs.extend(self.plan.group_exprs)
         exprs.extend(agg.arg for agg in self.plan.aggregates if agg.arg is not None)
+        return self._column_slots(analyzed, exprs)
+
+    @staticmethod
+    def _column_slots(analyzed: AnalyzedQuery, exprs) -> List[int]:
+        """Sorted attribute positions the expressions read."""
         indices = set()
         for expr in exprs:
             for node in expr.walk():
@@ -155,6 +187,9 @@ class LftaNode(QueryNode):
         advanced by the same amounts.  The RTS only calls this when no
         fault is armed and no lineage trace is in flight.
         """
+        if self._columnar_decode is not None:
+            self._accept_batch_columnar(packets)
+            return
         self.packets_seen += len(packets)
         interpret = self._interpret
         rows: List[tuple] = []
@@ -206,6 +241,86 @@ class LftaNode(QueryNode):
                 self.stats.discarded += dropped
             if pairs:
                 self._aggregate_batch(pairs, weight)
+
+    def _accept_batch_columnar(self, packets) -> None:
+        """Columnar block execution (DESIGN section 14).
+
+        Byte-identical to :meth:`accept_batch`'s row path: the shed RNG
+        draws once per packet in arrival order *before* decoding, the
+        decoder keeps exactly the guard-passing packets in order (so
+        ``tuples_in`` and the per-row sample RNG draws line up), and the
+        fused columnar kernel preserves conjunct order and discard
+        accounting.
+        """
+        self.packets_seen += len(packets)
+        weight = 1.0
+        if self.shed_rate < 1.0:
+            rate = self.shed_rate
+            rng = self._shed_rng.random
+            weight = 1.0 / rate
+            kept = []
+            keep = kept.append
+            shed = 0
+            for packet in packets:
+                if rng() >= rate:
+                    shed += 1
+                else:
+                    keep(packet)
+            self.shed_packets += shed
+            packets = kept
+        block = self._columnar_decode(packets)
+        self.columnar_blocks += 1
+        n = block.n
+        self.stats.tuples_in += n
+        if self._sample_rate is not None and n:
+            rate = self._sample_rate
+            rng = self._sample_rng.random
+            rows = [i for i in range(n) if rng() < rate]
+            self.sampled_out += n - len(rows)
+        else:
+            rows = range(n)
+        if not rows:
+            return
+        if self.mode == "projection":
+            out: List[tuple] = []
+            dropped = self._columnar_select(block, rows, out.append)
+            if dropped:
+                self.stats.discarded += dropped
+            self.emit_many(out)
+        else:
+            dropped, keys, srows = self._columnar_key(block, rows)
+            if dropped:
+                self.stats.discarded += dropped
+            if keys:
+                self._aggregate_columnar(keys, srows, weight)
+
+    def _aggregate_columnar(self, keys, rows, weight: float) -> None:
+        """Aggregate one decoded block's surviving rows.
+
+        Windowed plans keep the per-row scalar-order loop: the window
+        high-water check must interleave flush/eject emission exactly
+        as scalar execution would.  Windowless plans upsert the whole
+        key slice through :meth:`DirectMappedTable.upsert_slices`; the
+        generator is consumer-driven, so each row's ejection is emitted
+        and its state updated before the next key touches the table.
+        """
+        if self._window_index >= 0:
+            self._aggregate_batch(list(zip(keys, rows)), weight)
+            return
+        update = self.aggregate_ops.update
+        update_weighted = self.aggregate_ops.update_weighted
+        weighted = weight != 1.0
+        emit_group = self._emit_group
+        position = 0
+        for state, ejected in self.table.upsert_slices(
+                keys, self.aggregate_ops.new_state):
+            if ejected is not None:
+                emit_group(*ejected)
+            if weighted:
+                update_weighted(state, rows[position], weight)
+            else:
+                update(state, rows[position])
+            position += 1
 
     def _aggregate_batch(self, pairs, weight: float) -> None:
         """The scalar :meth:`_aggregate` loop with lookups hoisted."""

@@ -13,7 +13,7 @@ Benchmark E4 sweeps the table size against workload locality.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.determinism import stable_hash
 
@@ -80,6 +80,39 @@ class DirectMappedTable:
         else:
             self.collisions += 1
         return state, entry
+
+    def upsert_slices(self, keys: Iterable[Any],
+                      make_state: Callable[[], Any]
+                      ) -> Iterator[Tuple[Any, Optional[Tuple[Any, Any]]]]:
+        """Upsert a block of group keys -- a key slice cut from the
+        columnar path's gathered key columns (DESIGN section 14).
+
+        A generator yielding ``(state, ejected)`` per key, in order.
+        Consumption drives the table mutation: each key's lookup,
+        insertion, and accounting happen exactly when its result is
+        pulled, so a consumer interleaving ejection emission with state
+        updates observes the same table trajectory as per-row
+        :meth:`upsert` calls.
+        """
+        size = self.size
+        for key in keys:
+            # self._slots is re-read per key: an evict between pulls
+            # (not the columnar consumer's pattern, but legal) must not
+            # leave this generator mutating a stale slot array.
+            self.lookups += 1
+            index = stable_hash(key) % size
+            slots = self._slots
+            entry = slots[index]
+            if entry is not None and entry[0] == key:
+                yield entry[1], None
+                continue
+            state = make_state()
+            slots[index] = (key, state)
+            if entry is None:
+                self.occupied += 1
+            else:
+                self.collisions += 1
+            yield state, entry
 
     def evict_all(self) -> List[Tuple[Any, Any]]:
         """Remove and return every resident group (epoch flush)."""

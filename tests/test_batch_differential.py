@@ -49,18 +49,22 @@ def make_packets(seed=SEED, count=1200):
     return packets
 
 
-def run_differential(build, feed=None, *, batch_size=64, pump_every=96):
+def run_differential(build, feed=None, *, batch_size=64, pump_every=96,
+                     columnar=None):
     """Run ``build`` scalar and batched; return (diffs, batched engine).
 
     ``build(gs)`` registers queries/faults and returns the subscription
     dict; ``feed(gs)`` (default: :func:`make_packets`) drives the
     engine.  Both runs share seeds, so any diff is a batching bug.
+    ``columnar`` pins the batched arm's block representation (None:
+    engine default, i.e. columnar for builtin ip/tcp/udp LFTAs).
     """
     snapshots = []
     engines = []
     for size in (1, batch_size):
         gs = Gigascope(seed=SEED, batch_size=size, lfta_table_size=64,
-                       channel_capacity=256, heartbeat_interval=0.5)
+                       channel_capacity=256, heartbeat_interval=0.5,
+                       columnar=columnar)
         subs = build(gs)
         gs.start()
         if feed is not None:
@@ -135,6 +139,56 @@ class TestCorpusDifferential:
 
         diffs, _ = run_differential(build, batch_size=batch_size)
         assert not diffs, "\n".join(diffs)
+
+
+def _lftas(gs):
+    return [node for _, node in gs.rts.iter_nodes()
+            if hasattr(node, "columnar_blocks")]
+
+
+class TestColumnarDifferential:
+    """DESIGN section 14: the columnar block path is byte-identical to
+    scalar, and the row-based batched path (columnar off) stays so."""
+
+    BUILD_TEXT = ("Select tb, srcIP, count(*), sum(len) From tcp "
+                  "Group by time/5 as tb, srcIP")
+
+    def _build(self, gs):
+        name = gs.add_query(self.BUILD_TEXT, name="q")
+        return {name: gs.subscribe(name)}
+
+    def test_columnar_path_is_byte_identical_and_engaged(self):
+        diffs, batched = run_differential(self._build, columnar=True)
+        assert not diffs, "\n".join(diffs)
+        assert batched.rts.batches_fed > 0
+        assert sum(node.columnar_blocks for node in _lftas(batched)) > 0
+
+    def test_row_based_batch_path_is_byte_identical(self):
+        """columnar=False keeps the pre-columnar per-row batch loop."""
+        diffs, batched = run_differential(self._build, columnar=False)
+        assert not diffs, "\n".join(diffs)
+        assert batched.rts.batches_fed > 0
+        assert all(node.columnar_blocks == 0 for node in _lftas(batched))
+
+    def test_projection_query_columnar_engaged(self):
+        def build(gs):
+            name = gs.add_query(
+                "Select time, srcIP, destPort From tcp "
+                "Where destPort = 80", name="q")
+            return {name: gs.subscribe(name)}
+
+        diffs, batched = run_differential(build, columnar=True)
+        assert not diffs, "\n".join(diffs)
+        assert sum(node.columnar_blocks for node in _lftas(batched)) > 0
+
+    def test_gs_columnar_env_disables(self, monkeypatch):
+        monkeypatch.setenv("GS_COLUMNAR", "0")
+        gs = Gigascope(seed=SEED, batch_size=64)
+        assert gs.columnar is False
+        monkeypatch.setenv("GS_COLUMNAR", "1")
+        assert Gigascope(seed=SEED).columnar is True
+        monkeypatch.delenv("GS_COLUMNAR")
+        assert Gigascope(seed=SEED).columnar is True
 
 
 class TestFaultDifferential:

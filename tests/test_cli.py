@@ -218,6 +218,50 @@ class TestErrors:
                   "--shed", "bogus"])
 
 
+class TestBatchKnobs:
+    QUERY = "DEFINE query_name q; Select time From tcp Where destPort = 80"
+
+    def test_batch_size_zero_exits_2(self, trace, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--pcap", trace, "--query", self.QUERY,
+                  "--batch-size", "0"])
+        assert excinfo.value.code == 2
+
+    def test_batch_size_negative_exits_2(self, trace, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--pcap", trace, "--query", self.QUERY,
+                  "--batch-size", "-4"])
+        assert excinfo.value.code == 2
+
+    @pytest.mark.parametrize("raw", ["banana", "-3", "0", "2.5", ""])
+    def test_malformed_env_batch_size_exits_2(self, trace, capsys,
+                                              monkeypatch, raw):
+        monkeypatch.setenv("GS_BATCH_SIZE", raw)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--pcap", trace, "--query", self.QUERY])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "GS_BATCH_SIZE" in err
+
+    def test_explicit_batch_size_overrides_bad_env(self, trace, capsys,
+                                                   monkeypatch):
+        monkeypatch.setenv("GS_BATCH_SIZE", "banana")
+        code, out, _ = run_cli(
+            ["--pcap", trace, "--query", self.QUERY, "--batch-size", "8"],
+            capsys)
+        assert code == 0
+        assert "# q" in out
+
+    def test_no_columnar_matches_columnar_output(self, trace, capsys):
+        code_col, out_col, _ = run_cli(
+            ["--pcap", trace, "--query", self.QUERY], capsys)
+        code_row, out_row, _ = run_cli(
+            ["--pcap", trace, "--query", self.QUERY, "--no-columnar"],
+            capsys)
+        assert code_col == code_row == 0
+        assert out_col == out_row
+
+
 class TestMultiplePcaps:
     def test_two_traces_two_interfaces(self, tmp_path, capsys):
         east = [tcp_packet(ts=float(i), interface="x") for i in range(5)]

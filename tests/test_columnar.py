@@ -1,0 +1,146 @@
+"""Guard/field equivalence tests for the columnar block decoders.
+
+DESIGN section 14's byte-identity contract at its root: for the
+builtin ``ip``/``tcp``/``udp`` protocols, decoding a block of packets
+into a :class:`ColumnarBlock` must keep exactly the rows the
+row-at-a-time interpreter keeps, in the same order, with identical
+field values -- over an adversarial corpus of truncations, IP
+options, fragments, and corrupt headers.
+"""
+
+import pytest
+
+from repro.gsql.schema import builtin_registry
+from repro.net import columnar
+from repro.net.build import build_tcp_frame, build_udp_frame, capture
+from repro.net.columnar import decoder_for
+
+REGISTRY = builtin_registry()
+PROTOCOLS = ("ip", "tcp", "udp")
+
+
+def _mutate(frame: bytes, offset: int, value: bytes) -> bytes:
+    return frame[:offset] + value + frame[offset + len(value):]
+
+
+def _with_ip_options(frame: bytes, words: int = 1) -> bytes:
+    """The frame with ``words`` NOP option groups (IHL > 5)."""
+    ihl = (frame[14] & 0x0F) + words
+    out = frame[:34] + b"\x01\x01\x01\x01" * words + frame[34:]
+    out = _mutate(out, 14, bytes([(frame[14] & 0xF0) | ihl]))
+    total_len = int.from_bytes(frame[16:18], "big") + 4 * words
+    return _mutate(out, 16, total_len.to_bytes(2, "big"))
+
+
+def _corpus():
+    """Packets spanning every guard edge the decoders replicate."""
+    tcp = build_tcp_frame("10.0.0.1", "10.0.0.2", 1234, 80,
+                          payload=b"GET / HTTP/1.1\r\n", flags=0x18,
+                          seq=7, ack=9)
+    tcp_empty = build_tcp_frame("10.0.0.1", "10.0.0.2", 1234, 443,
+                                flags=0x02)
+    udp = build_udp_frame("10.0.0.3", "10.0.0.4", 5353, 53, payload=b"q")
+    udp_empty = build_udp_frame("10.0.0.3", "10.0.0.4", 5353, 123)
+    frames = [
+        tcp, tcp_empty, udp, udp_empty,
+        _with_ip_options(tcp), _with_ip_options(udp),
+        _with_ip_options(tcp, words=3),
+        _mutate(tcp, 20, b"\x20\x00"),   # MF set, offset 0: L4 parses
+        _mutate(tcp, 20, b"\x20\x03"),   # MF set, offset 3: fragment
+        _mutate(tcp, 20, b"\x00\x40"),   # later fragment, no MF
+        _mutate(tcp, 20, b"\x40\x00"),   # DF: parses normally
+        _mutate(udp, 20, b"\x3f\xff"),   # every frag bit lit
+        _mutate(tcp, 12, b"\x08\x06"),   # ARP ethertype
+        _mutate(tcp, 12, b"\x86\xdd"),   # IPv6 ethertype
+        _mutate(tcp, 14, b"\x44"),       # IHL 4: corrupt IP header
+        _mutate(tcp, 14, b"\x65"),       # version nibble 6, IHL 5
+        _mutate(tcp, 46, b"\x40"),       # TCP data offset 16 bytes (< 20)
+        _mutate(tcp, 46, b"\xf0"),       # TCP data offset 60 > capture
+        _mutate(tcp, 23, b"\x11"),       # proto says UDP on a TCP layout
+        _mutate(udp, 23, b"\x06"),       # proto says TCP on a UDP layout
+        b"",                             # empty capture
+        b"\x00" * 10,                    # sub-ethernet garbage
+        b"\xff" * 60,                    # full-size garbage
+    ]
+    packets = [capture(frame, 0.25 + i * 0.5, interface="eth0")
+               for i, frame in enumerate(frames)]
+    # Every truncation prefix of a TCP, a UDP, and an options frame:
+    # the cut can land inside any header layer.
+    for base, start in ((tcp, 100.0), (udp, 300.0),
+                        (_with_ip_options(tcp), 500.0)):
+        packets.extend(capture(base, start + cut, snaplen=cut)
+                       for cut in range(1, len(base)))
+    return packets
+
+
+def _columnar_rows(protocol, packets):
+    block = protocol.columnar_decoder(packets)
+    width = len(protocol.attributes)
+    cols = [block.col(i) for i in range(width)]
+    return [tuple(col[j] for col in cols) for j in range(block.n)]
+
+
+@pytest.mark.parametrize("name", PROTOCOLS)
+class TestGuardEquivalence:
+    def test_block_decode_matches_row_interpreter(self, name):
+        protocol = REGISTRY.get(name)
+        packets = _corpus()
+        scalar = [row for p in packets for row in protocol.interpret(p)]
+        assert _columnar_rows(protocol, packets) == scalar
+        assert scalar  # the corpus must exercise surviving rows too
+
+    def test_single_packet_blocks_match_one_big_block(self, name):
+        protocol = REGISTRY.get(name)
+        packets = _corpus()
+        per_packet = [row for p in packets
+                      for row in _columnar_rows(protocol, [p])]
+        assert per_packet == _columnar_rows(protocol, packets)
+
+    def test_empty_block(self, name):
+        protocol = REGISTRY.get(name)
+        block = protocol.columnar_decoder([])
+        assert block.n == 0
+        assert block.col(0) == []
+        assert block.gather(0, []) == []
+
+
+class TestLazyGather:
+    def test_gather_matches_col_slices(self):
+        protocol = REGISTRY.get("tcp")
+        packets = _corpus()
+        full = protocol.columnar_decoder(packets)
+        rows = list(range(0, full.n, 2))
+        for index in range(len(protocol.attributes)):
+            # A fresh block per attribute so gather() takes the
+            # lazy (uncached) path rather than slicing col()'s cache.
+            fresh = protocol.columnar_decoder(packets)
+            assert fresh.gather(index, rows) == \
+                [full.col(index)[j] for j in rows]
+
+    def test_gather_after_col_slices_the_cache(self):
+        protocol = REGISTRY.get("udp")
+        block = protocol.columnar_decoder(_corpus())
+        column = block.col(13)  # destPort
+        rows = [0, 2]
+        assert block.gather(13, rows) == [column[j] for j in rows]
+
+
+class TestDecoderRegistry:
+    def test_builtin_ip_family_has_decoders(self):
+        for name in PROTOCOLS:
+            assert decoder_for(name) is not None
+            assert REGISTRY.get(name).columnar_decoder is not None
+
+    def test_other_protocols_stay_row_based(self):
+        for name in ("ethernet", "icmp", "tcp6", "udp6", "dns",
+                     "netflow", "bgp"):
+            assert decoder_for(name) is None
+
+    @pytest.mark.parametrize("name,specs", [
+        ("ip", columnar._IP_SPECS),
+        ("tcp", columnar._TCP_SPECS),
+        ("udp", columnar._UDP_SPECS),
+    ])
+    def test_field_specs_cover_every_attribute(self, name, specs):
+        protocol = REGISTRY.get(name)
+        assert sorted(specs) == list(range(len(protocol.attributes)))

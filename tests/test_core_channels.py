@@ -176,6 +176,143 @@ class TestBatchTransport:
         assert [x for x in items if isinstance(x, tuple)] == [(0,), (1,)]
 
 
+class TestPushManyCapacityReread:
+    """push_many must observe capacity changes mid-block, like push.
+
+    Pin for the bug where push_many read ``_effective_capacity()``
+    once per block: a fault injector installing ``fault_capacity``
+    from a generator's body (i.e. between items of the same block)
+    was ignored for the rest of the block, so the batched path kept
+    items a per-push sequence would have dropped.
+    """
+
+    @staticmethod
+    def _faulting_items(channel, items, trip_at, bound):
+        for position, item in enumerate(items):
+            if position == trip_at:
+                channel.fault_capacity = bound
+            yield item
+
+    def test_fault_capacity_installed_mid_block_drops_like_push(self):
+        items = [(i,) for i in range(8)]
+        batched = Channel()
+        batched.push_many(self._faulting_items(batched, items, 4, 2))
+        scalar = Channel()
+        for position, item in enumerate(items):
+            if position == 4:
+                scalar.fault_capacity = 2
+            scalar.push(item)
+        assert batched.stats == scalar.stats
+        assert batched.drain() == scalar.drain()
+        assert batched.stats.dropped == 4  # items 4..7 hit the new bound
+
+    def test_fault_capacity_lifted_mid_block_accepts_like_push(self):
+        items = [(i,) for i in range(8)]
+        batched = Channel(capacity=100)
+        batched.fault_capacity = 2
+        batched.push_many(self._faulting_items(batched, items, 5, None))
+        scalar = Channel(capacity=100)
+        scalar.fault_capacity = 2
+        for position, item in enumerate(items):
+            if position == 5:
+                scalar.fault_capacity = None
+            scalar.push(item)
+        assert batched.stats == scalar.stats
+        assert batched.drain() == scalar.drain()
+
+    def test_control_tokens_still_pass_a_mid_block_bound(self):
+        items = [(0,), (1,), Punctuation({0: 1.0}), (2,), FLUSH]
+        batched = Channel()
+        batched.push_many(self._faulting_items(batched, items, 1, 1))
+        scalar = Channel()
+        for position, item in enumerate(items):
+            if position == 1:
+                scalar.fault_capacity = 1
+            scalar.push(item)
+        assert batched.stats == scalar.stats
+        assert [type(x) for x in batched.drain()] == [type(x) for x in scalar.drain()]
+
+
+class TestBatchScalarEquivalence:
+    """Property-style sweep: push_many/pop_many == push/pop replay.
+
+    Randomized (seeded) mixed blocks of data tuples and control
+    tokens, cut into blocks of varying size, pushed through bounded
+    and unbounded channels as lists and as generators; the batched
+    channel must end with identical contents and identical stats
+    (pushed/popped/dropped/max_depth/control_pushed) to a per-item
+    replay of the same sequence.
+    """
+
+    @staticmethod
+    def _mixed_sequence(rng, length):
+        sequence = []
+        for i in range(length):
+            roll = rng.random()
+            if roll < 0.70:
+                sequence.append((i, rng.randrange(100)))
+            elif roll < 0.90:
+                sequence.append(Punctuation({0: float(i)}))
+            else:
+                sequence.append(FLUSH)
+        return sequence
+
+    @staticmethod
+    def _blocks(rng, sequence):
+        blocks = []
+        position = 0
+        while position < len(sequence):
+            size = rng.randrange(1, 7)
+            blocks.append(sequence[position:position + size])
+            position += size
+        return blocks
+
+    @pytest.mark.parametrize("capacity", [None, 1, 3, 5, 8])
+    @pytest.mark.parametrize("as_generator", [False, True])
+    def test_push_pop_many_matches_scalar_replay(self, capacity, as_generator):
+        import random
+
+        rng = random.Random(1337 + (capacity or 0))
+        for trial in range(20):
+            sequence = self._mixed_sequence(rng, rng.randrange(0, 30))
+            blocks = self._blocks(rng, sequence)
+            pops = [rng.choice([None, 1, 2, 4]) for _ in blocks]
+
+            batched = Channel(capacity=capacity)
+            scalar = Channel(capacity=capacity)
+            batched_out = []
+            scalar_out = []
+            for block, limit in zip(blocks, pops):
+                source = iter(block) if as_generator else block
+                batched.push_many(source)
+                for item in block:
+                    scalar.push(item)
+                batched_out.extend(batched.pop_many(limit))
+                budget = limit if limit is not None else len(scalar)
+                while budget and scalar:
+                    scalar_out.append(scalar.pop())
+                    budget -= 1
+            batched_out.extend(batched.pop_many())
+            while scalar:
+                scalar_out.append(scalar.pop())
+
+            assert batched.stats == scalar.stats
+            assert batched_out == scalar_out
+
+    def test_capacity_boundary_exact(self):
+        """Blocks that land exactly on the bound drop the same suffix."""
+        for capacity in (1, 2, 3, 4):
+            for block_len in range(0, 9):
+                batched = Channel(capacity=capacity)
+                scalar = Channel(capacity=capacity)
+                block = [(i,) for i in range(block_len)]
+                accepted = batched.push_many(block)
+                scalar_accepted = sum(scalar.push(item) for item in block)
+                assert accepted == scalar_accepted
+                assert batched.stats == scalar.stats
+                assert batched.drain() == scalar.drain()
+
+
 class TestPunctuation:
     def test_bound_lookup(self):
         punct = Punctuation({0: 5.0, 3: 9.0})

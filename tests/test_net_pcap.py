@@ -139,3 +139,11 @@ class TestCaptureTruncated:
             except CaptureTruncated:
                 pass
             # Any other exception type (struct.error above all) fails.
+
+    def test_zero_length_record(self):
+        # A record header claiming zero captured bytes for a 64-byte
+        # packet: the capture stopped mid-packet.
+        header = struct.pack("<IHHiIII", MAGIC_USEC, 2, 4, 0, 0, 65535, 1)
+        record = struct.pack("<IIII", 1, 0, 0, 64)
+        with pytest.raises(CaptureTruncated):
+            list(PcapReader(io.BytesIO(header + record)))

@@ -182,3 +182,36 @@ class TestCaptureTruncated:
             except (CaptureTruncated, PcapngError):
                 pass
             # struct.error or IndexError here fails the test.
+
+    @staticmethod
+    def _le_file(*blocks):
+        out = io.BytesIO()
+        for block_type, body in blocks:
+            total = 12 + len(body)
+            out.write(struct.pack("<II", block_type, total))
+            out.write(body)
+            out.write(struct.pack("<I", total))
+        out.seek(0)
+        return out
+
+    _SHB_BODY = struct.pack("<IHHq", BYTE_ORDER_MAGIC, 1, 0, -1)
+
+    def test_option_overrunning_block_length(self):
+        # An if_name option claiming 64 bytes in an IDB whose option
+        # area holds only 4: the declared length overruns the block.
+        options = struct.pack("<HH", 2, 64) + b"eth0"
+        out = self._le_file(
+            (SHB_TYPE, self._SHB_BODY),
+            (IDB_TYPE, struct.pack("<HHI", 1, 0, 65535) + options),
+        )
+        with pytest.raises(CaptureTruncated):
+            list(PcapngReader(out))
+
+    def test_zero_length_epb_payload(self):
+        out = self._le_file(
+            (SHB_TYPE, self._SHB_BODY),
+            (IDB_TYPE, struct.pack("<HHI", 1, 0, 65535)),
+            (EPB_TYPE, struct.pack("<IIIII", 0, 0, 0, 0, 0)),
+        )
+        with pytest.raises(CaptureTruncated):
+            list(PcapngReader(out))
