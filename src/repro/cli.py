@@ -120,6 +120,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="packets per block on the vectorized data "
                              "path (1 disables batching; default from "
                              "GS_BATCH/GS_BATCH_SIZE, else 256)")
+    parser.add_argument("--shards", type=int, metavar="N",
+                        help="hash-partition packets by flow key across N "
+                             "worker processes, each running an independent "
+                             "LFTA shard, with superaggregate shard-merge in "
+                             "the parent (default from GS_SHARDS, else "
+                             "single-process); prints the shard report "
+                             "after the run")
     parser.add_argument("--no-columnar", action="store_true",
                         help="decode blocks row-by-row instead of into "
                              "columnar blocks on the LFTA hot path "
@@ -276,12 +283,51 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"--max-restarts must be >= 0, got {args.max_restarts}")
     recover = (args.recover or args.checkpoint_interval is not None
                or args.max_restarts is not None)
+    if args.shards is not None and args.shards <= 0:
+        parser.error(f"--shards must be positive, got {args.shards}")
     try:
-        engine = Gigascope(mode=args.mode,
-                           channel_capacity=args.channel_capacity,
-                           seed=args.seed,
-                           batch_size=args.batch_size,
-                           columnar=False if args.no_columnar else None)
+        from repro.core.engine import resolve_shards
+        shards = resolve_shards(args.shards)
+    except ValueError as error:
+        # A malformed GS_SHARDS is a usage error (exit 2), same as a
+        # bad --shards on the command line -- not a crash.
+        parser.error(str(error))
+    if shards:
+        # The sharded runtime replicates the whole engine per worker;
+        # flags that arm single-process control planes (fault clocks,
+        # shedding, trigger state, in-process recovery, tracing,
+        # telemetry sampling) would run N divergent copies, so they
+        # are a usage error rather than a silent behavior change.
+        for flag, value in (("--fault", args.fault),
+                            ("--shed", args.shed),
+                            ("--alert", args.alert),
+                            ("--recover", args.recover),
+                            ("--checkpoint-interval",
+                             args.checkpoint_interval),
+                            ("--max-restarts", args.max_restarts),
+                            ("--telemetry", args.telemetry),
+                            ("--telemetry-interval",
+                             args.telemetry_interval),
+                            ("--trace-sample", args.trace_sample)):
+            if value:
+                parser.error(f"{flag} cannot be combined with --shards "
+                             f"(worker crash recovery is built into the "
+                             f"sharded runtime; the other control planes "
+                             f"are single-process)")
+    try:
+        if shards:
+            from repro.shard import ShardedGigascope
+            engine = ShardedGigascope(
+                shards, mode=args.mode,
+                channel_capacity=args.channel_capacity,
+                seed=args.seed, batch_size=args.batch_size,
+                columnar=False if args.no_columnar else None)
+        else:
+            engine = Gigascope(mode=args.mode,
+                               channel_capacity=args.channel_capacity,
+                               seed=args.seed,
+                               batch_size=args.batch_size,
+                               columnar=False if args.no_columnar else None)
     except ValueError as error:
         # A malformed GS_BATCH_SIZE in the environment is a usage
         # error (exit 2), same as a bad --batch-size on the command
@@ -462,6 +508,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                         json_module.dump(record, handle)
                         handle.write("\n")
             print(f"#  telemetry streams -> {args.telemetry_out}",
+                  file=sys.stderr)
+    if shards:
+        report = engine.shard_report()
+        print("# shard report", file=sys.stderr)
+        print(f"#  shards={report['count']} "
+              f"generations={report['generations']} "
+              f"restarts={sum(report['restarts'])} "
+              f"snapshots={sum(report['snapshots'])} "
+              f"dropped={sum(report['dropped_packets'])}", file=sys.stderr)
+        for shard in range(report["count"]):
+            status = report["quarantined"].get(str(shard), "ok")
+            print(f"#  shard {shard}: packets={report['packets'][shard]} "
+                  f"rows={report['rows'][shard]} "
+                  f"restarts={report['restarts'][shard]} [{status}]",
                   file=sys.stderr)
     if args.stats:
         # The same canonical snapshot the metrics exposition exports

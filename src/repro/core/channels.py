@@ -43,6 +43,23 @@ class ChannelStats:
         return all(getattr(self, name) == getattr(other, name)
                    for name in self.__slots__)
 
+    def absorb(self, snapshot: dict) -> None:
+        """Fold a remote channel's statistics dict into this ledger.
+
+        The sharded runtime runs :meth:`push_many` inside worker
+        processes; their per-item overflow accounting would die with
+        the pipe otherwise.  Counters add, ``max_depth`` takes the
+        high-water mark (see :func:`repro.obs.collectors.channel_snapshot`
+        for the dict shape).
+        """
+        self.pushed += snapshot.get("pushed", 0)
+        self.popped += snapshot.get("popped", 0)
+        self.dropped += snapshot.get("dropped", 0)
+        self.control_pushed += snapshot.get("control_pushed", 0)
+        depth = snapshot.get("max_depth", 0)
+        if depth > self.max_depth:
+            self.max_depth = depth
+
 
 class Channel:
     """A FIFO with optional capacity; overflow drops the newest item."""

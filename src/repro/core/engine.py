@@ -76,6 +76,31 @@ def resolve_columnar(columnar: Optional[bool] = None) -> bool:
     if columnar is not None:
         return bool(columnar)
     return os.environ.get("GS_COLUMNAR", "1") not in ("0", "false", "no")
+
+
+def resolve_shards(shards: Optional[int] = None) -> int:
+    """How many worker processes to shard across (DESIGN section 15).
+
+    Explicit argument wins; otherwise ``GS_SHARDS`` selects the sharded
+    runtime (``repro.shard``), and the default ``0`` means single-
+    process.  Malformed or negative values raise ``ValueError`` for the
+    same reason as :func:`resolve_batch_size`: a typo must not silently
+    run a different runtime than the operator asked for.
+    """
+    if shards is not None:
+        return shards
+    raw = os.environ.get("GS_SHARDS")
+    if raw is None:
+        return 0
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"GS_SHARDS must be a non-negative integer, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"GS_SHARDS must be >= 0, got {raw!r}")
+    return value
 from repro.gsql.codegen import ExprCompiler
 from repro.gsql.functions import FunctionRegistry, FunctionSpec, builtin_functions
 from repro.gsql.parser import parse_queries, parse_query

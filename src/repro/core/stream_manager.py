@@ -752,6 +752,33 @@ class RuntimeSystem:
                 processed * self.cost_model.hfta_tuple_us)
         return processed
 
+    # -- shard-worker checkpoint support (DESIGN section 15) -----------------
+    def counters_state(self) -> Dict[str, Any]:
+        """The RTS-level counters a shard worker's GSCK snapshot carries.
+
+        Node state alone does not describe a worker engine: the stream
+        clock and heartbeat threshold decide when future heartbeats
+        fire, and the feed counters must survive a restore for the
+        regenerated run to count like the uninterrupted one.
+        """
+        return {
+            "stream_time": self._stream_time,
+            "last_heartbeat": self._last_heartbeat,
+            "packets_fed": self.packets_fed,
+            "bytes_fed": self.bytes_fed,
+            "batches_fed": self.batches_fed,
+            "heartbeats_sent": self.heartbeats_sent,
+        }
+
+    def restore_counters(self, state: Dict[str, Any]) -> None:
+        """Reset the RTS-level counters from :meth:`counters_state`."""
+        self._stream_time = state["stream_time"]
+        self._last_heartbeat = state["last_heartbeat"]
+        self.packets_fed = state["packets_fed"]
+        self.bytes_fed = state["bytes_fed"]
+        self.batches_fed = state["batches_fed"]
+        self.heartbeats_sent = state["heartbeats_sent"]
+
     # -- end of stream -------------------------------------------------------------------------
     def flush_all(self) -> None:
         """End every stream: flush packet consumers, propagate FLUSH, pump.

@@ -32,6 +32,7 @@ Command line (via the :mod:`repro.replay` shim)::
     python -m repro.replay verify-recovery --scenario recovery_agg
     python -m repro.replay verify-alerts
     python -m repro.replay verify-telemetry
+    python -m repro.replay verify-shard --shards 4
 
 ``verify-recovery`` is the recovery plane's acceptance gate: a run
 that crashes an operator mid-stream and recovers it (checkpoint
@@ -43,7 +44,11 @@ crash/restore of the trigger node itself.  ``verify-telemetry`` is the
 self-telemetry plane's: the ``_gs_*`` streams (and the meta-query and
 meta-alert outputs computed from them) must be byte-identical across
 ``PYTHONHASHSEED`` values and across a mid-run crash/restore of the
-meta-query node.
+meta-query node.  ``verify-shard`` is the sharded runtime's: the
+hash-partitioned multi-process run (``repro.shard``) must match the
+single-process run byte-for-byte, per hash seed, including an arm
+where one worker is killed mid-stream and respawned from its shard
+snapshot.
 """
 
 from __future__ import annotations
@@ -540,6 +545,102 @@ def _telemetry_crash_scenario(seed: int) -> Dict[str, Any]:
 TELEMETRY_SCENARIOS = ("telemetry_meta", "telemetry_crash")
 
 
+# -- sharded-runtime scenarios -----------------------------------------------
+#
+# Each builds the engine from the GS_SHARDS environment variable: 0 (or
+# unset) runs the ordinary single-process Gigascope, N >= 1 runs the
+# multi-process ShardedGigascope.  ``verify_shard`` diffs the two arms'
+# sink rows -- the sharded runtime's whole contract is that flow-hash
+# partitioning plus superaggregate shard-merge is *invisible* in the
+# output.  Snapshots carry rows only: per-node statistics and metrics
+# families differ structurally between the runtimes by construction
+# (shardN/-prefixed names, gs_shard_* families), while the rows must
+# not differ at all.  A worker crash is armed through GS_SHARD_CRASH
+# ("SHARD:PACKET_INDEX"), which the parent runtime consumes on its own.
+
+def _shard_engine(seed: int, **kwargs):
+    shards = int(os.environ.get("GS_SHARDS", "0") or "0")
+    if shards:
+        from repro.shard import ShardedGigascope
+        return ShardedGigascope(shards, seed=seed, metrics=False,
+                                barrier_interval=0.25, **kwargs)
+    from repro.core.engine import Gigascope
+    return Gigascope(seed=seed, metrics=False, **kwargs)
+
+
+@scenario("shard_flows")
+def _shard_flows_scenario(seed: int) -> Dict[str, Any]:
+    """Zipf flow aggregation, single-process vs hash-partitioned shards.
+
+    Many groups (three-part key), several barrier crossings, skewed
+    flow sizes -- the canonical workload for checking that shard-merge
+    reproduces the global (window, key)-ordered output byte-for-byte.
+    """
+    from repro.workloads.flows import ZipfFlowWorkload
+
+    gs = _shard_engine(seed, heartbeat_interval=0.5)
+    gs.add_query("""
+        DEFINE query_name flows;
+        Select tb, srcIP, srcPort, count(*), sum(len)
+        From tcp
+        Group by time/5 as tb, srcIP, srcPort
+    """)
+    sub = gs.subscribe("flows")
+    gs.start()
+    workload = ZipfFlowWorkload(num_flows=400, alpha=1.1,
+                                seed=derive_seed(seed, "workload.zipf"))
+    gs.feed(list(workload.packets(4000, pps=2000.0)), pump_every=128)
+    gs.flush()
+    return {"rows": {"flows": [repr(row) for row in sub.poll()]}}
+
+
+@scenario("shard_e2")
+def _shard_e2_scenario(seed: int) -> Dict[str, Any]:
+    """The E2 deployment shape: two merged links feeding an aggregation.
+
+    Exercises the full worker pipeline -- per-interface LFTAs, the
+    merge operator, then the terminal aggregation flipped to partials --
+    so verify-shard gates exactly what the E16 benchmark measures.
+    """
+    from repro.workloads.generators import (http_port80_pool, merge_streams,
+                                            packet_stream)
+
+    gs = _shard_engine(seed, heartbeat_interval=1.0)
+    gs.add_queries("""
+        DEFINE query_name link0;
+        Select time, destIP, len From eth0.tcp Where destPort = 80;
+
+        DEFINE query_name link1;
+        Select time, destIP, len From eth1.tcp Where destPort = 80;
+
+        DEFINE query_name both;
+        Merge link0.time : link1.time From link0, link1;
+
+        DEFINE query_name appmon;
+        Select tb, destIP, count(*), sum(len)
+        From both Group by time/10 as tb, destIP
+    """)
+    sub = gs.subscribe("appmon")
+    gs.start()
+    a = packet_stream(http_port80_pool(seed=1), rate_mbps=25.0,
+                      duration_s=10.0, interface="eth0",
+                      seed=derive_seed(seed, "shard_e2.eth0"))
+    b = packet_stream(http_port80_pool(seed=2), rate_mbps=25.0,
+                      duration_s=10.0, interface="eth1",
+                      seed=derive_seed(seed, "shard_e2.eth1"))
+    packets = []
+    for packet in merge_streams(a, b):
+        packets.append(packet)
+        if len(packets) >= 4000:
+            break
+    gs.feed(packets, pump_every=256)
+    gs.flush()
+    return {"rows": {"appmon": [repr(row) for row in sub.poll()]}}
+
+
+SHARD_SCENARIOS = ("shard_flows", "shard_e2")
+
+
 def resolve_scenario(name: str) -> Callable[[int], Dict[str, Any]]:
     """A registered scenario, or a ``module:callable`` dotted path."""
     if name in SCENARIOS:
@@ -775,6 +876,66 @@ def verify_telemetry(seed: int = 0, hash_seeds: Tuple[str, ...] = ("1", "2")
     return reports
 
 
+def verify_shard(scenario_name: str, seed: int = 0, shards: int = 4,
+                 hash_seeds: Tuple[str, ...] = ("1", "2"),
+                 crash: Optional[str] = "1:600") -> List[ReplayReport]:
+    """The sharded runtime's acceptance gate.
+
+    Per ``PYTHONHASHSEED``: (a) the single-process run (``GS_SHARDS=0``)
+    and the ``shards``-way sharded run must produce byte-identical sink
+    rows, and (b) so must a sharded run whose worker ``crash`` names
+    ("SHARD:PACKET_INDEX") is killed mid-stream and respawned from its
+    shard snapshot.  Finally the sharded arms from the two hash seeds
+    are diffed against each other, pinning the flow partitioner itself
+    (not just each arm's engine) as hash-seed independent.
+    """
+    reports: List[ReplayReport] = []
+    sharded_arms: List[Dict[str, Any]] = []
+    for hash_seed in hash_seeds:
+        single = _subprocess_snapshot(scenario_name, seed, hash_seed,
+                                      {"GS_SHARDS": "0"})
+        sharded = _subprocess_snapshot(scenario_name, seed, hash_seed,
+                                       {"GS_SHARDS": str(shards)})
+        sharded_arms.append(sharded)
+        diffs: List[str] = []
+        _diff_paths(single, sharded, "$", diffs)
+        reports.append(ReplayReport(
+            scenario=scenario_name, seed=seed,
+            hash_seeds=(f"GS_SHARDS=0 (PYTHONHASHSEED={hash_seed})",
+                        f"GS_SHARDS={shards} (PYTHONHASHSEED={hash_seed})"),
+            ok=not diffs, diffs=diffs, snapshots=(single, sharded),
+            axis="sharded runtime",
+        ))
+        if crash:
+            crashed = _subprocess_snapshot(
+                scenario_name, seed, hash_seed,
+                {"GS_SHARDS": str(shards), "GS_SHARD_CRASH": crash})
+            diffs = []
+            _diff_paths(single, crashed, "$", diffs)
+            reports.append(ReplayReport(
+                scenario=scenario_name, seed=seed,
+                hash_seeds=(
+                    f"GS_SHARDS=0 (PYTHONHASHSEED={hash_seed})",
+                    f"GS_SHARDS={shards} crash@{crash} "
+                    f"(PYTHONHASHSEED={hash_seed})"),
+                ok=not diffs, diffs=diffs, snapshots=(single, crashed),
+                axis="shard crash recovery",
+            ))
+    if len(sharded_arms) >= 2:
+        diffs = []
+        _diff_paths(sharded_arms[0], sharded_arms[1], "$", diffs)
+        reports.append(ReplayReport(
+            scenario=scenario_name, seed=seed,
+            hash_seeds=(f"GS_SHARDS={shards} "
+                        f"(PYTHONHASHSEED={hash_seeds[0]})",
+                        f"GS_SHARDS={shards} "
+                        f"(PYTHONHASHSEED={hash_seeds[1]})"),
+            ok=not diffs, diffs=diffs,
+            snapshots=(sharded_arms[0], sharded_arms[1]),
+        ))
+    return reports
+
+
 def verify_replay(scenario_name: str, seed: int = 0,
                   hash_seeds: Tuple[str, str] = ("1", "2")) -> ReplayReport:
     """Run ``scenario_name`` twice under different ``PYTHONHASHSEED``
@@ -827,6 +988,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     telemetry_cmd.add_argument("--seed", type=int, default=0)
     telemetry_cmd.add_argument("--hash-seeds", nargs=2, default=("1", "2"),
                                metavar=("A", "B"))
+    shard_cmd = commands.add_parser(
+        "verify-shard",
+        help="verify the sharded runtime: single-process vs N-way "
+             "hash-partitioned output (including a mid-run worker "
+             "crash/restart) must be byte-identical per hash seed")
+    shard_cmd.add_argument("--seed", type=int, default=0)
+    shard_cmd.add_argument("--shards", type=int, default=4)
+    shard_cmd.add_argument("--hash-seeds", nargs=2, default=("1", "2"),
+                           metavar=("A", "B"))
+    shard_cmd.add_argument("--scenarios", nargs="+",
+                           default=list(SHARD_SCENARIOS),
+                           help=f"shard scenarios to gate on "
+                                f"(default: {' '.join(SHARD_SCENARIOS)})")
+    shard_cmd.add_argument("--crash", default="1:600",
+                           metavar="SHARD:PACKET_INDEX",
+                           help="worker to kill mid-run in the crash arm "
+                                "('none' disables; default 1:600)")
     for sub in (run_cmd, verify_cmd, batch_cmd, recovery_cmd):
         sub.add_argument("--scenario", default="mixed",
                          help=f"one of {sorted(SCENARIOS)} or module:callable")
@@ -865,6 +1043,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "verify-telemetry":
         reports = verify_telemetry(args.seed,
                                    hash_seeds=tuple(args.hash_seeds))
+        for report in reports:
+            print(report.describe())
+        return 0 if all(report.ok for report in reports) else 1
+    if args.command == "verify-shard":
+        reports = []
+        for name in args.scenarios:
+            reports.extend(verify_shard(
+                name, args.seed, shards=args.shards,
+                hash_seeds=tuple(args.hash_seeds),
+                crash=(None if args.crash == "none" else args.crash)))
         for report in reports:
             print(report.describe())
         return 0 if all(report.ok for report in reports) else 1

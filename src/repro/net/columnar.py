@@ -311,3 +311,27 @@ def decoder_for(protocol_name: str) -> Optional[BlockDecoder]:
     eligible; everything else falls back to the row-based interpreter.
     """
     return _DECODERS.get(protocol_name.lower())
+
+
+# -- columnar row-block serialization (DESIGN section 15) --------------------
+#
+# The shard transport ships blocks of result rows (shard partials) over
+# a pipe.  Pickling a list of small tuples pays per-tuple object
+# overhead; transposing the block into parallel columns first pickles
+# N+1 containers instead of N_rows tuples and reconstructs exactly the
+# same tuples on the other side.
+
+def rows_to_columns(rows: Sequence[tuple]) -> tuple:
+    """Transpose a block of row tuples into ``(n_rows, [column, ...])``."""
+    if not rows:
+        return (0, [])
+    return (len(rows), [list(column) for column in zip(*rows)])
+
+
+def columns_to_rows(block: tuple) -> List[tuple]:
+    """Rebuild the row tuples a :func:`rows_to_columns` block encodes."""
+    n, columns = block
+    if not columns:
+        # Zero-width rows: the count alone carries the information.
+        return [() for _ in range(n)]
+    return list(zip(*columns))

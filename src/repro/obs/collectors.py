@@ -323,6 +323,74 @@ def install_telemetry_metrics(registry: MetricsRegistry, hub) -> None:
     registry.add_collector(collect)
 
 
+def install_shard_metrics(registry: MetricsRegistry, runtime) -> None:
+    """Export the sharded runtime's parent-side ledger through ``registry``.
+
+    Everything here carries the ``gs_shard`` prefix.  The families
+    cover what only the parent can see -- per-shard packet/row/restart
+    accounting, quarantines, cross-process drop totals -- plus the
+    merge operators' output counts; the per-node statistics *inside*
+    each worker travel in its ``end`` frame and surface through
+    ``stats()`` / the report instead (a worker's own registry dies with
+    its process).
+    """
+    count = registry.gauge(
+        "gs_shard_count", "worker processes the runtime partitions across")
+    generations = registry.counter(
+        "gs_shard_generations_total", "feed() generations dispatched")
+    packets = registry.counter(
+        "gs_shard_packets_total",
+        "packets processed per worker shard", labels=("shard",))
+    rows = registry.counter(
+        "gs_shard_partial_rows_total",
+        "partial-aggregate rows shipped to the parent", labels=("shard",))
+    restarts = registry.counter(
+        "gs_shard_restarts_total",
+        "worker respawns from a shard snapshot", labels=("shard",))
+    snapshots = registry.counter(
+        "gs_shard_snapshots_total",
+        "shard checkpoints cut at barrier crossings", labels=("shard",))
+    channel_dropped = registry.counter(
+        "gs_shard_channel_dropped_total",
+        "worker-side channel overflow drops", labels=("shard",))
+    dropped_packets = registry.counter(
+        "gs_shard_dropped_packets_total",
+        "packets lost to a quarantined shard (accounted, not silent)",
+        labels=("shard",))
+    quarantined = registry.gauge(
+        "gs_shard_quarantined",
+        "shards permanently quarantined after the restart budget")
+    merge_rows = registry.counter(
+        "gs_shard_merge_rows_total",
+        "finalized rows emitted by the parent's combine operators",
+        labels=("query",))
+
+    def collect() -> None:
+        count.set(runtime.shards)
+        generations.set(runtime.generations)
+        for family in (packets, rows, restarts, snapshots,
+                       channel_dropped, dropped_packets):
+            family.clear()
+        for shard in range(runtime.shards):
+            label = str(shard)
+            packets.labels(shard=label).set(runtime.shard_packets[shard])
+            rows.labels(shard=label).set(runtime.shard_rows[shard])
+            restarts.labels(shard=label).set(runtime.shard_restarts[shard])
+            snapshots.labels(shard=label).set(
+                runtime.shard_snapshots[shard])
+            channel_dropped.labels(shard=label).set(
+                runtime.shard_channel_dropped[shard])
+            dropped_packets.labels(shard=label).set(
+                runtime.shard_dropped_packets[shard])
+        quarantined.set(len(runtime.quarantined))
+        merge_rows.clear()
+        for name, sink in runtime._sinks.items():
+            if sink.partial:
+                merge_rows.labels(query=name).set(sink.node.stats.tuples_out)
+
+    registry.add_collector(collect)
+
+
 def bind_nic(registry: MetricsRegistry, nic, name: str = "nic0") -> None:
     """Export a simulated NIC's ring occupancy and drop counters."""
     counters = {

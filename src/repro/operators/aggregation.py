@@ -82,7 +82,25 @@ class AggregationNode(QueryNode):
             if isinstance(expr, KeyRef) and expr.index == plan.window_key_index:
                 self._window_out_slot = slot
                 break
+        #: shard-worker mode: emit ``key + partials(state)`` rows instead
+        #: of finalized output (see :meth:`enable_partial_output`)
+        self._emit_partials = False
         self.groups_emitted = 0
+
+    def enable_partial_output(self) -> None:
+        """Switch the node into superaggregate-producer mode.
+
+        Closed groups are emitted as ``key + partials(state)`` rows --
+        the same wire shape an LFTA's partial aggregates have -- with
+        HAVING and the post-select deferred to whoever combines the
+        partials (the shard-merge parent, see ``repro.shard``).  The
+        outgoing punctuation slot moves to the window key's position
+        *inside the key*, which is where a ``final_from_partials``
+        combiner expects its bound.
+        """
+        self._emit_partials = True
+        if self._window_index >= 0:
+            self._window_out_slot = self._window_index
 
     @property
     def open_groups(self) -> int:
@@ -180,13 +198,24 @@ class AggregationNode(QueryNode):
     def _flush_below(self, low_water) -> None:
         index = self._window_index
         closed = [key for key in self._groups if key[index] < low_water]
-        closed.sort(key=lambda key: key[index])
+        # Full-key order, window first: the emitted sequence becomes the
+        # global (window, key) sort however arrivals were batched, so a
+        # sharded run's combined output matches the single-process run
+        # byte-for-byte (DESIGN section 15).  Dict insertion order --
+        # the old tie-break -- differs per shard by construction.
+        closed.sort(key=lambda key: (key[index], key))
         for key in closed:
             self._emit_group(key, self._groups.pop(key))
         if self._window_out_slot >= 0:
             self.emit_punctuation(Punctuation({self._window_out_slot: low_water}))
 
     def _emit_group(self, key: tuple, state: list) -> None:
+        if self._emit_partials:
+            # Superaggregate-producer mode: ship the combinable state;
+            # HAVING/post-select belong to the combiner of the partials.
+            self.groups_emitted += 1
+            self.emit(key + self.aggregate_ops.partials(state))
+            return
         values = self.aggregate_ops.final_values(state)
         if not self._having(key, values):
             self.stats.discarded += 1
@@ -231,6 +260,7 @@ class AggregationNode(QueryNode):
         """Emit every remaining group (explicit flush / end of stream)."""
         keys = list(self._groups)
         if self._window_index >= 0:
-            keys.sort(key=lambda key: key[self._window_index])
+            index = self._window_index
+            keys.sort(key=lambda key: (key[index], key))
         for key in keys:
             self._emit_group(key, self._groups.pop(key))

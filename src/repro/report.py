@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.core.engine import Gigascope
 from repro.obs.collectors import NODE_EXTRA_ATTRS
 
 
@@ -22,19 +21,7 @@ def _format_row(columns, widths) -> str:
                      for value, width in zip(columns, widths))
 
 
-def engine_report(engine: Gigascope) -> str:
-    """A multi-section plain-text report of the engine's state."""
-    lines: List[str] = []
-    rts = engine.rts
-    stats = engine.stats()
-    lines.append("gigascope status")
-    lines.append(f"  stream time: {rts.stream_time:.3f} s"
-                 if rts.stream_time > float("-inf") else "  stream time: -")
-    lines.append(f"  packets fed: {rts.packets_fed}")
-    lines.append(f"  heartbeats sent: {rts.heartbeats_sent}")
-    lines.append(f"  started: {rts.started}")
-    lines.append("")
-
+def _node_table(stats, lines: List[str]) -> None:
     header = ("node", "in", "out", "discard", "drops", "extra")
     rows = []
     for name in sorted(stats):
@@ -65,8 +52,8 @@ def engine_report(engine: Gigascope) -> str:
         lines.append("channels with queued items:")
         lines.extend(pending)
 
-    # Overload section: the same ledger the CLI prints on stderr.
-    overload = engine.overload_report()
+
+def _overload_section(overload, lines: List[str]) -> None:
     lines.append("")
     lines.append("overload")
     lines.append(f"  policy: {overload.get('policy_state', overload['policy'])}"
@@ -81,6 +68,55 @@ def engine_report(engine: Gigascope) -> str:
     for name, info in dropped:
         lines.append(f"  channel {name}: dropped={info['dropped']} "
                      f"max_depth={info['max_depth']} cap={info['capacity']}")
+
+
+def _sharded_report(engine) -> str:
+    """The report for a :class:`~repro.shard.runtime.ShardedGigascope`.
+
+    Same node table and overload ledger as the single-process report
+    (the worker statistics travel in their ``end`` frames, namespaced
+    ``shardN/...``; the parent's combine operators appear as
+    ``merge/...``), plus a per-shard lifecycle section.
+    """
+    lines: List[str] = []
+    report = engine.shard_report()
+    lines.append("gigascope status (sharded)")
+    lines.append(f"  shards: {report['count']}")
+    lines.append(f"  generations: {report['generations']}")
+    lines.append(f"  packets fed: {sum(report['packets'])}")
+    lines.append(f"  started: {engine.started}")
+    lines.append("")
+    _node_table(engine.stats(), lines)
+    lines.append("")
+    lines.append("shards")
+    for shard in range(report["count"]):
+        status = report["quarantined"].get(str(shard), "ok")
+        lines.append(f"  shard {shard}: packets={report['packets'][shard]} "
+                     f"rows={report['rows'][shard]} "
+                     f"restarts={report['restarts'][shard]} "
+                     f"snapshots={report['snapshots'][shard]} "
+                     f"dropped={report['dropped_packets'][shard]} "
+                     f"[{status}]")
+    _overload_section(engine.overload_report(), lines)
+    return "\n".join(lines)
+
+
+def engine_report(engine) -> str:
+    """A multi-section plain-text report of the engine's state."""
+    if hasattr(engine, "shard_report"):
+        return _sharded_report(engine)
+    lines: List[str] = []
+    rts = engine.rts
+    stats = engine.stats()
+    lines.append("gigascope status")
+    lines.append(f"  stream time: {rts.stream_time:.3f} s"
+                 if rts.stream_time > float("-inf") else "  stream time: -")
+    lines.append(f"  packets fed: {rts.packets_fed}")
+    lines.append(f"  heartbeats sent: {rts.heartbeats_sent}")
+    lines.append(f"  started: {rts.started}")
+    lines.append("")
+    _node_table(stats, lines)
+    _overload_section(engine.overload_report(), lines)
 
     # Alerts section: per-trigger counters come out of the same stats
     # snapshot as the node table above, so the two can never disagree

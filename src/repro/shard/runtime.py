@@ -1,0 +1,498 @@
+"""The parent side of the sharded runtime: spawn, collect, merge.
+
+:class:`ShardedGigascope` mirrors the :class:`~repro.core.engine.Gigascope`
+facade (add queries, subscribe, start, feed, flush, stats) but runs the
+packet path across N forked worker processes.  The parent never touches
+a packet: it materializes the list, forks the workers (each filters the
+inherited list down to its partition with the generated flow-hash
+kernel), then sits on the pipes collecting frames.
+
+Merging is deterministic by construction.  Partial-aggregate rows are
+buffered with a ``(window value, shard index, frame seq, arrival)``
+sort key and, at flush, dispatched in that total order into one
+``final_from_partials`` combine operator per subscribed aggregation --
+the same superaggregate combine an HFTA applies to LFTA partials, one
+level up the hierarchy.  Window order makes the combine's group-closing
+walk the same global (window, key) sweep the single-process engine
+performs; shard-then-seq order fixes every remaining tie.  Output of
+non-aggregation subscriptions is concatenated in shard order.
+
+Failure policy (per shard): a worker that dies before its ``end`` frame
+is respawned from its last ``snap`` checkpoint (deterministic frame
+regeneration + parent-side seq dedup keeps delivery exactly-once); a
+shard that exhausts ``max_restarts`` is quarantined with its undone
+packets counted into the drop ledger, and every sibling shard keeps
+running.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from multiprocessing import connection, get_context
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.control.signals import ChannelSignal, PressureSample
+from repro.core.channels import Channel, ChannelStats
+from repro.core.engine import Gigascope, resolve_batch_size, resolve_columnar
+from repro.core.heartbeat import FLUSH
+from repro.core.stream_manager import RegistryError, Subscription
+from repro.obs.collectors import node_snapshot
+from repro.operators.aggregation import AggregationNode
+from repro.shard.partition import assign_shards
+from repro.shard.transport import END, ROWS, SNAP, decode_frame, unpack_rows
+from repro.shard.worker import CRASH_ENV, run_worker
+
+
+class _MergeSink:
+    """Parent-side merge state for one subscribed stream."""
+
+    __slots__ = ("name", "partial", "node", "channels", "pending",
+                 "per_shard", "window_index")
+
+    def __init__(self, name: str, partial: bool, node=None,
+                 window_index: int = -1) -> None:
+        self.name = name
+        self.partial = partial
+        #: the combine operator (partial mode) -- its subscriber
+        #: channels are the application subscriptions
+        self.node = node
+        #: application channels (concat mode)
+        self.channels: List[Channel] = []
+        #: (window, shard, seq, arrival, row) entries awaiting the merge
+        self.pending: List[tuple] = []
+        #: shard -> rows, for shard-order concatenation
+        self.per_shard: Dict[int, List[tuple]] = {}
+        self.window_index = window_index
+
+
+class _ShardState:
+    """One worker process's lifecycle bookkeeping."""
+
+    __slots__ = ("index", "process", "conn", "last_seq", "snapshot",
+                 "snap_packets", "restarts", "ended", "eof")
+
+    def __init__(self, index: int, process, conn) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.last_seq = 0
+        self.snapshot: Optional[bytes] = None
+        self.snap_packets = 0
+        self.restarts = 0
+        self.ended = False
+        self.eof = False
+
+
+def _worker_entry(recv, conn, spec, shard, packets, resume, crash_at):
+    recv.close()
+    run_worker(conn, spec, shard, packets,
+               resume_blob=resume, crash_at=crash_at)
+
+
+class ShardedGigascope:
+    """N hash-partitioned worker engines under one merging parent."""
+
+    def __init__(
+        self,
+        shards: int,
+        mode: str = "compiled",
+        heartbeat_interval: Optional[float] = 1.0,
+        default_interface: str = "eth0",
+        lfta_table_size: int = 4096,
+        channel_capacity: Optional[int] = None,
+        metrics: bool = True,
+        seed: int = 0,
+        batch_size: Optional[int] = None,
+        columnar: Optional[bool] = None,
+        barrier_interval: float = 1.0,
+        max_restarts: int = 1,
+    ) -> None:
+        if shards <= 0:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.seed = seed
+        #: virtual-time spacing of the global barrier grid every shard
+        #: cuts rows/snapshot frames at
+        self.barrier_interval = barrier_interval
+        #: respawn budget per shard before quarantine
+        self.max_restarts = max_restarts
+        # Env knobs resolve once, here, so every worker runs the exact
+        # same configuration the parent validated.
+        self._engine_kwargs: Dict[str, Any] = dict(
+            mode=mode, heartbeat_interval=heartbeat_interval,
+            default_interface=default_interface,
+            lfta_table_size=lfta_table_size,
+            channel_capacity=channel_capacity, seed=seed,
+            batch_size=resolve_batch_size(batch_size),
+            columnar=resolve_columnar(columnar),
+        )
+        #: plan/schema oracle and combine-node factory; never fed packets
+        self.template = Gigascope(metrics=False, **self._engine_kwargs)
+        self._queries: List[Tuple[str, str, Optional[dict], Optional[str]]] = []
+        self._sinks: Dict[str, _MergeSink] = {}
+        self._started = False
+        # The fault-injection knob is consumed by the first feed() only:
+        # a respawned worker must not re-crash at the same index.
+        self._crash_armed = True
+        # -- ledgers (the gs_shard_* metric families read these) -------
+        self.generations = 0
+        self.shard_packets = [0] * shards
+        self.shard_rows = [0] * shards
+        self.shard_restarts = [0] * shards
+        self.shard_snapshots = [0] * shards
+        self.shard_channel_dropped = [0] * shards
+        self.shard_dropped_packets = [0] * shards
+        #: shard index -> reason, for shards past their restart budget
+        self.quarantined: Dict[int, str] = {}
+        #: "shardN/<channel>" -> absorbed worker-side overflow ledger
+        self.channel_ledgers: Dict[str, ChannelStats] = {}
+        self._worker_nodes: Dict[int, Dict[str, Any]] = {}
+        self._worker_quarantined: Dict[int, Dict[str, str]] = {}
+        #: one end-of-stream PressureSample per shard (control plane)
+        self.pressure: Dict[int, PressureSample] = {}
+        self.metrics = None
+        if metrics:
+            from repro.obs.collectors import install_shard_metrics
+            from repro.obs.registry import MetricsRegistry
+            self.metrics = MetricsRegistry()
+            install_shard_metrics(self.metrics, self)
+
+    # -- queries (delegated to the template, recorded for workers) --------
+    def add_query(self, text: str, params: Optional[Dict[str, Any]] = None,
+                  name: Optional[str] = None) -> str:
+        result = self.template.add_query(text, params=params, name=name)
+        self._queries.append(("single", text, params, name))
+        return result
+
+    def add_queries(self, text: str,
+                    params: Optional[Dict[str, Dict[str, Any]]] = None
+                    ) -> List[str]:
+        results = self.template.add_queries(text, params=params)
+        self._queries.append(("batch", text, params, None))
+        return results
+
+    def plan_of(self, name: str):
+        return self.template.plan_of(name)
+
+    def explain(self, name: str) -> str:
+        return self.template.explain(name)
+
+    def schema_of(self, name: str):
+        return self.template.schema_of(name)
+
+    # -- subscriptions ----------------------------------------------------
+    def _make_sink(self, name: str) -> _MergeSink:
+        instance = self.template._instances.get(name)
+        terminal = instance.nodes[-1] if instance else None
+        if isinstance(terminal, AggregationNode):
+            # The workers will flip this terminal into partial mode, so
+            # its stream stops carrying finalized rows inside the
+            # worker; any sibling query reading it would see partials.
+            produced = {node.name for node in instance.nodes}
+            for other_name, other in self.template._instances.items():
+                if other_name == name or other.plan.hfta is None:
+                    continue
+                used = produced.intersection(other.plan.hfta.inputs)
+                if used:
+                    raise RegistryError(
+                        f"cannot shard-subscribe aggregation {name!r}: "
+                        f"query {other_name!r} reads {sorted(used)} "
+                        "downstream (the worker-side partial flip would "
+                        "feed it superaggregates); subscribe the "
+                        "downstream query instead"
+                    )
+            plan = dataclasses.replace(
+                instance.plan.hfta, final_from_partials=True,
+                predicates=[], sample_rate=None)
+            node = AggregationNode(plan, instance.analyzed,
+                                   instance.compiler, seed=self.seed)
+            return _MergeSink(name, partial=True, node=node,
+                              window_index=plan.window_key_index)
+        # Canonical unknown-name error comes from the registry.
+        self.template.rts.node(name)
+        return _MergeSink(name, partial=False)
+
+    def subscribe(self, name: str,
+                  capacity: Optional[int] = None) -> Subscription:
+        sink = self._sinks.get(name)
+        if sink is None:
+            sink = self._make_sink(name)
+            self._sinks[name] = sink
+        if sink.partial:
+            channel = sink.node.subscribe(capacity=capacity,
+                                          name=f"{name}->app")
+        else:
+            channel = Channel(capacity=capacity, name=f"{name}->app")
+            sink.channels.append(channel)
+        return Subscription(name, channel, manager=None)
+
+    # -- lifecycle --------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def start(self) -> None:
+        self._started = True
+
+    def stop(self) -> None:
+        self._started = False
+
+    # -- the packet path --------------------------------------------------
+    def feed(self, packets: Iterable, pump_every: int = 256) -> None:
+        """Partition ``packets`` across the workers and collect frames.
+
+        Blocks until every live shard has delivered its ``end`` frame
+        (restarting or quarantining the ones that die on the way).
+        Merged output becomes visible to subscriptions at
+        :meth:`flush`.
+        """
+        if not self._started:
+            raise RegistryError("RTS not started; call start() first")
+        if not isinstance(packets, list):
+            packets = list(packets)
+        if not packets:
+            return
+        self.generations += 1
+        spec = {
+            "queries": list(self._queries),
+            "subscribe": [(name, sink.partial)
+                          for name, sink in self._sinks.items()],
+            "engine": dict(self._engine_kwargs),
+            "nshards": self.shards,
+            "barrier_interval": self.barrier_interval,
+            "pump_every": pump_every,
+        }
+        crash = self._parse_crash() if self._crash_armed else None
+        self._crash_armed = False
+        self._run(packets, spec, crash)
+
+    def _parse_crash(self) -> Optional[Tuple[int, int]]:
+        raw = os.environ.get(CRASH_ENV)
+        if not raw:
+            return None
+        try:
+            shard_text, _, at_text = raw.partition(":")
+            crash = (int(shard_text), int(at_text))
+        except ValueError:
+            raise ValueError(
+                f"{CRASH_ENV} must be 'SHARD:PACKET_INDEX', got {raw!r}"
+            ) from None
+        if not 0 <= crash[0] < self.shards:
+            raise ValueError(
+                f"{CRASH_ENV} names shard {crash[0]}, but there are "
+                f"only {self.shards}")
+        return crash
+
+    def _spawn(self, ctx, shard: int, spec, packets,
+               resume: Optional[bytes],
+               crash_at: Optional[int]) -> _ShardState:
+        recv, send = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_worker_entry,
+            args=(recv, send, spec, shard, packets, resume, crash_at),
+            daemon=True)
+        process.start()
+        # The parent keeps only the receive end; the child's copy of
+        # ``send`` is then the sole writer, so worker death is visible
+        # as EOF as well as through the process sentinel.
+        send.close()
+        return _ShardState(shard, process, recv)
+
+    def _run(self, packets, spec, crash) -> None:
+        ctx = get_context("fork")
+        live: Dict[int, _ShardState] = {}
+        for shard in range(self.shards):
+            if shard in self.quarantined:
+                # Dead shards stay dead across generations; keep the
+                # drop ledger honest for the new packets too.
+                self.shard_dropped_packets[shard] += (
+                    assign_shards(packets, self.shards).count(shard))
+                continue
+            crash_at = crash[1] if crash and crash[0] == shard else None
+            live[shard] = self._spawn(ctx, shard, spec, packets,
+                                      None, crash_at)
+        while live:
+            waitables: List[Any] = []
+            for state in live.values():
+                waitables.append(state.conn)
+                waitables.append(state.process.sentinel)
+            ready = set(connection.wait(waitables))
+            for shard, state in list(live.items()):
+                while state.conn.poll():
+                    try:
+                        blob = state.conn.recv_bytes()
+                    except EOFError:
+                        state.eof = True
+                        break
+                    self._handle_frame(state, blob)
+                    if state.ended:
+                        break
+                if state.ended:
+                    state.process.join()
+                    del live[shard]
+                    continue
+                if state.eof or state.process.sentinel in ready:
+                    # eof means the drain above consumed every frame
+                    # (recv only raises EOFError on an empty buffer); a
+                    # dead process without eof can still have frames
+                    # buffered -- or its pipe held open by a later-
+                    # forked sibling -- so re-check before recovering.
+                    # Never poll() after eof: at EOF it reads ready
+                    # forever and the check would spin.
+                    if not state.eof and state.conn.poll():
+                        continue  # more frames buffered; drain next round
+                    state.process.join()
+                    del live[shard]
+                    replacement = self._recover(ctx, state, spec, packets)
+                    if replacement is not None:
+                        live[shard] = replacement
+
+    def _handle_frame(self, state: _ShardState, blob: bytes) -> None:
+        kind, seq, payload = decode_frame(blob)
+        if seq <= state.last_seq:
+            # A respawned worker deterministically regenerates the
+            # frames after its restored checkpoint; ones the parent
+            # already consumed are dropped here (exactly-once).
+            return
+        state.last_seq = seq
+        if kind == ROWS:
+            for name, rows in unpack_rows(payload).items():
+                if not rows:
+                    continue
+                sink = self._sinks[name]
+                self.shard_rows[state.index] += len(rows)
+                if sink.partial:
+                    window = sink.window_index
+                    arrival = len(sink.pending)
+                    for offset, row in enumerate(rows):
+                        sink.pending.append((
+                            row[window] if window >= 0 else 0,
+                            state.index, seq, arrival + offset, row))
+                else:
+                    sink.per_shard.setdefault(state.index, []).extend(rows)
+        elif kind == SNAP:
+            state.snapshot = payload["blob"]
+            state.snap_packets = payload["packets_done"]
+            self.shard_snapshots[state.index] += 1
+        elif kind == END:
+            state.ended = True
+            self.shard_packets[state.index] += payload["packets"]
+            self._worker_nodes[state.index] = payload["nodes"]
+            if payload["quarantined"]:
+                self._worker_quarantined[state.index] = payload["quarantined"]
+            self._absorb_channels(state.index, payload["channels"])
+
+    def _absorb_channels(self, shard: int,
+                         channels: Dict[str, Dict[str, Any]]) -> None:
+        """Satellite 2: worker-side overflow accounting survives the pipe."""
+        sample = PressureSample(stream_time=0.0, cycle=self.generations)
+        for name, snapshot in channels.items():
+            ledger = self.channel_ledgers.setdefault(
+                f"shard{shard}/{name}", ChannelStats())
+            ledger.absorb(snapshot)
+            self.shard_channel_dropped[shard] += snapshot.get("dropped", 0)
+            capacity = snapshot.get("capacity")
+            sample.channels.append(ChannelSignal(
+                name=f"shard{shard}/{name}", depth=0, capacity=capacity,
+                fill=0.0, dropped_total=ledger.dropped,
+                dropped_delta=snapshot.get("dropped", 0),
+                max_depth=ledger.max_depth))
+            sample.channel_drops_total += ledger.dropped
+            sample.channel_drops_delta += snapshot.get("dropped", 0)
+        self.pressure[shard] = sample
+
+    def _recover(self, ctx, state: _ShardState, spec,
+                 packets) -> Optional[_ShardState]:
+        exitcode = state.process.exitcode
+        reason = f"worker exited with code {exitcode} before its end frame"
+        if state.restarts < self.max_restarts:
+            self.shard_restarts[state.index] += 1
+            replacement = self._spawn(ctx, state.index, spec, packets,
+                                      state.snapshot, None)
+            replacement.restarts = state.restarts + 1
+            replacement.last_seq = state.last_seq
+            replacement.snapshot = state.snapshot
+            replacement.snap_packets = state.snap_packets
+            return replacement
+        # Quarantine: siblings keep running; the undone packets are
+        # counted, not silently lost (accountable loss, Section 1).
+        assigned = assign_shards(packets, self.shards).count(state.index)
+        self.shard_dropped_packets[state.index] += (
+            assigned - state.snap_packets)
+        self.quarantined[state.index] = reason
+        return None
+
+    # -- end of stream ----------------------------------------------------
+    def flush(self) -> None:
+        """Merge every buffered frame and end the output streams."""
+        for sink in self._sinks.values():
+            if sink.partial:
+                # Total order: global window sweep, shard index and
+                # frame sequence breaking every tie deterministically.
+                sink.pending.sort(key=lambda e: (e[0], e[1], e[2], e[3]))
+                node = sink.node
+                for entry in sink.pending:
+                    node.dispatch(entry[4], 0)
+                sink.pending.clear()
+                if not node.flushed:
+                    node.flushed = True
+                    node.flush()
+                    node.emit_flush()
+            else:
+                for shard in range(self.shards):
+                    rows = sink.per_shard.pop(shard, None)
+                    if rows:
+                        for channel in sink.channels:
+                            channel.push_many(rows)
+                for channel in sink.channels:
+                    channel.push(FLUSH)
+
+    # -- introspection ----------------------------------------------------
+    def stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-shard worker node snapshots plus the parent merge nodes."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for shard in sorted(self._worker_nodes):
+            for node_name, entry in self._worker_nodes[shard].items():
+                out[f"shard{shard}/{node_name}"] = entry
+        for name, sink in self._sinks.items():
+            if sink.partial:
+                out[f"merge/{name}"] = node_snapshot(sink.node)
+        return out
+
+    def overload_report(self) -> Dict[str, Any]:
+        """End-to-end drop accounting across the process boundary."""
+        channels: Dict[str, Dict[str, Any]] = {}
+        for name, ledger in sorted(self.channel_ledgers.items()):
+            channels[name] = {
+                "pushed": ledger.pushed, "popped": ledger.popped,
+                "dropped": ledger.dropped, "depth": 0,
+                "max_depth": ledger.max_depth, "capacity": None,
+            }
+        return {
+            "policy": "sharded",
+            "shed_rate": 1.0,
+            "packets_shed": 0,
+            "channel_dropped": sum(self.shard_channel_dropped),
+            "channels": channels,
+            "shards": {
+                "count": self.shards,
+                "packets": list(self.shard_packets),
+                "rows": list(self.shard_rows),
+                "restarts": list(self.shard_restarts),
+                "snapshots": list(self.shard_snapshots),
+                "channel_dropped": list(self.shard_channel_dropped),
+                "dropped_packets": list(self.shard_dropped_packets),
+                "quarantined": {str(shard): reason for shard, reason
+                                in sorted(self.quarantined.items())},
+            },
+        }
+
+    def shard_report(self) -> Dict[str, Any]:
+        """The per-shard ledger on its own (what E16 and the report use)."""
+        report = self.overload_report()["shards"]
+        report["generations"] = self.generations
+        report["worker_quarantined"] = {
+            str(shard): dict(nodes) for shard, nodes
+            in sorted(self._worker_quarantined.items())}
+        return report

@@ -1,0 +1,154 @@
+"""The shard worker: one complete engine over one packet partition.
+
+Forked (never spawned -- workers inherit the parent's materialized
+packet list and compiled queries for free) by
+:class:`~repro.shard.runtime.ShardedGigascope`.  Each worker:
+
+1. builds a full single-process :class:`~repro.core.engine.Gigascope`
+   from the same query batch as its siblings, with every *subscribed
+   terminal aggregation* flipped into superaggregate-producer mode
+   (:meth:`~repro.operators.aggregation.AggregationNode.enable_partial_output`),
+2. filters the inherited packet list down to its own partition with a
+   fused generated kernel (partitioning runs inside the parallel
+   region -- there is no parent-side scan to serialize on),
+3. feeds the partition in chunks cut at a *global barrier grid* --
+   multiples of ``barrier_interval`` in virtual time, the same
+   thresholds on every shard -- draining its subscriptions into a
+   ``rows`` frame and cutting a GSCK engine snapshot into a ``snap``
+   frame at each crossing,
+4. flushes, ships the final rows, and ends with its statistics ledger.
+
+Everything the worker does is a deterministic function of (queries,
+partition, seed, resume point): a worker respawned from its last
+``snap`` frame regenerates byte-identical frames from that barrier on,
+which is what lets the parent dedup by sequence number and keep the
+exactly-once contract across a worker crash.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.core.engine import Gigascope
+from repro.obs.collectors import channel_snapshot, engine_snapshot
+from repro.recovery.wire import decode_snapshot, encode_snapshot
+from repro.shard.partition import partition_filter
+from repro.shard.transport import END, ROWS, SNAP, encode_frame, pack_rows
+
+#: env var arming a mid-run worker crash: ``"SHARD:PACKET_INDEX"``
+#: (the worker dies with os._exit just before feeding that packet of
+#: its partition; respawned workers never re-arm)
+CRASH_ENV = "GS_SHARD_CRASH"
+
+
+def _build_engine(spec: Dict[str, Any]):
+    """The worker's engine + subscriptions, per the parent's spec."""
+    gs = Gigascope(metrics=False, **spec["engine"])
+    for kind, text, params, name in spec["queries"]:
+        if kind == "batch":
+            gs.add_queries(text, params=params)
+        else:
+            gs.add_query(text, params=params, name=name)
+    subs = {}
+    for name, partial in spec["subscribe"]:
+        subs[name] = gs.subscribe(name)
+        if partial:
+            # The terminal aggregation ships combinable partials; the
+            # parent's combine operator finalizes (HAVING, post-select).
+            gs._instances[name].nodes[-1].enable_partial_output()
+    return gs, subs
+
+
+def _snapshot_worker(gs, seq: int, packets_done: int,
+                     next_barrier: float) -> bytes:
+    """One shard checkpoint: engine state + resume cursor, as GSCK bytes."""
+    return encode_snapshot({
+        "seq": seq,
+        "packets_done": packets_done,
+        "next_barrier": next_barrier,
+        "counters": gs.rts.counters_state(),
+        "nodes": {name: node.snapshot_state()
+                  for name, node in gs.rts.iter_nodes()},
+    })
+
+
+def _cut_barrier(conn, gs, subs, seq: int, packets_done: int,
+                 next_barrier: float) -> int:
+    """Drain + ship rows, then cut and ship the shard snapshot."""
+    rows = {name: sub.poll() for name, sub in subs.items()}
+    seq += 1
+    conn.send_bytes(encode_frame(ROWS, seq, pack_rows(rows)))
+    seq += 1
+    conn.send_bytes(encode_frame(SNAP, seq, {
+        "blob": _snapshot_worker(gs, seq, packets_done, next_barrier),
+        "packets_done": packets_done,
+    }))
+    return seq
+
+
+def run_worker(conn, spec: Dict[str, Any], shard: int,
+               packets: List, resume_blob: Optional[bytes] = None,
+               crash_at: Optional[int] = None) -> None:
+    """The fork target: run one shard start to finish (or to a crash)."""
+    gs, subs = _build_engine(spec)
+    keep = partition_filter(spec["nshards"], shard)
+    kept: List = []
+    keep(packets, kept.append)
+    gs.start()
+    seq = 0
+    offset = 0
+    next_barrier: Optional[float] = None
+    if resume_blob is not None:
+        state = decode_snapshot(resume_blob)
+        for name, node_state in state["nodes"].items():
+            gs.rts.node(name).restore_state(node_state)
+        gs.rts.restore_counters(state["counters"])
+        seq = state["seq"]
+        offset = state["packets_done"]
+        next_barrier = state["next_barrier"]
+    interval = spec["barrier_interval"]
+    pump_every = spec["pump_every"]
+    buffer: List = []
+    for index in range(offset, len(kept)):
+        packet = kept[index]
+        if crash_at is not None and index == crash_at:
+            # Simulated hard worker death: no teardown, no flush, the
+            # pipe just goes quiet mid-stream.
+            os._exit(3)
+        if next_barrier is None:
+            # First packet pins the position on the *global* grid
+            # (multiples of the interval in absolute virtual time, the
+            # same thresholds every sibling shard uses).
+            next_barrier = (math.floor(packet.timestamp / interval) + 1
+                            ) * interval
+        elif packet.timestamp >= next_barrier:
+            if buffer:
+                gs.feed(buffer, pump_every=pump_every)
+                buffer = []
+            advanced = next_barrier
+            while packet.timestamp >= advanced:
+                advanced += interval
+            # The stored cursor must be the *advanced* barrier: a
+            # restored worker re-examines this very packet and must not
+            # cut (and re-number) a second barrier here.
+            seq = _cut_barrier(conn, gs, subs, seq,
+                               packets_done=index, next_barrier=advanced)
+            next_barrier = advanced
+        buffer.append(packet)
+    if buffer:
+        gs.feed(buffer, pump_every=pump_every)
+    gs.flush()
+    rows = {name: sub.poll() for name, sub in subs.items()}
+    seq += 1
+    conn.send_bytes(encode_frame(ROWS, seq, pack_rows(rows)))
+    seq += 1
+    conn.send_bytes(encode_frame(END, seq, {
+        "packets": len(kept),
+        "nodes": engine_snapshot(gs.rts),
+        "channels": {channel.name: channel_snapshot(channel)
+                     for channel in gs.rts.channels()},
+        "quarantined": dict(gs.rts.quarantined),
+    }))
+    conn.close()
