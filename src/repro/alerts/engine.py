@@ -429,6 +429,34 @@ class AlertEngine:
             # arm's tick sequence identical to the clean arm's.
             node.tick_channel.push(tick)
 
+    def shed_exempt_nodes(self) -> set:
+        """Node names pinned exempt from adaptive shedding.
+
+        A raised alert is exactly when the evidence feeding it must not
+        be thinned: every shed-capable node upstream of a trigger with
+        at least one raised key (walked transitively through
+        ``input_links``, so merge/join plans exempt all their feeder
+        LFTAs) is reported here until the alert CLEARs.  The
+        OverloadController re-reads this set each cycle and holds these
+        nodes at keep-rate 1.0.
+        """
+        exempt: set = set()
+        for trigger in self.triggers.values():
+            if not trigger.alerts_active:
+                continue
+            stack: List[Any] = [trigger]
+            seen: set = set()
+            while stack:
+                node = stack.pop()
+                if id(node) in seen:
+                    continue
+                seen.add(id(node))
+                if hasattr(node, "set_shed_rate"):
+                    exempt.add(node.name)
+                for producer, _channel in getattr(node, "input_links", ()):
+                    stack.append(producer)
+        return exempt
+
     def report(self) -> Dict[str, Any]:
         """The alert plane's ledger (the ``# alert report`` source)."""
         triggers = {}

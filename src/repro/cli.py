@@ -127,6 +127,26 @@ def _build_parser() -> argparse.ArgumentParser:
                              "the parent (default from GS_SHARDS, else "
                              "single-process); prints the shard report "
                              "after the run")
+    parser.add_argument("--standby", action="store_true",
+                        help="run a warm-standby pair: the primary streams "
+                             "checksummed snapshot/delta frames to an "
+                             "in-process replica, which is promoted on "
+                             "primary failure with exactly-once output; "
+                             "prints the replication report after the run")
+    parser.add_argument("--replicate", metavar="SECS",
+                        help="virtual-time seconds between replication "
+                             "delta frames (implies --standby; 0 ships a "
+                             "frame at every pump boundary; default from "
+                             "GS_REPLICATE, else 1.0)")
+    parser.add_argument("--promote-after", type=float, metavar="SECS",
+                        help="promote the standby once heartbeat silence "
+                             "exceeds the heartbeat interval by SECS "
+                             "(implies --standby); pair with --fault "
+                             "heartbeat_silence:... to rehearse a failover")
+    parser.add_argument("--replicate-log", metavar="PATH",
+                        help="write every replication frame to PATH as "
+                             "length-prefixed GSCK bytes (implies "
+                             "--standby)")
     parser.add_argument("--no-columnar", action="store_true",
                         help="decode blocks row-by-row instead of into "
                              "columnar blocks on the LFTA hot path "
@@ -267,7 +287,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     for flag, value in (("--trace-out", args.trace_out),
                         ("--metrics-out", args.metrics_out),
                         ("--telemetry-out", args.telemetry_out),
-                        ("--alert-out", args.alert_out)):
+                        ("--alert-out", args.alert_out),
+                        ("--replicate-log", args.replicate_log)):
         if not value:
             continue
         resolved = Path(value).resolve()
@@ -292,6 +313,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         # A malformed GS_SHARDS is a usage error (exit 2), same as a
         # bad --shards on the command line -- not a crash.
         parser.error(str(error))
+    try:
+        from repro.replication import resolve_replicate_cadence
+        cadence = resolve_replicate_cadence(args.replicate)
+    except ValueError as error:
+        # Same convention: a malformed GS_REPLICATE or --replicate is
+        # exit 2, and the message names whichever knob was malformed.
+        parser.error(str(error))
+    if args.promote_after is not None and args.promote_after < 0:
+        parser.error(f"--promote-after must be >= 0, "
+                     f"got {args.promote_after}")
+    standby = (args.standby or cadence is not None
+               or args.promote_after is not None
+               or args.replicate_log is not None)
+    if standby and shards:
+        parser.error("--standby cannot be combined with --shards (the "
+                     "warm-standby pair is single-process; the sharded "
+                     "runtime has its own per-shard standby path)")
+    if standby:
+        # The warm-standby pair mirrors the bare query engine; the
+        # single-process control planes below are not replicated to
+        # the standby, so running them on the primary would diverge
+        # after a promotion -- a usage error, not a silent one.
+        for flag, value in (("--shed", args.shed),
+                            ("--alert", args.alert),
+                            ("--recover", args.recover),
+                            ("--checkpoint-interval",
+                             args.checkpoint_interval),
+                            ("--max-restarts", args.max_restarts),
+                            ("--telemetry", args.telemetry),
+                            ("--telemetry-interval",
+                             args.telemetry_interval),
+                            ("--trace-sample", args.trace_sample)):
+            if value:
+                parser.error(f"{flag} cannot be combined with --standby "
+                             f"(control planes other than fault "
+                             f"injection are not mirrored to the "
+                             f"replica)")
     if shards:
         # The sharded runtime replicates the whole engine per worker;
         # flags that arm single-process control planes (fault clocks,
@@ -319,6 +377,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             from repro.shard import ShardedGigascope
             engine = ShardedGigascope(
                 shards, mode=args.mode,
+                channel_capacity=args.channel_capacity,
+                seed=args.seed, batch_size=args.batch_size,
+                columnar=False if args.no_columnar else None)
+        elif standby:
+            from repro.replication import (DEFAULT_CADENCE,
+                                           ReplicatedGigascope)
+            engine = ReplicatedGigascope(
+                cadence=(cadence if cadence is not None
+                         else DEFAULT_CADENCE),
+                promote_after=args.promote_after,
+                log_path=args.replicate_log,
+                mode=args.mode,
                 channel_capacity=args.channel_capacity,
                 seed=args.seed, batch_size=args.batch_size,
                 columnar=False if args.no_columnar else None)
@@ -522,6 +592,32 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"#  shard {shard}: packets={report['packets'][shard]} "
                   f"rows={report['rows'][shard]} "
                   f"restarts={report['restarts'][shard]} [{status}]",
+                  file=sys.stderr)
+    if standby:
+        report = engine.replication_report()
+        print("# replication report", file=sys.stderr)
+        print(f"#  cadence={report['cadence']} frames: "
+              f"full={report['frames_full']} "
+              f"delta={report['frames_delta']} "
+              f"bytes={report['bytes_total']} "
+              f"nodes={report['nodes_shipped']} "
+              f"skipped={report['skipped_unquiescent']}", file=sys.stderr)
+        print(f"#  standby: applied_seq={report['applied_seq']} "
+              f"frames_applied={report['frames_applied']} "
+              f"apply_errors={report['apply_errors']}", file=sys.stderr)
+        print(f"#  promoted={report['promoted']} "
+              f"promotions={report['promotions']} "
+              f"replayed_packets={report['replayed_packets']} "
+              f"suppressed_rows={report['suppressed_rows']}",
+              file=sys.stderr)
+        if report["promoted"]:
+            print(f"#  failure: {report['failure_reason']}; "
+                  f"rpo_packets={report['rpo_packets']} "
+                  f"rpo_virtual_s={report['rpo_virtual_s']:.3f} "
+                  f"rto_wall_s={report['promote_wall_s']:.6f}",
+                  file=sys.stderr)
+        if args.replicate_log:
+            print(f"#  replication log -> {args.replicate_log}",
                   file=sys.stderr)
     if args.stats:
         # The same canonical snapshot the metrics exposition exports

@@ -115,6 +115,10 @@ class OverloadController:
         self.cycles = 0
         self.pressured_cycles = 0
         self.last_sample: Optional[PressureSample] = None
+        #: node names currently held at keep-rate 1.0 because a raised
+        #: alert depends on them (AlertEngine.shed_exempt_nodes)
+        self.exempt_nodes: frozenset = frozenset()
+        self.exempt_cycles = 0
         rts.controller = self
 
     def watch_nic(self, nic: "Nic") -> None:
@@ -127,8 +131,20 @@ class OverloadController:
         if sample.drops_delta > 0 or sample.utilization > 1.0:
             self.pressured_cycles += 1
         rate = self.policy.update(sample)
-        if rate != self.shed_rate:
-            self._install(rate)
+        # A trigger raised on a feeder query pins that query's whole
+        # upstream (through merges/joins down to its LFTAs) at keep-rate
+        # 1.0 until the alert CLEARs: while the system is reporting an
+        # incident, the evidence for it is not thinned.  Exemption takes
+        # effect the cycle after the RAISE (triggers evaluate during the
+        # drain, after this hook ran).
+        alert_engine = getattr(self.rts, "alert_engine", None)
+        exempt = (frozenset(alert_engine.shed_exempt_nodes())
+                  if alert_engine is not None else frozenset())
+        if exempt:
+            self.exempt_cycles += 1
+        if rate != self.shed_rate or exempt != self.exempt_nodes:
+            self._install(rate, exempt)
+        self.exempt_nodes = exempt
         self.shed_rate = rate
         if rate < self.min_rate_seen:
             self.min_rate_seen = rate
@@ -140,11 +156,12 @@ class OverloadController:
             publish_sample(registry, sample, controller=self)
         return sample
 
-    def _install(self, rate: float) -> None:
-        for _name, node in self.rts.iter_nodes():
+    def _install(self, rate: float,
+                 exempt: frozenset = frozenset()) -> None:
+        for name, node in self.rts.iter_nodes():
             set_rate = getattr(node, "set_shed_rate", None)
             if set_rate is not None:
-                set_rate(rate)
+                set_rate(1.0 if name in exempt else rate)
 
     # -- telemetry ----------------------------------------------------------
     def report(self) -> Dict[str, Any]:
@@ -163,6 +180,8 @@ class OverloadController:
             "packets_seen": seen,
             "packets_shed": shed,
             "shed_fraction": (shed / seen) if seen else 0.0,
+            "exempt_nodes": sorted(self.exempt_nodes),
+            "exempt_cycles": self.exempt_cycles,
             "lftas": lftas,
             "channels": channels,
             "channel_dropped": sum(c["dropped"] for c in channels.values()),

@@ -115,6 +115,8 @@ class RuntimeSystem:
         self.controller = None
         #: the recovery supervisor, if enabled (see repro.recovery)
         self.supervisor = None
+        #: the replication shipper, if enabled (see repro.replication)
+        self.replicator = None
         #: the alert evaluation plane, if enabled (see repro.alerts)
         self.alert_engine = None
         #: the self-telemetry hub, if enabled (see repro.obs.telemetry)
@@ -621,6 +623,10 @@ class RuntimeSystem:
             processed = self._pump_batched(profiler)
             if supervisor is not None:
                 supervisor.on_pump_end(self._stream_time)
+            if self.replicator is not None:
+                # The same quiescent boundary the supervisor checkpoints
+                # at is where replication frames are cut.
+                self.replicator.on_pump_end(self._stream_time)
             return processed
         processed = 0
         while True:
@@ -681,6 +687,8 @@ class RuntimeSystem:
             # channel is quiescent here, so operator state alone
             # describes the computation.
             supervisor.on_pump_end(self._stream_time)
+        if self.replicator is not None:
+            self.replicator.on_pump_end(self._stream_time)
         return processed
 
     def _pump_batched(self, profiler=None) -> int:

@@ -33,6 +33,7 @@ Command line (via the :mod:`repro.replay` shim)::
     python -m repro.replay verify-alerts
     python -m repro.replay verify-telemetry
     python -m repro.replay verify-shard --shards 4
+    python -m repro.replay verify-failover
 
 ``verify-recovery`` is the recovery plane's acceptance gate: a run
 that crashes an operator mid-stream and recovers it (checkpoint
@@ -48,7 +49,13 @@ meta-query node.  ``verify-shard`` is the sharded runtime's: the
 hash-partitioned multi-process run (``repro.shard``) must match the
 single-process run byte-for-byte, per hash seed, including an arm
 where one worker is killed mid-stream and respawned from its shard
-snapshot.
+snapshot.  ``verify-failover`` is the replication plane's (DESIGN
+section 16): a primary killed at a snapshot epoch, after a delta
+frame, mid-frame (torn write), or mid-delta-interval must -- after the
+warm standby is promoted, replays its journal tail, and resumes the
+feed from the recorded cursor -- produce output byte-identical to the
+uninterrupted run, per hash seed, plus a shard-standby arm where the
+crashed worker respawns from the parent's delta fold.
 """
 
 from __future__ import annotations
@@ -641,6 +648,111 @@ def _shard_e2_scenario(seed: int) -> Dict[str, Any]:
 SHARD_SCENARIOS = ("shard_flows", "shard_e2")
 
 
+# -- failover scenarios ------------------------------------------------------
+#
+# The replication plane's contract (DESIGN section 16): a warm standby
+# promoted after the primary dies -- at any of the crash points the
+# GS_FAILOVER_CRASH grammar can name -- must produce output
+# byte-identical to the uninterrupted run.  GS_FAILOVER=1 builds the
+# primary+standby pair (ReplicatedGigascope); 0 (or unset) runs the
+# plain single engine the crashed arm is diffed against.  Snapshots
+# carry rows plus a ``failover`` metadata block (promotion flags, RPO
+# counters, the frame ledger) that the verifier strips before diffing
+# and then asserts on separately: the crash arms must actually have
+# promoted, the clean arm must not.
+
+_FAILOVER_ENV = "GS_FAILOVER"
+_FAILOVER_CRASH_ENV = "GS_FAILOVER_CRASH"
+_FAILOVER_CADENCE_ENV = "GS_FAILOVER_CADENCE"
+
+#: the crash points ``verify-failover`` gates on: mid-delta-interval
+#: (hard death between frames), at the snapshot epoch, after a delta
+#: frame, and a torn write truncating a delta frame mid-stream (the
+#: standby must refuse the torn frame and promote from the one before)
+FAILOVER_CRASHES = ("packet:700", "frame:0", "frame:2", "frame:2:torn")
+
+#: the most recent verify_failover reports, kept for post-mortem
+#: artifact dumps (CI writes the arm snapshots on a verify failure)
+_LAST_FAILOVER: List["ReplayReport"] = []
+
+
+def _failover_engine(seed: int, **kwargs):
+    if os.environ.get(_FAILOVER_ENV) == "1":
+        from repro.replication import ReplicatedGigascope
+        cadence = float(os.environ.get(_FAILOVER_CADENCE_ENV, "0.5"))
+        crash = os.environ.get(_FAILOVER_CRASH_ENV) or None
+        return ReplicatedGigascope(cadence=cadence, crash=crash,
+                                   seed=seed, metrics=False, **kwargs)
+    from repro.core.engine import Gigascope
+    return Gigascope(seed=seed, metrics=False, **kwargs)
+
+
+@scenario("failover_agg")
+def _failover_agg_scenario(seed: int) -> Dict[str, Any]:
+    """Flow aggregation plus a per-packet selection, primary vs promoted
+    standby.  The aggregation carries open-group state across every
+    crash point; the selection keeps per-packet pressure on the
+    exactly-once skip gate (hundreds of delivered rows to suppress on
+    replay)."""
+    from repro.workloads.flows import ZipfFlowWorkload
+
+    gs = _failover_engine(seed, heartbeat_interval=0.5, lfta_table_size=64)
+    gs.add_query("""
+        DEFINE query_name flows;
+        Select tb, srcIP, srcPort, count(*), sum(len)
+        From tcp
+        Group by time/5 as tb, srcIP, srcPort
+    """)
+    gs.add_query("""
+        DEFINE query_name web;
+        Select time, srcIP, destPort From tcp Where destPort = 80
+    """)
+    subs = {name: gs.subscribe(name) for name in ("flows", "web")}
+    gs.start()
+    workload = ZipfFlowWorkload(num_flows=400, alpha=1.1,
+                                seed=derive_seed(seed, "workload.zipf"))
+    gs.feed(list(workload.packets(4000, pps=2000.0)), pump_every=128)
+    gs.flush()
+    snapshot: Dict[str, Any] = {
+        "rows": {name: [repr(row) for row in sub.poll()]
+                 for name, sub in sorted(subs.items())},
+    }
+    if hasattr(gs, "replication_report"):
+        snapshot["failover"] = gs.replication_report()
+    return snapshot
+
+
+@scenario("failover_shard")
+def _failover_shard_scenario(seed: int) -> Dict[str, Any]:
+    """The shard_flows workload with shard 1 wired as a standby: its
+    worker ships delta frames, and a GS_SHARD_CRASH kill respawns it
+    from the parent's warm fold instead of a full snapshot."""
+    from repro.workloads.flows import ZipfFlowWorkload
+
+    shards = int(os.environ.get("GS_SHARDS", "0") or "0")
+    if shards:
+        from repro.shard import ShardedGigascope
+        gs = ShardedGigascope(shards, seed=seed, metrics=False,
+                              barrier_interval=0.25, standby=1,
+                              heartbeat_interval=0.5)
+    else:
+        from repro.core.engine import Gigascope
+        gs = Gigascope(seed=seed, metrics=False, heartbeat_interval=0.5)
+    gs.add_query("""
+        DEFINE query_name flows;
+        Select tb, srcIP, srcPort, count(*), sum(len)
+        From tcp
+        Group by time/5 as tb, srcIP, srcPort
+    """)
+    sub = gs.subscribe("flows")
+    gs.start()
+    workload = ZipfFlowWorkload(num_flows=400, alpha=1.1,
+                                seed=derive_seed(seed, "workload.zipf"))
+    gs.feed(list(workload.packets(4000, pps=2000.0)), pump_every=128)
+    gs.flush()
+    return {"rows": {"flows": [repr(row) for row in sub.poll()]}}
+
+
 def resolve_scenario(name: str) -> Callable[[int], Dict[str, Any]]:
     """A registered scenario, or a ``module:callable`` dotted path."""
     if name in SCENARIOS:
@@ -936,6 +1048,92 @@ def verify_shard(scenario_name: str, seed: int = 0, shards: int = 4,
     return reports
 
 
+def _strip_failover(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """The diffable part of a failover snapshot: everything but the
+    ``failover`` metadata block (promotion flags, RPO/RTO counters,
+    wall-clock latencies -- asserted on separately, never diffed)."""
+    return {key: value for key, value in snapshot.items()
+            if key != "failover"}
+
+
+def verify_failover(seed: int = 0,
+                    hash_seeds: Tuple[str, ...] = ("1", "2"),
+                    cadence: float = 0.5,
+                    crashes: Tuple[str, ...] = FAILOVER_CRASHES,
+                    shards: int = 4,
+                    shard_crash: str = "1:600") -> List[ReplayReport]:
+    """The replication plane's acceptance gate.
+
+    Per ``PYTHONHASHSEED``: (a) the replicated pair running clean must
+    match the plain single engine byte-for-byte (replication is
+    invisible in steady state, and must not have promoted); (b) for
+    each crash point -- mid-delta-interval, at the snapshot epoch,
+    after a delta frame, and a torn mid-frame write -- the promoted
+    standby's output must match the uninterrupted run byte-for-byte,
+    and the metadata must show the promotion actually happened; (c) a
+    sharded run whose standby shard is killed mid-stream and respawned
+    from the parent's delta fold must match the single-process run.
+    """
+    reports: List[ReplayReport] = []
+    _LAST_FAILOVER.clear()
+    for hash_seed in hash_seeds:
+        plain = _subprocess_snapshot("failover_agg", seed, hash_seed,
+                                     {_FAILOVER_ENV: "0"})
+        base_env = {_FAILOVER_ENV: "1",
+                    _FAILOVER_CADENCE_ENV: str(cadence),
+                    _FAILOVER_CRASH_ENV: ""}
+        clean = _subprocess_snapshot("failover_agg", seed, hash_seed,
+                                     base_env)
+        diffs: List[str] = []
+        _diff_paths(plain, _strip_failover(clean), "$", diffs)
+        if clean.get("failover", {}).get("promoted"):
+            diffs.append("$.failover.promoted: clean replicated arm "
+                         "promoted its standby")
+        reports.append(ReplayReport(
+            scenario="failover_agg", seed=seed,
+            hash_seeds=(f"plain (PYTHONHASHSEED={hash_seed})",
+                        f"replicated cadence={cadence} "
+                        f"(PYTHONHASHSEED={hash_seed})"),
+            ok=not diffs, diffs=diffs, snapshots=(plain, clean),
+            axis="steady-state replication",
+        ))
+        for crash in crashes:
+            env = dict(base_env)
+            env[_FAILOVER_CRASH_ENV] = crash
+            crashed = _subprocess_snapshot("failover_agg", seed,
+                                           hash_seed, env)
+            diffs = []
+            _diff_paths(plain, _strip_failover(crashed), "$", diffs)
+            if not crashed.get("failover", {}).get("promoted"):
+                diffs.append("$.failover.promoted: crash arm never "
+                             "promoted the standby")
+            reports.append(ReplayReport(
+                scenario="failover_agg", seed=seed,
+                hash_seeds=(f"plain (PYTHONHASHSEED={hash_seed})",
+                            f"promoted standby crash@{crash} "
+                            f"(PYTHONHASHSEED={hash_seed})"),
+                ok=not diffs, diffs=diffs, snapshots=(plain, crashed),
+                axis="warm-standby failover",
+            ))
+        single = _subprocess_snapshot("failover_shard", seed, hash_seed,
+                                      {"GS_SHARDS": "0"})
+        sharded = _subprocess_snapshot(
+            "failover_shard", seed, hash_seed,
+            {"GS_SHARDS": str(shards), "GS_SHARD_CRASH": shard_crash})
+        diffs = []
+        _diff_paths(single, sharded, "$", diffs)
+        reports.append(ReplayReport(
+            scenario="failover_shard", seed=seed,
+            hash_seeds=(f"GS_SHARDS=0 (PYTHONHASHSEED={hash_seed})",
+                        f"GS_SHARDS={shards} standby crash@{shard_crash} "
+                        f"(PYTHONHASHSEED={hash_seed})"),
+            ok=not diffs, diffs=diffs, snapshots=(single, sharded),
+            axis="shard standby failover",
+        ))
+    _LAST_FAILOVER.extend(reports)
+    return reports
+
+
 def verify_replay(scenario_name: str, seed: int = 0,
                   hash_seeds: Tuple[str, str] = ("1", "2")) -> ReplayReport:
     """Run ``scenario_name`` twice under different ``PYTHONHASHSEED``
@@ -1005,6 +1203,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                            metavar="SHARD:PACKET_INDEX",
                            help="worker to kill mid-run in the crash arm "
                                 "('none' disables; default 1:600)")
+    failover_cmd = commands.add_parser(
+        "verify-failover",
+        help="verify warm-standby failover: the promoted standby's "
+             "output must be byte-identical to the uninterrupted run, "
+             "per hash seed, across snapshot/delta/torn-frame/"
+             "mid-interval crash points, plus a shard-standby arm "
+             "respawned from the parent's delta fold")
+    failover_cmd.add_argument("--seed", type=int, default=0)
+    failover_cmd.add_argument("--hash-seeds", nargs=2, default=("1", "2"),
+                              metavar=("A", "B"))
+    failover_cmd.add_argument("--cadence", type=float, default=0.5,
+                              help="replication cadence in virtual "
+                                   "seconds (default 0.5)")
+    failover_cmd.add_argument("--crashes", nargs="+",
+                              default=list(FAILOVER_CRASHES),
+                              metavar="SPEC",
+                              help="crash specs (packet:K | frame:N | "
+                                   "frame:N:torn) for the failover arms "
+                                   f"(default: {' '.join(FAILOVER_CRASHES)})")
+    failover_cmd.add_argument("--shards", type=int, default=4)
+    failover_cmd.add_argument("--shard-crash", default="1:600",
+                              metavar="SHARD:PACKET_INDEX",
+                              help="standby worker to kill in the "
+                                   "shard arm (default 1:600)")
     for sub in (run_cmd, verify_cmd, batch_cmd, recovery_cmd):
         sub.add_argument("--scenario", default="mixed",
                          help=f"one of {sorted(SCENARIOS)} or module:callable")
@@ -1053,6 +1275,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 name, args.seed, shards=args.shards,
                 hash_seeds=tuple(args.hash_seeds),
                 crash=(None if args.crash == "none" else args.crash)))
+        for report in reports:
+            print(report.describe())
+        return 0 if all(report.ok for report in reports) else 1
+    if args.command == "verify-failover":
+        reports = verify_failover(
+            args.seed, hash_seeds=tuple(args.hash_seeds),
+            cadence=args.cadence, crashes=tuple(args.crashes),
+            shards=args.shards, shard_crash=args.shard_crash)
         for report in reports:
             print(report.describe())
         return 0 if all(report.ok for report in reports) else 1

@@ -323,6 +323,75 @@ def install_telemetry_metrics(registry: MetricsRegistry, hub) -> None:
     registry.add_collector(collect)
 
 
+def install_replication_metrics(registry: MetricsRegistry, pair) -> None:
+    """Export the replication plane's ledger through ``registry``.
+
+    ``pair`` is a :class:`repro.replication.ReplicatedGigascope`.  All
+    families carry the distinctive ``gs_repl`` prefix: the failover
+    differential harness (``replay verify-failover``) compares rows
+    only, but any snapshot-diffing caller can strip ``gs_repl*`` the
+    way ``gs_recovery*`` is stripped.
+    """
+    frames = registry.counter(
+        "gs_repl_frames_total",
+        "replication frames cut at quiescent pump boundaries",
+        labels=("kind",))
+    frame_bytes = registry.counter(
+        "gs_repl_bytes_total", "encoded replication frame bytes shipped")
+    nodes_shipped = registry.counter(
+        "gs_repl_nodes_shipped_total",
+        "per-node state blobs carried by frames (delta frames carry "
+        "only the nodes whose state changed)")
+    skipped = registry.counter(
+        "gs_repl_skipped_unquiescent_total",
+        "frame cuts deferred because a channel held in-flight items")
+    last_seq = registry.gauge(
+        "gs_repl_last_frame_seq", "sequence number of the latest frame "
+        "applied by the standby (-1 before the full epoch)")
+    last_time = registry.gauge(
+        "gs_repl_last_frame_time_seconds",
+        "virtual time of the latest applied frame")
+    lag = registry.gauge(
+        "gs_repl_standby_lag_seconds",
+        "primary stream time minus the latest applied frame's time "
+        "(the recovery-point exposure right now)")
+    apply_errors = registry.counter(
+        "gs_repl_apply_errors_total",
+        "frames the standby refused (corrupt, stale-version, or "
+        "out-of-order; never applied partially)")
+    promotions = registry.counter(
+        "gs_repl_promotions_total",
+        "standby promotions after a detected primary failure")
+    replayed = registry.counter(
+        "gs_repl_replayed_packets_total",
+        "journal-tail packets re-fed through the promoted standby")
+    suppressed = registry.counter(
+        "gs_repl_suppressed_rows_total",
+        "already-delivered rows dropped by the promotion skip gates "
+        "(exactly-once output)")
+
+    def collect() -> None:
+        shipper, replica = pair.shipper, pair.replica
+        frames.clear()
+        frames.labels(kind="full").set(shipper.frames_full)
+        frames.labels(kind="delta").set(shipper.frames_delta)
+        frame_bytes.set(shipper.bytes_total)
+        nodes_shipped.set(shipper.nodes_shipped)
+        skipped.set(shipper.skipped_unquiescent)
+        last_seq.set(replica.applied_seq)
+        if not math.isinf(replica.applied_time):
+            last_time.set(replica.applied_time)
+            primary_time = pair.primary.rts.stream_time
+            if not math.isinf(primary_time):
+                lag.set(primary_time - replica.applied_time)
+        apply_errors.set(len(pair.apply_errors))
+        promotions.set(pair.promotions)
+        replayed.set(pair.replayed_packets)
+        suppressed.set(pair.suppressed_rows)
+
+    registry.add_collector(collect)
+
+
 def install_shard_metrics(registry: MetricsRegistry, runtime) -> None:
     """Export the sharded runtime's parent-side ledger through ``registry``.
 

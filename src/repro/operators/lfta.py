@@ -62,6 +62,10 @@ class LftaNode(QueryNode):
         self.shed_rate = 1.0
         self.shed_packets = 0
         self._shed_rng = rng_for(seed, "lfta.shed", plan.name)
+        # The freshly seeded Twister state, kept so snapshots can elide
+        # the ~2.5KB RNG tuple while no shedding draw has happened yet
+        # (replication re-ships this node's state every delta frame).
+        self._shed_rng_initial = self._shed_rng.getstate()
         self._predicate = compiler.predicate_fn(plan.predicates, (None, None))
         needed = self._needed_attr_indices(analyzed)
         self._interpret = self.protocol.sparse_interpreter(needed)
@@ -403,7 +407,9 @@ class LftaNode(QueryNode):
         state["sampled_out"] = self.sampled_out
         state["shed_rate"] = self.shed_rate
         state["shed_packets"] = self.shed_packets
-        state["shed_rng"] = self._shed_rng.getstate()
+        shed_rng = self._shed_rng.getstate()
+        state["shed_rng"] = (None if shed_rng == self._shed_rng_initial
+                             else shed_rng)
         state["sample_rng"] = (self._sample_rng.getstate()
                                if self._sample_rng is not None else None)
         if self.mode == "partial_aggregation":
@@ -417,7 +423,9 @@ class LftaNode(QueryNode):
         self.sampled_out = state["sampled_out"]
         self.shed_rate = state["shed_rate"]
         self.shed_packets = state["shed_packets"]
-        self._shed_rng.setstate(state["shed_rng"])
+        self._shed_rng.setstate(self._shed_rng_initial
+                                if state["shed_rng"] is None
+                                else state["shed_rng"])
         if self._sample_rng is not None and state["sample_rng"] is not None:
             self._sample_rng.setstate(state["sample_rng"])
         if self.mode == "partial_aggregation":

@@ -135,12 +135,17 @@ class DirectMappedTable:
     def snapshot_state(self) -> dict:
         """Table contents and accounting as snapshot primitives.
 
-        The caller encodes the result immediately (slot entries alias
-        live group-state lists until then).
+        Slots are stored sparsely (``{index: entry}``): the table is
+        direct-mapped and mostly empty, and replication re-encodes it
+        every delta frame, so empty slots must cost nothing on the
+        wire.  The caller encodes the result immediately (slot entries
+        alias live group-state lists until then).
         """
         return {
             "size": self.size,
-            "slots": list(self._slots),
+            "slots": {index: entry
+                      for index, entry in enumerate(self._slots)
+                      if entry is not None},
             "occupied": self.occupied,
             "collisions": self.collisions,
             "lookups": self.lookups,
@@ -151,7 +156,9 @@ class DirectMappedTable:
             raise ValueError(
                 f"snapshot is for a table of size {state['size']}, "
                 f"this table has size {self.size}")
-        self._slots = list(state["slots"])
+        self._slots = [None] * self.size
+        for index, entry in state["slots"].items():
+            self._slots[index] = entry
         self.occupied = state["occupied"]
         self.collisions = state["collisions"]
         self.lookups = state["lookups"]

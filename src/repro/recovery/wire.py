@@ -35,7 +35,8 @@ from repro.determinism import stable_hash
 
 MAGIC = b"GSCK"
 #: bump when the payload encoding or any operator's state layout changes
-SNAPSHOT_VERSION = 1
+#: (v2: sparse LFTA table slots, elided untouched shed-RNG state)
+SNAPSHOT_VERSION = 2
 
 _U16 = struct.Struct(">H")
 _U32 = struct.Struct(">I")

@@ -1,0 +1,62 @@
+"""Continuous replication and warm-standby failover (DESIGN section 16).
+
+PR 5's checkpoints are local and stop-the-world at pump boundaries: a
+process loss still forfeits everything since the last snapshot.  This
+package extends the GSCK wire format (:mod:`repro.recovery.wire`) into
+an incremental, checksummed, seq-numbered **replication log** -- a full
+snapshot epoch followed by per-cadence delta frames cut at the same
+quiescent pump boundaries the recovery supervisor uses -- streamed
+continuously from a primary engine to a warm standby that applies each
+frame into live operator state through the existing ``snapshot_state``
+/ ``restore_state`` contract.
+
+* :mod:`repro.replication.log` -- the frame codec and its typed error
+  family (corrupt / stale-version / out-of-order frames are refused by
+  name, never applied partially).
+* :mod:`repro.replication.shipper` -- the primary-side
+  :class:`ReplicationShipper`, hooked on the RTS as ``rts.replicator``
+  and invoked at every pump boundary.
+* :mod:`repro.replication.replica` -- the :class:`StandbyReplica`
+  applier over a live, started engine.
+* :mod:`repro.replication.failover` -- :class:`ReplicatedGigascope`,
+  the primary+standby pair with heartbeat-silence detection,
+  promote-on-failure, journal-tail replay, and exactly-once delivery
+  gating; byte-identical to an uninterrupted run (``replay
+  verify-failover``).
+"""
+
+from repro.replication.log import (
+    REPLICATION_VERSION,
+    FrameCorruptError,
+    FrameError,
+    FrameSequenceError,
+    FrameVersionError,
+    ReplicationError,
+    decode_frame,
+    encode_frame,
+)
+from repro.replication.failover import (
+    DEFAULT_CADENCE,
+    ReplicatedGigascope,
+    parse_crash_spec,
+    resolve_replicate_cadence,
+)
+from repro.replication.replica import StandbyReplica
+from repro.replication.shipper import ReplicationShipper
+
+__all__ = [
+    "DEFAULT_CADENCE",
+    "REPLICATION_VERSION",
+    "ReplicationError",
+    "FrameError",
+    "FrameCorruptError",
+    "FrameSequenceError",
+    "FrameVersionError",
+    "encode_frame",
+    "decode_frame",
+    "ReplicationShipper",
+    "StandbyReplica",
+    "ReplicatedGigascope",
+    "parse_crash_spec",
+    "resolve_replicate_cadence",
+]

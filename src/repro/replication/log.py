@@ -1,0 +1,131 @@
+"""The replication log frame codec (DESIGN section 16).
+
+A replication log is a sequence of **frames**.  Each frame is one GSCK
+blob (:mod:`repro.recovery.wire`: magic, version, checksummed payload)
+whose payload is a dict:
+
+``{"v", "kind", "seq", "time", "cursor", "counters", "nodes"}``
+
+* ``v`` -- the replication-log layout version (checked on top of the
+  GSCK wire version, which covers the value encoding itself).
+* ``kind`` -- ``"full"`` for the epoch-opening snapshot of every node,
+  ``"delta"`` for the per-cadence frames that carry only the nodes
+  whose encoded state changed since the previous frame.
+* ``seq`` -- dense frame sequence number starting at 0; the applier
+  refuses gaps, duplicates, and reordering.
+* ``time`` -- the virtual (stream) time of the quiescent pump boundary
+  the frame was cut at.
+* ``cursor`` -- how many packets the primary had been handed when the
+  frame was cut: the journal-tail replay point after a promotion.
+* ``counters`` -- the RTS-level counters
+  (:meth:`repro.core.stream_manager.RuntimeSystem.counters_state`).
+* ``nodes`` -- ``{node_name: gsck_blob}``: each node's
+  ``snapshot_state()`` independently GSCK-encoded, so every node state
+  carries its own checksum and a corrupt node names itself.
+
+Failure is typed and total: a frame that cannot be fully decoded and
+validated raises one of the :class:`FrameError` subclasses below --
+naming the offending frame -- and **must never be applied partially**
+(the applier decodes everything before it touches any operator).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.recovery.wire import (
+    SnapshotCorruptError,
+    SnapshotError,
+    SnapshotVersionError,
+    decode_snapshot,
+    encode_snapshot,
+)
+
+#: Version of the frame layout described above.  Bump it whenever the
+#: payload structure changes; a standby refuses frames from any other
+#: version instead of misreading them.
+REPLICATION_VERSION = 1
+
+FRAME_KINDS = ("full", "delta")
+
+_REQUIRED_KEYS = ("v", "kind", "seq", "time", "cursor", "counters", "nodes")
+
+
+class ReplicationError(Exception):
+    """Base class for every replication-plane failure."""
+
+
+class FrameError(ReplicationError):
+    """A replication-log frame was refused; names the frame."""
+
+    def __init__(self, frame: Any, message: str) -> None:
+        self.frame = frame
+        super().__init__(f"replication frame {frame}: {message}")
+
+
+class FrameCorruptError(FrameError):
+    """The frame's bytes (or one node blob inside it) fail validation."""
+
+
+class FrameVersionError(FrameError):
+    """The frame was cut under a different (stale or future) version."""
+
+
+class FrameSequenceError(FrameError):
+    """The frame arrived out of order: a gap, duplicate, or rewind."""
+
+
+def encode_frame(kind: str, seq: int, time: float, cursor: int,
+                 counters: Dict[str, Any],
+                 nodes: Dict[str, bytes]) -> bytes:
+    """Encode one replication frame as a checksummed GSCK blob."""
+    if kind not in FRAME_KINDS:
+        raise ReplicationError(f"unknown frame kind {kind!r}")
+    return encode_snapshot({
+        "v": REPLICATION_VERSION,
+        "kind": kind,
+        "seq": seq,
+        "time": time,
+        "cursor": cursor,
+        "counters": counters,
+        "nodes": nodes,
+    })
+
+
+def decode_frame(blob: bytes, expect: Any = "?") -> Dict[str, Any]:
+    """Decode and structurally validate one frame; typed errors only.
+
+    ``expect`` labels the error when the frame is too damaged to name
+    itself (a truncated header has no readable ``seq``); the applier
+    passes the sequence number it was expecting.
+    """
+    try:
+        frame = decode_snapshot(blob)
+    except SnapshotVersionError as error:
+        raise FrameVersionError(expect, str(error)) from error
+    except SnapshotCorruptError as error:
+        raise FrameCorruptError(expect, str(error)) from error
+    except SnapshotError as error:
+        raise FrameCorruptError(expect, str(error)) from error
+    if not isinstance(frame, dict):
+        raise FrameCorruptError(expect, "payload is not a frame dict")
+    missing = [key for key in _REQUIRED_KEYS if key not in frame]
+    if missing:
+        raise FrameCorruptError(frame.get("seq", expect),
+                                f"missing field(s) {missing}")
+    label = frame["seq"]
+    if frame["v"] != REPLICATION_VERSION:
+        raise FrameVersionError(
+            label, f"layout version {frame['v']} != "
+                   f"supported {REPLICATION_VERSION}")
+    if frame["kind"] not in FRAME_KINDS:
+        raise FrameCorruptError(label, f"unknown kind {frame['kind']!r}")
+    if not isinstance(frame["seq"], int) or frame["seq"] < 0:
+        raise FrameCorruptError(expect, f"bad seq {frame['seq']!r}")
+    if not isinstance(frame["nodes"], dict):
+        raise FrameCorruptError(label, "nodes field is not a dict")
+    for name, node_blob in frame["nodes"].items():
+        if not isinstance(node_blob, bytes):
+            raise FrameCorruptError(
+                label, f"node {name!r} state is not an encoded blob")
+    return frame

@@ -40,7 +40,15 @@ from repro.core.stream_manager import RegistryError, Subscription
 from repro.obs.collectors import node_snapshot
 from repro.operators.aggregation import AggregationNode
 from repro.shard.partition import assign_shards
-from repro.shard.transport import END, ROWS, SNAP, decode_frame, unpack_rows
+from repro.recovery.wire import decode_snapshot, encode_snapshot
+from repro.shard.transport import (
+    DELTA,
+    END,
+    ROWS,
+    SNAP,
+    decode_frame,
+    unpack_rows,
+)
 from repro.shard.worker import CRASH_ENV, run_worker
 
 
@@ -70,7 +78,7 @@ class _ShardState:
     """One worker process's lifecycle bookkeeping."""
 
     __slots__ = ("index", "process", "conn", "last_seq", "snapshot",
-                 "snap_packets", "restarts", "ended", "eof")
+                 "snap_packets", "restarts", "ended", "eof", "folded")
 
     def __init__(self, index: int, process, conn) -> None:
         self.index = index
@@ -82,6 +90,9 @@ class _ShardState:
         self.restarts = 0
         self.ended = False
         self.eof = False
+        #: a standby shard's warm replica: the decoded snapshot payload
+        #: kept current by folding each delta frame into it
+        self.folded: Optional[Dict[str, Any]] = None
 
 
 def _worker_entry(recv, conn, spec, shard, packets, resume, crash_at):
@@ -107,11 +118,19 @@ class ShardedGigascope:
         columnar: Optional[bool] = None,
         barrier_interval: float = 1.0,
         max_restarts: int = 1,
+        standby: Optional[int] = None,
     ) -> None:
         if shards <= 0:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if standby is not None and not 0 <= standby < shards:
+            raise ValueError(f"standby names shard {standby}, but there "
+                             f"are only {shards}")
         self.shards = shards
         self.seed = seed
+        #: shard index replicated incrementally (DESIGN section 16):
+        #: its worker ships delta frames after the first full snap, the
+        #: parent keeps a warm fold, and a crash respawns from the fold
+        self.standby = standby
         #: virtual-time spacing of the global barrier grid every shard
         #: cuts rows/snapshot frames at
         self.barrier_interval = barrier_interval
@@ -141,6 +160,7 @@ class ShardedGigascope:
         self.shard_rows = [0] * shards
         self.shard_restarts = [0] * shards
         self.shard_snapshots = [0] * shards
+        self.shard_delta_frames = [0] * shards
         self.shard_channel_dropped = [0] * shards
         self.shard_dropped_packets = [0] * shards
         #: shard index -> reason, for shards past their restart budget
@@ -262,6 +282,7 @@ class ShardedGigascope:
             "nshards": self.shards,
             "barrier_interval": self.barrier_interval,
             "pump_every": pump_every,
+            "standby": self.standby,
         }
         crash = self._parse_crash() if self._crash_armed else None
         self._crash_armed = False
@@ -375,6 +396,27 @@ class ShardedGigascope:
             state.snapshot = payload["blob"]
             state.snap_packets = payload["packets_done"]
             self.shard_snapshots[state.index] += 1
+            if state.index == self.standby:
+                # The full epoch (re)primes the warm fold; any earlier
+                # fold is superseded by this complete state.
+                state.folded = decode_snapshot(payload["blob"])
+        elif kind == DELTA:
+            # Incremental standby checkpoint: fold the changed nodes
+            # into the warm replica of this shard's state.  The fold
+            # stays byte-equivalent to a full snap by construction --
+            # unchanged nodes keep their last-shipped state.
+            folded = state.folded
+            if folded is None:
+                raise RegistryError(
+                    f"shard {state.index} shipped a delta frame before "
+                    f"any full snap")
+            folded["seq"] = seq
+            folded["packets_done"] = payload["packets_done"]
+            folded["next_barrier"] = payload["next_barrier"]
+            folded["counters"] = payload["counters"]
+            folded["nodes"].update(payload["nodes"])
+            state.snap_packets = payload["packets_done"]
+            self.shard_delta_frames[state.index] += 1
         elif kind == END:
             state.ended = True
             self.shard_packets[state.index] += payload["packets"]
@@ -408,12 +450,19 @@ class ShardedGigascope:
         reason = f"worker exited with code {exitcode} before its end frame"
         if state.restarts < self.max_restarts:
             self.shard_restarts[state.index] += 1
+            # A standby shard respawns from the parent's warm fold --
+            # the full epoch plus every applied delta -- re-encoded in
+            # the same GSCK layout a full snap uses, so the worker's
+            # resume path cannot tell the difference.
+            resume = (encode_snapshot(state.folded)
+                      if state.folded is not None else state.snapshot)
             replacement = self._spawn(ctx, state.index, spec, packets,
-                                      state.snapshot, None)
+                                      resume, None)
             replacement.restarts = state.restarts + 1
             replacement.last_seq = state.last_seq
             replacement.snapshot = state.snapshot
             replacement.snap_packets = state.snap_packets
+            replacement.folded = state.folded
             return replacement
         # Quarantine: siblings keep running; the undone packets are
         # counted, not silently lost (accountable loss, Section 1).
@@ -481,6 +530,8 @@ class ShardedGigascope:
                 "rows": list(self.shard_rows),
                 "restarts": list(self.shard_restarts),
                 "snapshots": list(self.shard_snapshots),
+                "delta_frames": list(self.shard_delta_frames),
+                "standby": self.standby,
                 "channel_dropped": list(self.shard_channel_dropped),
                 "dropped_packets": list(self.shard_dropped_packets),
                 "quarantined": {str(shard): reason for shard, reason

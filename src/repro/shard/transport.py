@@ -11,6 +11,11 @@ stale frame fails loudly instead of decoding into garbage):
 * ``snap`` -- a shard checkpoint: the worker engine's full GSCK
   snapshot blob plus the packet cursor, cut at a barrier.  The parent
   keeps only the latest; a respawned worker restores from it.
+* ``delta`` -- a standby shard's incremental checkpoint (DESIGN
+  section 16): only the nodes whose encoded state changed since the
+  previous frame, plus the cursor and RTS counters.  The parent folds
+  each delta into a warm replica of the shard's state and respawns a
+  crashed standby shard from the fold instead of a full ``snap``.
 * ``end`` -- the worker's final statistics payload (per-node counters,
   per-channel overflow ledgers, packet totals).
 
@@ -31,6 +36,7 @@ from repro.recovery.wire import decode_snapshot, encode_snapshot
 #: frame kinds
 ROWS = "rows"
 SNAP = "snap"
+DELTA = "delta"
 END = "end"
 
 

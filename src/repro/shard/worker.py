@@ -35,7 +35,14 @@ from repro.core.engine import Gigascope
 from repro.obs.collectors import channel_snapshot, engine_snapshot
 from repro.recovery.wire import decode_snapshot, encode_snapshot
 from repro.shard.partition import partition_filter
-from repro.shard.transport import END, ROWS, SNAP, encode_frame, pack_rows
+from repro.shard.transport import (
+    DELTA,
+    END,
+    ROWS,
+    SNAP,
+    encode_frame,
+    pack_rows,
+)
 
 #: env var arming a mid-run worker crash: ``"SHARD:PACKET_INDEX"``
 #: (the worker dies with os._exit just before feeding that packet of
@@ -75,16 +82,41 @@ def _snapshot_worker(gs, seq: int, packets_done: int,
 
 
 def _cut_barrier(conn, gs, subs, seq: int, packets_done: int,
-                 next_barrier: float) -> int:
-    """Drain + ship rows, then cut and ship the shard snapshot."""
+                 next_barrier: float,
+                 shipped: Optional[Dict[str, bytes]] = None) -> int:
+    """Drain + ship rows, then cut and ship the shard checkpoint.
+
+    ``shipped`` (standby shards only) caches each node's last encoded
+    state: once primed by a full ``snap``, later barriers ship a
+    ``delta`` frame carrying only the nodes whose bytes changed, and
+    the parent folds it into its warm replica of this shard.
+    """
     rows = {name: sub.poll() for name, sub in subs.items()}
     seq += 1
     conn.send_bytes(encode_frame(ROWS, seq, pack_rows(rows)))
     seq += 1
-    conn.send_bytes(encode_frame(SNAP, seq, {
-        "blob": _snapshot_worker(gs, seq, packets_done, next_barrier),
-        "packets_done": packets_done,
-    }))
+    if shipped is None or not shipped:
+        conn.send_bytes(encode_frame(SNAP, seq, {
+            "blob": _snapshot_worker(gs, seq, packets_done, next_barrier),
+            "packets_done": packets_done,
+        }))
+        if shipped is not None:
+            for name, node in gs.rts.iter_nodes():
+                shipped[name] = encode_snapshot(node.snapshot_state())
+    else:
+        changed: Dict[str, Any] = {}
+        for name, node in gs.rts.iter_nodes():
+            state = node.snapshot_state()
+            blob = encode_snapshot(state)
+            if shipped.get(name) != blob:
+                changed[name] = state
+                shipped[name] = blob
+        conn.send_bytes(encode_frame(DELTA, seq, {
+            "packets_done": packets_done,
+            "next_barrier": next_barrier,
+            "counters": gs.rts.counters_state(),
+            "nodes": changed,
+        }))
     return seq
 
 
@@ -110,6 +142,11 @@ def run_worker(conn, spec: Dict[str, Any], shard: int,
         next_barrier = state["next_barrier"]
     interval = spec["barrier_interval"]
     pump_every = spec["pump_every"]
+    # A standby shard ships incremental delta frames after its first
+    # full snap; a respawned one starts cold and re-ships a full snap
+    # (the parent's seq dedup drops it if it was already consumed).
+    shipped: Optional[Dict[str, bytes]] = (
+        {} if spec.get("standby") == shard else None)
     buffer: List = []
     for index in range(offset, len(kept)):
         packet = kept[index]
@@ -134,7 +171,8 @@ def run_worker(conn, spec: Dict[str, Any], shard: int,
             # restored worker re-examines this very packet and must not
             # cut (and re-number) a second barrier here.
             seq = _cut_barrier(conn, gs, subs, seq,
-                               packets_done=index, next_barrier=advanced)
+                               packets_done=index, next_barrier=advanced,
+                               shipped=shipped)
             next_barrier = advanced
         buffer.append(packet)
     if buffer:

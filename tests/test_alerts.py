@@ -509,3 +509,81 @@ class TestEndToEnd:
         gs.enable_alerts()
         with pytest.raises(RegistryError):
             gs.enable_alerts()
+
+
+class TestShedExemption:
+    """A raised trigger pins its feeder query exempt from shedding."""
+
+    SYN_WATCH = """
+        DEFINE query_name syn_watch;
+        Select tb, destIP, count(*) as syns
+        From tcp Where tcpflags & 18 = 2
+        Group by time/5 as tb, destIP
+    """
+    TRAFFIC_ALL = """
+        DEFINE query_name traffic_all;
+        Select tb, count(*) as pkts
+        From tcp Group by time/5 as tb
+    """
+
+    @staticmethod
+    def _events(rows):
+        """(trigger, kind, key, epoch) -- detection sans sampled values."""
+        return [(row[2], row[3], row[5], row[1]) for row in rows]
+
+    def test_detection_accuracy_unchanged_under_80pct_shed(self):
+        # Clean arm: no shedding at all.
+        gs_clean = Gigascope(heartbeat_interval=0.5)
+        scenario = syn_flood(seed=0, duration_s=50.0, background_mbps=6.0,
+                             pps=800.0)
+        clean = self._events(drive(gs_clean, scenario, [SYN_TRIGGER]))
+        # Shed arm: 80% of packets dropped at the LFTA gate -- except on
+        # the feeder of the raised trigger, which the exemption pins at
+        # keep-rate 1.0 from RAISE to CLEAR.
+        gs = Gigascope(heartbeat_interval=0.5)
+        gs.enable_shedding("static:0.2")
+        scenario = syn_flood(seed=0, duration_s=50.0, background_mbps=6.0,
+                             pps=800.0)
+        shed = self._events(drive(gs, scenario, [SYN_TRIGGER]))
+        assert clean and shed == clean
+        report = gs.overload_report()
+        assert report["exempt_cycles"] > 0
+        assert report["packets_shed"] > 0
+        assert report["min_shed_rate"] == 0.2
+
+    def test_raised_trigger_pins_feeder_until_clear(self):
+        gs = Gigascope(heartbeat_interval=0.5)
+        gs.enable_shedding("static:0.2")
+        gs.add_query(self.SYN_WATCH)
+        gs.add_query(self.TRAFFIC_ALL)
+        gs.enable_alerts([SYN_TRIGGER])
+        alerts = gs.subscribe("alerts")
+        gs.start()
+        scenario = syn_flood(duration_s=50.0, background_mbps=6.0,
+                             pps=800.0)
+        packets = list(scenario.packets)
+        mid = next(i for i, p in enumerate(packets)
+                   if p.timestamp >= scenario.window[1] - 2.0)
+        gs.feed(packets[:mid], pump_every=64)
+        # Mid-flood, the alert is raised: the whole syn_watch chain runs
+        # unsheded while every other LFTA still sheds at 0.2.
+        report = gs.overload_report()
+        assert report["exempt_nodes"]
+        rates = {name: info["shed_rate"]
+                 for name, info in report["lftas"].items()}
+        pinned = [rates[name] for name in report["exempt_nodes"]
+                  if name in rates]
+        assert pinned and all(rate == 1.0 for rate in pinned)
+        others = [rate for name, rate in rates.items()
+                  if name not in report["exempt_nodes"]]
+        assert others and all(rate == 0.2 for rate in others)
+        gs.feed(packets[mid:], pump_every=64)
+        gs.flush()
+        # The flood ended and the trigger CLEARed: the pin is lifted and
+        # the feeder sheds again like everyone else.
+        report = gs.overload_report()
+        assert report["exempt_nodes"] == []
+        assert all(info["shed_rate"] == 0.2
+                   for info in report["lftas"].values())
+        kinds = [row[3] for row in alerts.poll()]
+        assert kinds == [b"RAISE", b"CLEAR"]

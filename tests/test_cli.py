@@ -525,3 +525,96 @@ class TestTelemetryFlags:
         assert "# alert report" in err
         assert "on=_gs_shed" in err
         assert "RAISE" in out
+
+
+class TestReplicationFlags:
+    QUERY = ("DEFINE query_name q; Select tb, count(*) "
+             "From tcp Group by time/5 as tb")
+
+    def test_standby_run_is_invisible_and_reports(self, trace, capsys):
+        code, out, err = run_cli(
+            ["--pcap", trace, "--query", self.QUERY,
+             "--standby", "--replicate", "2"],
+            capsys)
+        assert code == 0
+        assert "# replication report" in err
+        assert "promoted=False" in err
+        clean_code, clean_out, _ = run_cli(
+            ["--pcap", trace, "--query", self.QUERY], capsys)
+        assert clean_code == 0
+        assert out == clean_out
+
+    def test_promotion_run_end_to_end(self, trace, tmp_path, capsys):
+        log = tmp_path / "repl.log"
+        code, out, err = run_cli(
+            ["--pcap", trace, "--query", self.QUERY,
+             "--replicate", "2", "--promote-after", "0.5",
+             "--replicate-log", str(log),
+             "--fault", "heartbeat_silence:at=5,duration=60"],
+            capsys)
+        assert code == 0
+        assert "promoted=True" in err
+        assert "heartbeat silence" in err
+        assert "rto_wall_s=" in err
+        assert f"replication log -> {log}" in err
+        assert log.read_bytes()[4:8] == b"GSCK"
+        clean_code, clean_out, _ = run_cli(
+            ["--pcap", trace, "--query", self.QUERY], capsys)
+        assert clean_code == 0
+        assert out == clean_out
+
+    def test_replicate_implies_standby(self, trace, capsys):
+        code, _out, err = run_cli(
+            ["--pcap", trace, "--query", self.QUERY, "--replicate", "0"],
+            capsys)
+        assert code == 0
+        assert "# replication report" in err
+
+    def test_standby_with_shards_exits_2(self, trace, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--pcap", trace, "--query", self.QUERY,
+                  "--standby", "--shards", "2"])
+        assert excinfo.value.code == 2
+        assert "--standby" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("bad", ["banana", "-1", "nan"])
+    def test_malformed_replicate_exits_2_naming_flag(self, trace, bad,
+                                                     capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--pcap", trace, "--query", self.QUERY,
+                  "--replicate", bad])
+        assert excinfo.value.code == 2
+        assert "--replicate" in capsys.readouterr().err
+
+    def test_malformed_env_cadence_exits_2_naming_env(self, trace, capsys,
+                                                      monkeypatch):
+        monkeypatch.setenv("GS_REPLICATE", "lots")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--pcap", trace, "--query", self.QUERY, "--standby"])
+        assert excinfo.value.code == 2
+        assert "GS_REPLICATE" in capsys.readouterr().err
+
+    def test_negative_promote_after_exits_2(self, trace, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--pcap", trace, "--query", self.QUERY,
+                  "--promote-after", "-0.5"])
+        assert excinfo.value.code == 2
+        assert "--promote-after" in capsys.readouterr().err
+
+    def test_replicate_log_path_collision_exits_2(self, trace, tmp_path,
+                                                  capsys):
+        path = str(tmp_path / "same.out")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--pcap", trace, "--query", self.QUERY,
+                  "--replicate-log", path, "--metrics-out", path])
+        assert excinfo.value.code == 2
+        assert "same.out" in capsys.readouterr().err
+
+    def test_standby_refuses_control_plane_flags(self, trace, capsys):
+        for extra in (["--shed", "static:0.5"], ["--recover"],
+                      ["--telemetry"], ["--alert", "a:on=q,when=count(*)>1"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["--pcap", trace, "--query", self.QUERY,
+                      "--standby"] + extra)
+            assert excinfo.value.code == 2
+            assert "--standby" in capsys.readouterr().err

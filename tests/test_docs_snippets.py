@@ -92,6 +92,17 @@ def test_readme_documents_every_metric_family():
     sharded.subscribe("flows")
     families += [family.name for family in sharded.metrics.families()]
 
+    # The warm-standby pair registers the gs_repl_* plane on both
+    # engines' registries.
+    from repro.replication import ReplicatedGigascope
+    pair = ReplicatedGigascope(cadence=0.5, seed=3)
+    pair.add_query("""
+        DEFINE query_name flows;
+        Select tb, count(*) as pkts
+        From tcp Group by time/2 as tb
+    """)
+    families += [family.name for family in pair.metrics.families()]
+
     readme = (ROOT / "README.md").read_text()
     undocumented = [name for name in sorted(set(families))
                     if f"`{name}`" not in readme]

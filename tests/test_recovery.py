@@ -265,22 +265,23 @@ _GOLDEN_BUILDERS = {
 }
 
 # sha256 of each operator's encoded snapshot under the fixed inputs
-# above, for wire format version 1.  A mismatch means the snapshot
-# layout changed: bump SNAPSHOT_VERSION and regenerate these.
+# above, for wire format version 2 (sparse LFTA table slots, elided
+# untouched shed-RNG state).  A mismatch means the snapshot layout
+# changed: bump SNAPSHOT_VERSION and regenerate these.
 _GOLDEN_SHA256 = {
-    "table": "374f3141e32973ef68dcc68498dcb79971659c396d1266f7bba78b4b4d745de6",
-    "lfta": "e66044be6bfcd423de839a1d4e36b19e44d7202e55ca14fecbafc8f94e6c7178",
+    "table": "d97041644e71c28b5720626c2c603200832e84fa4247b95b6c59d76a0673a047",
+    "lfta": "0709919f71ffb0d510d1d30da358fd680b48a43747fa6405634375caa2e9b4f2",
     "aggregation":
-        "360df4a7ecc90234edc90e3ec44bcde94bebad9b1e37cdf598fb4c09478c8041",
-    "join": "baa9225e8e899bf1033001081b520d884106dc244d777f9db05da82a12489a97",
-    "merge": "fd98d9797228c7de9b97ec82460b4b1c80ccc4b0c8aefffa0cac17f8793eb0c2",
+        "3f6969efd5fdc97b18f0b557d92b2c0d9b0d66ff8af9c58971ddc19ba378f717",
+    "join": "3571311041dc0cac529c977422d7f197afda11bafec35c390ec3e424913caa77",
+    "merge": "05ebfa7bcc7ff0eedf315b6e8d0503f952c933745b85d73ca01d0bae176a03b5",
     "sessionize":
-        "ac17c8b062367ac1723c52957d341d86517012f1344d7cdc5c60f65a80cf6ce4",
+        "f679288b3375974021b6216244326c28d92756bb9a95dc7ac9d5b26475740074",
     "tcp_reassembly":
-        "0d32e207e51e4ebb8bf005b5728790f08975d8e3facf1c31270b6ac338e79817",
-    "defrag": "9da9f099a90792efb1a54a8b42e2b9332205865249636fe932e852feb2299aab",
+        "bf8679f5c711c4b60d458408b01d79c035eeaa6b8c89e9871a742b37e602f1ca",
+    "defrag": "4280f27cc58c22753a9184350a5e765b76bd057d3671ac05af0a124f5460b2d1",
     "csv_sink":
-        "ee17c81a48c3b999b29c48fae132d24e67dddf61617c0ee7e64e07c546750f9a",
+        "7cc9ca2db4bfa9a0214f95e722e76e431eadad9e6f27e3a09fb89f682022d833",
 }
 
 
